@@ -1,0 +1,89 @@
+(* gfix — detect BMOC bugs and print a patched program.
+
+     gfix file.go                 # print the patched source
+     gfix --validate file.go      # additionally run both versions under
+                                  # many schedules and compare leaks *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run files validate =
+  if files = [] then (
+    prerr_endline "gfix: no input files";
+    exit 2);
+  let sources = List.map read_file files in
+  match Gcatch.Driver.analyse ~name:"cli" sources with
+  | exception Minigo.Parser.Parse_error (m, loc) ->
+      Printf.eprintf "parse error: %s at %s\n" m (Minigo.Loc.to_string loc);
+      exit 2
+  | a ->
+      let fixes = Gcatch.Gfix.fix_all a.source a.bmoc in
+      let patched =
+        List.fold_left
+          (fun prog (_bug, outcome) ->
+            match outcome with
+            | Gcatch.Gfix.Fixed f ->
+                Printf.eprintf "fixed: %s [%s, %d changed line(s)]\n"
+                  f.description
+                  (Gcatch.Gfix.strategy_str f.strategy)
+                  f.changed_lines;
+                f.patched
+            | Gcatch.Gfix.Not_fixed r ->
+                Printf.eprintf "not fixed: %s\n" r;
+                prog)
+          a.source fixes
+      in
+      (* Re-apply fixes against the accumulated program so multiple bugs
+         in one file compose: re-analyse and fix until a fixpoint. *)
+      let rec iterate prog rounds =
+        if rounds = 0 then prog
+        else
+          let ir = Goir.Lower.lower_program prog in
+          let a = Gcatch.Driver.analyse_ir prog ir in
+          let progress = ref false in
+          let prog' =
+            List.fold_left
+              (fun p (_b, o) ->
+                match o with
+                | Gcatch.Gfix.Fixed f ->
+                    progress := true;
+                    f.patched
+                | Gcatch.Gfix.Not_fixed _ -> p)
+              prog
+              (Gcatch.Gfix.fix_all prog a.bmoc)
+          in
+          if !progress then iterate prog' (rounds - 1) else prog
+      in
+      let final = if List.length fixes > 1 then iterate a.source 8 else patched in
+      print_string (Minigo.Pretty.program_str final);
+      if validate && Minigo.Ast.find_func a.source "main" <> None then begin
+        let seeds = 30 in
+        let _, leaks_before, _, _ =
+          Goruntime.Interp.run_schedules ~seeds a.source
+        in
+        let _, leaks_after, _, _ = Goruntime.Interp.run_schedules ~seeds final in
+        Printf.eprintf "validation: %d/%d schedules leaked before, %d/%d after\n"
+          leaks_before seeds leaks_after seeds
+      end
+
+let files_arg =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"MiniGo source files")
+
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate" ]
+        ~doc:"Run the original and patched programs under many schedules")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "gfix" ~doc:"Automatically patch BMOC bugs")
+    Term.(const run $ files_arg $ validate_arg)
+
+let () = exit (Cmd.eval cmd)

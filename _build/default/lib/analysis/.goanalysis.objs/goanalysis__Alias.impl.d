@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Array Goir Hashtbl List Map Minigo Printf Set String

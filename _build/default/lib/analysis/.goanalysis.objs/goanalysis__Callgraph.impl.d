@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Alias Array Goir Hashtbl List Option

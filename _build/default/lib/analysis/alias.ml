@@ -1,0 +1,299 @@
+module Ir = Goir.Ir
+
+(* Andersen-style, flow-insensitive, field-sensitive alias analysis.
+
+   GCatch "distinguishes primitives using their static creation sites and
+   leverages alias analysis to determine whether an operation is performed
+   on a primitive" (paper §3.1).  We reproduce that: every channel, mutex,
+   waitgroup and struct is identified by an abstract object, and the solver
+   computes which objects each variable (and struct field) may denote.
+
+   Abstract objects:
+   - [Achan pp]      — a make(chan) site
+   - [Astruct pp]    — a struct allocation / zero-valued declaration site
+   - [Afunc name]    — a function value
+   - [Aext (f, p)]   — an opaque object standing for the value a parameter
+                       [p] of entry function [f] receives from outside the
+                       analysed program (library analysis mode)
+   - [Aprim (owner, field)] — a primitive living in field [field] of
+                       another object (e.g. a mutex field of a struct, or
+                       the $done channel of a context) *)
+
+module SMap = Map.Make (String)
+
+type obj =
+  | Achan of Ir.pp
+  | Astruct of Ir.pp
+  | Afunc of string
+  | Aext of string * string
+  | Aprim of obj * string
+
+let rec obj_str = function
+  | Achan p -> Printf.sprintf "chan@%d" p
+  | Astruct p -> Printf.sprintf "struct@%d" p
+  | Afunc f -> Printf.sprintf "func:%s" f
+  | Aext (f, p) -> Printf.sprintf "ext:%s.%s" f p
+  | Aprim (o, f) -> Printf.sprintf "%s.%s" (obj_str o) f
+
+module ObjSet = Set.Make (struct
+  type t = obj
+
+  let compare = compare
+end)
+
+type t = {
+  pts : (string * string, ObjSet.t) Hashtbl.t; (* (func, var) -> objects *)
+  fields : (obj * string, ObjSet.t) Hashtbl.t;
+  prog : Ir.program;
+  mutable changed : bool;
+  chan_elem : (Ir.pp, Minigo.Ast.typ) Hashtbl.t;
+  chan_cap : (Ir.pp, int option) Hashtbl.t;
+  chan_loc : (Ir.pp, Minigo.Loc.t) Hashtbl.t;
+}
+
+let get tbl key =
+  match Hashtbl.find_opt tbl key with Some s -> s | None -> ObjSet.empty
+
+let add_to st tbl key objs =
+  let cur = get tbl key in
+  let next = ObjSet.union cur objs in
+  if not (ObjSet.equal cur next) then begin
+    Hashtbl.replace tbl key next;
+    st.changed <- true
+  end
+
+let pts_var st f v = get st.pts (f, v)
+let pts_field st obj fld = get st.fields (obj, fld)
+
+(* Materialise a primitive object for a field that nothing ever stores
+   into: mutex / waitgroup fields, the synthetic $done channel of a
+   context, channels embedded in externally-created structs. *)
+let ensure_field st obj fld =
+  let cur = get st.fields (obj, fld) in
+  if ObjSet.is_empty cur then
+    add_to st st.fields (obj, fld) (ObjSet.singleton (Aprim (obj, fld)))
+
+let pts_operand st fname (o : Ir.operand) : ObjSet.t =
+  match o with
+  | Ovar v -> pts_var st fname v
+  | Oconst_func f -> ObjSet.singleton (Afunc f)
+  | Oplace (Pvar v) -> pts_var st fname v
+  | Oplace (Pfield (v, fld)) ->
+      ObjSet.fold
+        (fun obj acc -> ObjSet.union acc (pts_field st obj fld))
+        (pts_var st fname v) ObjSet.empty
+  | Oconst_int _ | Oconst_bool _ | Oconst_str _ | Onil -> ObjSet.empty
+
+(* Objects a place may denote. *)
+let pts_place st fname (p : Ir.place) : ObjSet.t =
+  match p with
+  | Pvar v -> pts_var st fname v
+  | Pfield (v, fld) ->
+      ObjSet.fold
+        (fun obj acc ->
+          ensure_field st obj fld;
+          ObjSet.union acc (pts_field st obj fld))
+        (pts_var st fname v) ObjSet.empty
+
+let is_pointerish (t : Minigo.Ast.typ) =
+  match t with
+  | Tchan _ | Tmutex | Twaitgroup | Tcond | Tstruct _ | Tcontext | Tfunc _ | Tany
+    ->
+      true
+  | Tint | Tbool | Tstring | Tunit | Ttesting | Terror -> false
+
+(* Seed external objects for parameters of functions nobody calls inside
+   the program (entry points / exported library functions). *)
+let seed_entry_params st called =
+  List.iter
+    (fun (f : Ir.func) ->
+      if not (Hashtbl.mem called f.name) then
+        List.iter
+          (fun (v, ty) ->
+            if is_pointerish ty then
+              add_to st st.pts (f.name, v) (ObjSet.singleton (Aext (f.name, v))))
+          f.params)
+    (Ir.funcs_list st.prog)
+
+let callee_candidates st fname (fv : Ir.var) =
+  ObjSet.fold
+    (fun o acc -> match o with Afunc g -> g :: acc | _ -> acc)
+    (pts_var st fname fv) []
+
+let arm_place (a : Ir.select_arm) =
+  match a.arm_op with Arm_recv (p, _) | Arm_send (p, _) -> p
+
+(* One propagation pass over every instruction of every function. *)
+let propagate st =
+  let link_call st caller (callee : Ir.func) args rets =
+    (* arguments flow into parameters *)
+    List.iteri
+      (fun i (pv, _) ->
+        match List.nth_opt args i with
+        | Some a -> add_to st st.pts (callee.name, pv) (pts_operand st caller a)
+        | None -> ())
+      callee.params;
+    (* returned operands flow into result variables *)
+    Array.iter
+      (fun (b : Ir.block) ->
+        match b.term with
+        | Treturn os ->
+            List.iteri
+              (fun i r ->
+                match List.nth_opt os i with
+                | Some o -> add_to st st.pts (caller, r) (pts_operand st callee.name o)
+                | None -> ())
+              rets
+        | _ -> ())
+      callee.blocks
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      Ir.iter_insts
+        (fun (i : Ir.inst) ->
+          match i.idesc with
+          | Imake_chan (v, elem, cap) ->
+              Hashtbl.replace st.chan_elem i.ipp elem;
+              Hashtbl.replace st.chan_cap i.ipp cap;
+              Hashtbl.replace st.chan_loc i.ipp i.iloc;
+              add_to st st.pts (f.name, v) (ObjSet.singleton (Achan i.ipp))
+          | Imake_struct (v, _) ->
+              add_to st st.pts (f.name, v) (ObjSet.singleton (Astruct i.ipp))
+          | Iassign (v, o) -> add_to st st.pts (f.name, v) (pts_operand st f.name o)
+          | Ifield_load (v, b, fld) ->
+              ObjSet.iter
+                (fun obj ->
+                  ensure_field st obj fld;
+                  add_to st st.pts (f.name, v) (pts_field st obj fld))
+                (pts_var st f.name b)
+          | Ifield_store (b, fld, o) ->
+              ObjSet.iter
+                (fun obj -> add_to st st.fields (obj, fld) (pts_operand st f.name o))
+                (pts_var st f.name b)
+          | Isend (p, o) ->
+              (* sending a pointer-ish value through a channel transfers it
+                 to every receive bound to an aliased channel.  The paper
+                 notes its alias package cannot do this (17 FPs); we model
+                 the channel's payload as field $elem of the channel
+                 object, giving GCatch strictly better alias precision than
+                 the original implementation had. *)
+              ObjSet.iter
+                (fun obj -> add_to st st.fields (obj, "$elem") (pts_operand st f.name o))
+                (pts_place st f.name p)
+          | Irecv (Some v, p, _) ->
+              ObjSet.iter
+                (fun obj -> add_to st st.pts (f.name, v) (pts_field st obj "$elem"))
+                (pts_place st f.name p)
+          | Irecv (None, _, _) | Iclose _ | Ilock _ | Iunlock _ -> ()
+          | Iwg_add _ | Iwg_done _ | Iwg_wait _ -> ()
+          | Icall (rets, g, args) -> (
+              match Ir.find_func st.prog g with
+              | Some callee -> link_call st f.name callee args rets
+              | None -> ())
+          | Icall_indirect (rets, fv, args) ->
+              List.iter
+                (fun g ->
+                  match Ir.find_func st.prog g with
+                  | Some callee -> link_call st f.name callee args rets
+                  | None -> ())
+                (callee_candidates st f.name fv)
+          | Igo (g, args) -> (
+              match Ir.find_func st.prog g with
+              | Some callee -> link_call st f.name callee args []
+              | None -> ())
+          | Itesting_fatal _ | Ibinop _ | Iunop _ | Isleep _ | Iprint _ | Inop _ ->
+              ())
+        f;
+      (* select arms access places too *)
+      Array.iter
+        (fun (b : Ir.block) ->
+          match b.term with
+          | Tselect (arms, _, _) ->
+              List.iter
+                (fun (a : Ir.select_arm) ->
+                  match a.arm_op with
+                  | Arm_recv (p, Some v) ->
+                      ObjSet.iter
+                        (fun obj ->
+                          add_to st st.pts (f.name, v) (pts_field st obj "$elem"))
+                        (pts_place st f.name p)
+                  | Arm_recv (_, None) -> ignore (pts_place st f.name (arm_place a))
+                  | Arm_send (p, o) ->
+                      ObjSet.iter
+                        (fun obj ->
+                          add_to st st.fields (obj, "$elem")
+                            (pts_operand st f.name o))
+                        (pts_place st f.name p))
+                arms
+          | _ -> ())
+        f.blocks)
+    (Ir.funcs_list st.prog)
+
+(* Functions that are called (directly or spawned) somewhere. *)
+let compute_called prog =
+  let called = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ir.func) ->
+      Ir.iter_insts
+        (fun i ->
+          match i.idesc with
+          | Icall (_, g, _) | Igo (g, _) -> Hashtbl.replace called g ()
+          | _ -> ())
+        f)
+    (Ir.funcs_list prog);
+  called
+
+let analyse (prog : Ir.program) : t =
+  let st =
+    {
+      pts = Hashtbl.create 64;
+      fields = Hashtbl.create 64;
+      prog;
+      changed = true;
+      chan_elem = Hashtbl.create 16;
+      chan_cap = Hashtbl.create 16;
+      chan_loc = Hashtbl.create 16;
+    }
+  in
+  seed_entry_params st (compute_called prog);
+  let rounds = ref 0 in
+  while st.changed && !rounds < 100 do
+    st.changed <- false;
+    incr rounds;
+    propagate st
+  done;
+  st
+
+(* ------------------------------------------------------------ queries *)
+
+(* All channel-like objects a place may denote. *)
+let channels_of_place st fname p =
+  ObjSet.filter
+    (function Achan _ | Aprim _ | Aext _ -> true | _ -> false)
+    (pts_place st fname p)
+
+let objects_of_place = pts_place
+
+(* Static capacity of a channel object, when known. *)
+let capacity st = function
+  | Achan pp -> ( match Hashtbl.find_opt st.chan_cap pp with Some c -> c | None -> None)
+  | Aprim _ | Aext _ -> None (* externally created: capacity unknown *)
+  | _ -> None
+
+let creation_loc st = function
+  | Achan pp -> Hashtbl.find_opt st.chan_loc pp
+  | _ -> None
+
+(* Do two places possibly alias (share an object)? *)
+let may_alias st f1 p1 f2 p2 =
+  not (ObjSet.is_empty (ObjSet.inter (pts_place st f1 p1) (pts_place st f2 p2)))
+
+let all_channel_objects st =
+  let acc = ref ObjSet.empty in
+  Hashtbl.iter
+    (fun _ s ->
+      ObjSet.iter
+        (fun o -> match o with Achan _ -> acc := ObjSet.add o !acc | _ -> ())
+        s)
+    st.pts;
+  !acc

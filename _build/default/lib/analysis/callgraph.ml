@@ -1,0 +1,139 @@
+module Ir = Goir.Ir
+
+(* Call graph construction.
+
+   Direct calls and [go] spawns produce exact edges.  Indirect calls
+   (through function values) are resolved using alias results; when alias
+   information is empty we fall back to matching every program function
+   with the same arity — the same over-approximation the paper's CHA
+   package makes, and the paper's documented source of call-graph false
+   positives (§5.1).  As in the paper, when the fallback produces more
+   than one candidate we mark the call [ambiguous] so detectors can choose
+   to ignore it. *)
+
+type edge_kind = Ecall | Ego
+
+type edge = {
+  caller : string;
+  callee : string;
+  site : Ir.pp;
+  kind : edge_kind;
+  ambiguous : bool;
+}
+
+type t = {
+  edges : edge list;
+  succs : (string, edge list) Hashtbl.t;
+  preds : (string, edge list) Hashtbl.t;
+  prog : Ir.program;
+}
+
+let arity (f : Ir.func) = List.length f.params
+
+let build ?alias (prog : Ir.program) : t =
+  let edges = ref [] in
+  let add ?(ambiguous = false) caller callee site kind =
+    if Hashtbl.mem prog.funcs callee then
+      edges := { caller; callee; site; kind; ambiguous } :: !edges
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      Ir.iter_insts
+        (fun (i : Ir.inst) ->
+          match i.idesc with
+          | Icall (_, g, _) -> add f.name g i.ipp Ecall
+          | Igo (g, _) -> add f.name g i.ipp Ego
+          | Icall_indirect (_, fv, args) -> (
+              let candidates =
+                match alias with
+                | Some al ->
+                    Alias.ObjSet.fold
+                      (fun o acc ->
+                        match o with Alias.Afunc g -> g :: acc | _ -> acc)
+                      (Alias.pts_var al f.name fv)
+                      []
+                | None -> []
+              in
+              match candidates with
+              | [] ->
+                  (* CHA-style fallback: all functions of matching arity *)
+                  let matching =
+                    List.filter
+                      (fun (g : Ir.func) -> arity g = List.length args)
+                      (Ir.funcs_list prog)
+                  in
+                  let ambiguous = List.length matching > 1 in
+                  List.iter
+                    (fun (g : Ir.func) -> add ~ambiguous f.name g.name i.ipp Ecall)
+                    matching
+              | [ g ] -> add f.name g i.ipp Ecall
+              | gs -> List.iter (fun g -> add ~ambiguous:true f.name g i.ipp Ecall) gs)
+          | _ -> ())
+        f)
+    (Ir.funcs_list prog);
+  let succs = Hashtbl.create 16 in
+  let preds = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace succs e.caller
+        (e :: (Option.value (Hashtbl.find_opt succs e.caller) ~default:[]));
+      Hashtbl.replace preds e.callee
+        (e :: (Option.value (Hashtbl.find_opt preds e.callee) ~default:[])))
+    !edges;
+  { edges = !edges; succs; preds; prog }
+
+let callees t f = Option.value (Hashtbl.find_opt t.succs f) ~default:[]
+let callers t f = Option.value (Hashtbl.find_opt t.preds f) ~default:[]
+
+(* Transitive closure of functions reachable from [f] (via calls and
+   spawns), including [f] itself. *)
+let reachable_from t f =
+  let seen = Hashtbl.create 16 in
+  let rec go f =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      List.iter (fun e -> go e.callee) (callees t f)
+    end
+  in
+  go f;
+  seen
+
+(* Does the call-subtree rooted at [f] contain an instruction satisfying
+   [pred]?  Used to skip callee bodies during path enumeration (§3.3). *)
+let subtree_contains t prog f pred =
+  let reach = reachable_from t f in
+  Hashtbl.fold
+    (fun g () acc ->
+      acc
+      ||
+      match Ir.find_func prog g with
+      | Some fn ->
+          Ir.fold_insts (fun acc i -> acc || pred i) false fn
+          || Array.exists
+               (fun (b : Ir.block) ->
+                 match b.term with Tselect _ -> true | _ -> false)
+               fn.blocks
+      | None -> false)
+    reach false
+
+(* Lowest common ancestor of a set of functions in the call graph: the
+   function with the smallest reachable-set that can reach all of them.
+   The paper uses this to define a channel's analysis scope (§3.2). *)
+let lca t (fs : string list) : string option =
+  match fs with
+  | [] -> None
+  | [ f ] -> Some f
+  | _ ->
+      let all = Ir.funcs_list t.prog in
+      let covering =
+        List.filter_map
+          (fun (cand : Ir.func) ->
+            let reach = reachable_from t cand.name in
+            if List.for_all (fun f -> Hashtbl.mem reach f) fs then
+              Some (cand.name, Hashtbl.length reach)
+            else None)
+          all
+      in
+      (match List.sort (fun (_, a) (_, b) -> compare a b) covering with
+      | (best, _) :: _ -> Some best
+      | [] -> None)

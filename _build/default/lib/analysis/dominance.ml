@@ -1,0 +1,100 @@
+module Ir = Goir.Ir
+
+(* Intra-procedural dominance and post-dominance on IR CFGs.
+
+   GFix needs dominance facts to validate its rewrites: Strategy-II checks
+   that every [return] is dominated by a static [o1] operation and that
+   moving [o1] to the [return] post-dominating it is safe (§4.3). *)
+
+let block_ids (f : Ir.func) = Array.to_list (Array.map (fun b -> b.Ir.bid) f.blocks)
+
+let index_of (f : Ir.func) bid =
+  let idx = ref (-1) in
+  Array.iteri (fun i b -> if b.Ir.bid = bid then idx := i) f.blocks;
+  !idx
+
+(* Classic iterative dataflow dominators. Returns dom.(i) = set of block
+   indices dominating block i (including itself). *)
+let dominators (f : Ir.func) : bool array array =
+  let n = Array.length f.blocks in
+  let entry = index_of f f.entry in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+      List.iter
+        (fun s ->
+          let j = index_of f s in
+          if j >= 0 then preds.(j) <- i :: preds.(j))
+        (Ir.successors b))
+    f.blocks;
+  ignore entry;
+  let dom = Array.init n (fun i -> Array.make n (i <> index_of f f.entry)) in
+  dom.(index_of f f.entry) <- Array.init n (fun j -> j = index_of f f.entry);
+  Array.iteri (fun i row -> if i = index_of f f.entry then () else Array.fill row 0 n true) dom;
+  dom.(index_of f f.entry) <- Array.init n (fun j -> j = index_of f f.entry);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i _ ->
+        if i <> index_of f f.entry then begin
+          let inter = Array.make n true in
+          (match preds.(i) with
+          | [] -> Array.fill inter 0 n false
+          | ps ->
+              List.iter
+                (fun p -> Array.iteri (fun j v -> inter.(j) <- inter.(j) && v) dom.(p))
+                ps);
+          inter.(i) <- true;
+          if inter <> dom.(i) then begin
+            dom.(i) <- inter;
+            changed := true
+          end
+        end)
+      f.blocks
+  done;
+  dom
+
+(* Does block [a] dominate block [b]? *)
+let dominates (f : Ir.func) dom a b =
+  let ia = index_of f a and ib = index_of f b in
+  ia >= 0 && ib >= 0 && dom.(ib).(ia)
+
+(* Block containing a given program point, if any. *)
+let block_of_pp (f : Ir.func) (p : Ir.pp) : int option =
+  let found = ref None in
+  Array.iter
+    (fun (b : Ir.block) ->
+      List.iter (fun (i : Ir.inst) -> if i.ipp = p then found := Some b.bid) b.insts;
+      match b.term with
+      | Tselect (_, _, sp) when sp = p -> found := Some b.bid
+      | _ -> ())
+    f.blocks;
+  !found
+
+(* pp-level dominance: [a] dominates [b] when a's block strictly dominates
+   b's block, or both live in one block with [a] first. *)
+let pp_dominates (f : Ir.func) dom (a : Ir.pp) (b : Ir.pp) : bool =
+  match (block_of_pp f a, block_of_pp f b) with
+  | Some ba, Some bb when ba = bb ->
+      let order = ref [] in
+      Array.iter
+        (fun (blk : Ir.block) ->
+          if blk.bid = ba then
+            List.iter (fun (i : Ir.inst) -> order := i.ipp :: !order) blk.insts)
+        f.blocks;
+      let order = List.rev !order in
+      let rec first_of = function
+        | [] -> None
+        | x :: rest ->
+            if x = a then Some a else if x = b then Some b else first_of rest
+      in
+      first_of order = Some a
+  | Some ba, Some bb -> dominates f dom ba bb
+  | _ -> false
+
+(* All blocks ending in a return. *)
+let return_blocks (f : Ir.func) =
+  Array.to_list f.blocks
+  |> List.filter_map (fun (b : Ir.block) ->
+         match b.term with Treturn _ -> Some b.bid | _ -> None)

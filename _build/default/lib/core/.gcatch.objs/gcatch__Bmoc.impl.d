@@ -1,0 +1,1 @@
+lib/core/bmoc.ml: Constraints Disentangle Goanalysis Goir Hashtbl List Pathenum Primitives Report String

@@ -1,0 +1,1 @@
+lib/core/constraints.ml: Goanalysis Goir Gosmt Hashtbl List Minigo Option Pathenum Primitives Printf Report

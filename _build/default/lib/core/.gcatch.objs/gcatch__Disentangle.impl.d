@@ -1,0 +1,1 @@
+lib/core/disentangle.ml: Array Goanalysis Goir Hashtbl List Option Primitives Report String

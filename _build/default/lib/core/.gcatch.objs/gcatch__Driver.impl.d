@@ -1,0 +1,1 @@
+lib/core/driver.ml: Bmoc Goanalysis Goir List Minigo Report Traditional Unix

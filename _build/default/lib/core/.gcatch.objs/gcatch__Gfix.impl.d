@@ -1,0 +1,1 @@
+lib/core/gfix.ml: Goanalysis List Minigo Option Patch Printf Report

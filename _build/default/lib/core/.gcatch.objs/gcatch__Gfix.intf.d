@@ -1,0 +1,1 @@
+lib/core/gfix.mli: Minigo Report

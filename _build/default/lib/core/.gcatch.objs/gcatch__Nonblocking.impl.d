@@ -1,0 +1,1 @@
+lib/core/nonblocking.ml: Bmoc Disentangle Goanalysis Goir Gosmt Hashtbl List Minigo Pathenum Primitives Printf Report

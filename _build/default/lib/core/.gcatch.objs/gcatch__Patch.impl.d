@@ -1,0 +1,1 @@
+lib/core/patch.ml: Array List Minigo Option String

@@ -1,0 +1,1 @@
+lib/core/pathenum.ml: Array Goanalysis Goir Hashtbl List Minigo Option Printf Report

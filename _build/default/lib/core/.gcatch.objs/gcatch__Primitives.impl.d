@@ -1,0 +1,1 @@
+lib/core/primitives.ml: Array Goanalysis Goir Hashtbl List Minigo Option Report String

@@ -1,0 +1,1 @@
+lib/core/report.ml: Goanalysis Goir List Minigo Printf String

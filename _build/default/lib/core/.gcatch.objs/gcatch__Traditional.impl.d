@@ -1,0 +1,1 @@
+lib/core/traditional.ml: Goanalysis Goir Hashtbl List Minigo Option Primitives Printf Report

@@ -1,0 +1,1 @@
+lib/core/traditional.mli: Goir Report

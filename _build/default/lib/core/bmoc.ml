@@ -1,0 +1,306 @@
+module Ir = Goir.Ir
+module Alias = Goanalysis.Alias
+module Callgraph = Goanalysis.Callgraph
+
+(* The BMOC detector (paper Algorithm 1).
+
+   For every channel: compute its scope and Pset (disentangling), collect
+   the goroutines active in the scope, enumerate path combinations,
+   compute suspicious groups, and hand each (combination, group) pair to
+   the constraint system.  A satisfiable ΦR ∧ ΦB is a detected blocking
+   misuse-of-channel bug. *)
+
+type config = {
+  path_cfg : Pathenum.config;
+  max_combos : int;
+  max_goroutines : int;
+  max_groups : int;          (* per combination *)
+  max_group_size : int;
+  disentangle : bool;        (* E5 ablation knob *)
+}
+
+let default_config =
+  {
+    path_cfg = Pathenum.default_config;
+    max_combos = 128;
+    max_goroutines = 6;
+    max_groups = 64;
+    max_group_size = 2;
+    disentangle = true;
+  }
+
+type stats = {
+  mutable channels_analysed : int;
+  mutable combinations : int;
+  mutable groups_checked : int;
+  mutable solver_calls : int;
+  mutable total_path_events : int;
+  mutable constraints_hint : int; (* micro-ops considered, a proxy *)
+}
+
+let new_stats () =
+  {
+    channels_analysed = 0;
+    combinations = 0;
+    groups_checked = 0;
+    solver_calls = 0;
+    total_path_events = 0;
+    constraints_hint = 0;
+  }
+
+(* Blocking-capable candidate events for suspicious groups. *)
+let candidates (pset : Alias.obj list) (gi : Pathenum.goroutine_instance) :
+    Pathenum.event list =
+  List.filter
+    (fun (e : Pathenum.event) ->
+      match e.e_desc with
+      | Sync
+          (Sop
+             ( (Report.Ksend | Report.Krecv | Report.Klock | Report.Kwg_wait),
+               objs )) ->
+          List.exists (fun o -> List.mem o pset) objs
+      | Sync (Sselect { arms; has_default = false; _ }) ->
+          (* a select is a candidate only when every arm is over Pset
+             primitives — otherwise its blocking cannot be decided in this
+             scope (the paper's running example excludes the parent's
+             select for exactly this reason) *)
+          arms <> []
+          && List.for_all
+               (fun (_, objs) ->
+                 objs <> [] && List.for_all (fun o -> List.mem o pset) objs)
+               arms
+      | _ -> false)
+    gi.gi_path.p_events
+
+(* Ops that could unblock each other must not share a group: a send and a
+   receive on the same object. *)
+let mutually_unblocking (a : Pathenum.event) (b : Pathenum.event) : bool =
+  let ops_of (e : Pathenum.event) =
+    match e.e_desc with
+    | Sync (Sop (k, objs)) -> [ (k, objs) ]
+    | Sync (Sselect { arms; _ }) -> arms
+    | _ -> []
+  in
+  List.exists
+    (fun (ka, oa) ->
+      List.exists
+        (fun (kb, ob) ->
+          let crossing =
+            match (ka, kb) with
+            | Report.Ksend, Report.Krecv | Report.Krecv, Report.Ksend -> true
+            | _ -> false
+          in
+          crossing && List.exists (fun o -> List.mem o ob) oa)
+        (ops_of b))
+    (ops_of a)
+
+(* All suspicious groups of a combination, sizes 1..max_group_size, at
+   most one op per goroutine. *)
+let suspicious_groups cfg pset (combo : Pathenum.combination) :
+    Constraints.group_member list list =
+  let per_g =
+    List.map (fun gi -> (gi, candidates pset gi)) combo
+    |> List.filter (fun (_, cs) -> cs <> [])
+  in
+  let singles =
+    List.concat_map
+      (fun ((gi : Pathenum.goroutine_instance), cs) ->
+        List.map
+          (fun (e : Pathenum.event) ->
+            [ { Constraints.g_gid = gi.gi_id; g_uid = e.e_uid } ])
+          cs)
+      per_g
+  in
+  let pairs =
+    if cfg.max_group_size < 2 then []
+    else
+      List.concat_map
+        (fun ((g1 : Pathenum.goroutine_instance), cs1) ->
+          List.concat_map
+            (fun ((g2 : Pathenum.goroutine_instance), cs2) ->
+              if g1.gi_id >= g2.gi_id then []
+              else
+                List.concat_map
+                  (fun e1 ->
+                    List.filter_map
+                      (fun e2 ->
+                        if mutually_unblocking e1 e2 then None
+                        else
+                          Some
+                            [
+                              { Constraints.g_gid = g1.gi_id; g_uid = e1.Pathenum.e_uid };
+                              { Constraints.g_gid = g2.gi_id; g_uid = e2.Pathenum.e_uid };
+                            ])
+                      cs2)
+                  cs1)
+            per_g)
+        per_g
+  in
+  let all = singles @ pairs in
+  if List.length all > cfg.max_groups then
+    List.filteri (fun i _ -> i < cfg.max_groups) all
+  else all
+
+(* Detect BMOC bugs for one channel. *)
+let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
+    ~(dis : Disentangle.t) ~(cg : Callgraph.t) ~(alias : Alias.t)
+    ~(prog : Ir.program) ~(stats : stats) (c : Alias.obj) : Report.bmoc_bug list
+    =
+  stats.channels_analysed <- stats.channels_analysed + 1;
+  let scope, pset =
+    if cfg.disentangle then (Disentangle.scope_of dis c, Disentangle.pset dis c)
+    else begin
+      (* ablation: whole-program scope from main with every primitive *)
+      let root = match prog.Ir.main with Some m -> m | None -> (Disentangle.scope_of dis c).root in
+      let funcs =
+        Hashtbl.fold (fun f () acc -> f :: acc) (Callgraph.reachable_from cg root) []
+      in
+      ( { Disentangle.root; funcs = List.sort String.compare funcs },
+        Primitives.channels prims @ Primitives.mutexes prims )
+    end
+  in
+  let ctx =
+    {
+      Pathenum.prog;
+      alias;
+      cg;
+      pset;
+      scope_funcs = scope.funcs;
+      cfg = cfg.path_cfg;
+      touch_memo = Hashtbl.create 16;
+    }
+  in
+  let combos =
+    Pathenum.combinations ctx ~root:scope.root ~max_combos:cfg.max_combos
+      ~max_goroutines:cfg.max_goroutines
+  in
+  let bugs = ref [] in
+  let seen_groups = Hashtbl.create 16 in
+  List.iteri
+    (fun combo_id combo ->
+      if (not (Pathenum.has_conflicts combo)) && Pathenum.has_blocking_op combo
+      then begin
+        stats.combinations <- stats.combinations + 1;
+        List.iter
+          (fun gi ->
+            stats.total_path_events <-
+              stats.total_path_events
+              + List.length gi.Pathenum.gi_path.p_events)
+          combo;
+        let groups = suspicious_groups cfg pset combo in
+        List.iter
+          (fun group ->
+            (* dedupe by the static pps of the group ops *)
+            let key =
+              List.sort compare
+                (List.map
+                   (fun (g : Constraints.group_member) ->
+                     let gi = List.nth combo g.g_gid in
+                     match
+                       List.find_opt
+                         (fun (e : Pathenum.event) -> e.e_uid = g.g_uid)
+                         gi.gi_path.p_events
+                     with
+                     | Some e -> e.e_pp
+                     | None -> -1)
+                   group)
+            in
+            if not (Hashtbl.mem seen_groups key) then begin
+              stats.groups_checked <- stats.groups_checked + 1;
+              let problem = { Constraints.combo; group; pset; prims } in
+              stats.solver_calls <- stats.solver_calls + 1;
+              match Constraints.solve problem with
+              | Constraints.Cannot_block -> ()
+              | Constraints.Blocks witness ->
+                  Hashtbl.add seen_groups key ();
+                  let blocked =
+                    List.map
+                      (fun (g : Constraints.group_member) ->
+                        let gi = List.nth combo g.g_gid in
+                        let e =
+                          List.find
+                            (fun (e : Pathenum.event) -> e.e_uid = g.g_uid)
+                            gi.gi_path.p_events
+                        in
+                        let kind =
+                          match e.e_desc with
+                          | Sync (Sop (k, _)) -> k
+                          | Sync (Sselect _) -> Report.Kselect
+                          | _ -> Report.Ksend
+                        in
+                        {
+                          Report.bo_func = e.e_func;
+                          bo_pp = e.e_pp;
+                          bo_loc = e.e_loc;
+                          bo_kind = kind;
+                        })
+                      group
+                  in
+                  let involves_mutex =
+                    List.exists
+                      (fun o ->
+                        match Primitives.kind_of prims o with
+                        | Some Primitives.Pmutex -> true
+                        | _ -> false)
+                      pset
+                    && List.exists
+                         (fun (b : Report.blocked_op) ->
+                           b.bo_kind = Report.Klock || b.bo_kind = Report.Kunlock)
+                         blocked
+                  in
+                  bugs :=
+                    {
+                      Report.channel = c;
+                      chan_loc = Alias.creation_loc alias c;
+                      blocked;
+                      kind =
+                        (if involves_mutex then Report.Chan_and_mutex
+                         else Report.Chan_only);
+                      scope_funcs = scope.funcs;
+                      witness;
+                      combination_id = combo_id;
+                    }
+                    :: !bugs
+            end)
+          groups
+      end)
+    combos;
+  List.rev !bugs
+
+(* Detect BMOC bugs across the whole program. *)
+let detect ?(cfg = default_config) (prog : Ir.program) :
+    Report.bmoc_bug list * stats =
+  let stats = new_stats () in
+  let alias = Alias.analyse prog in
+  let cg = Callgraph.build ~alias prog in
+  let prims = Primitives.collect prog alias in
+  let dis = Disentangle.build prims cg in
+  let bugs = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let found = detect_channel ~cfg ~prims ~dis ~cg ~alias ~prog ~stats c in
+      List.iter
+        (fun (b : Report.bmoc_bug) ->
+          let key =
+            List.sort compare (List.map (fun o -> o.Report.bo_pp) b.blocked)
+          in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            bugs := b :: !bugs
+          end)
+        found)
+    (List.filter
+       (function Alias.Achan _ -> true | _ -> false)
+       (Primitives.channels prims)
+    @ (* with the §6 WaitGroup extension on, WaitGroups are analysed as
+         root primitives of their own, like channels *)
+    (if cfg.path_cfg.model_waitgroup then
+       List.filter
+         (fun obj -> not (Disentangle.rooted_external obj))
+         (Hashtbl.fold
+            (fun obj kind acc ->
+              if kind = Primitives.Pwaitgroup then obj :: acc else acc)
+            prims.kinds [])
+     else []));
+  (List.rev !bugs, stats)

@@ -1,0 +1,194 @@
+module Ir = Goir.Ir
+module Alias = Goanalysis.Alias
+module Callgraph = Goanalysis.Callgraph
+
+(* Disentangling (paper §3.2).
+
+   Analysing a whole program with every primitive at once does not scale;
+   GCatch instead inspects each channel [c] inside a small [scope] and
+   together with only the related primitives [pset]:
+
+   - [scope]: the lowest-common-ancestor function of all of c's
+     operations, plus everything it calls (directly or transitively);
+   - [pset]: primitives with a scope no larger than c's that are in a
+     circular dependence relationship with c, where "a depends on b" when
+     an unblocking operation of a is reachable from a blocking operation
+     of b, or when a and b appear in the same select. *)
+
+type scope = {
+  root : string;           (* the LCA function *)
+  funcs : string list;     (* functions in the scope *)
+}
+
+type t = {
+  prims : Primitives.t;
+  cg : Callgraph.t;
+  scopes : (Alias.obj, scope) Hashtbl.t;
+  (* dependence edges: a depends on b *)
+  deps : (Alias.obj, Alias.obj list) Hashtbl.t;
+}
+
+let is_blocking_kind = function
+  | Report.Krecv | Report.Ksend | Report.Klock | Report.Kwg_wait -> true
+  | Report.Kclose | Report.Kunlock | Report.Kselect | Report.Kwg_add
+  | Report.Kwg_done ->
+      false
+
+let is_unblocking_kind = function
+  | Report.Ksend | Report.Kclose | Report.Kunlock | Report.Kwg_done -> true
+  | Report.Krecv | Report.Klock | Report.Kwg_wait | Report.Kselect
+  | Report.Kwg_add ->
+      false
+
+(* Scope of one object: LCA of every function using it. *)
+let compute_scope prims cg obj : scope =
+  let users = Primitives.funcs_using prims obj in
+  let root =
+    match Callgraph.lca cg users with
+    | Some f -> f
+    | None -> ( match users with f :: _ -> f | [] -> "main")
+  in
+  let funcs =
+    Hashtbl.fold (fun f () acc -> f :: acc) (Callgraph.reachable_from cg root) []
+    |> List.sort String.compare
+  in
+  { root; funcs }
+
+(* Is an operation of [a] with unblocking capability reachable from a
+   blocking operation of [b]?  Approximated at function granularity using
+   the call graph: reachable when the unblocking op's function is reachable
+   from the blocking op's function, or both live in one function. *)
+let depends_on prims cg (a : Alias.obj) (b : Alias.obj) : bool =
+  let a_unblock =
+    List.filter (fun (o : Primitives.op) -> is_unblocking_kind o.o_kind)
+      (Primitives.ops_of prims a)
+  in
+  let b_block =
+    List.filter (fun (o : Primitives.op) -> is_blocking_kind o.o_kind)
+      (Primitives.ops_of prims b)
+  in
+  List.exists
+    (fun (bb : Primitives.op) ->
+      let reach = Callgraph.reachable_from cg bb.o_func in
+      List.exists (fun (ua : Primitives.op) -> Hashtbl.mem reach ua.o_func) a_unblock)
+    b_block
+
+(* Channels waited on by one select depend on each other (§3.2, rule 2). *)
+let select_partners prims (prog : Ir.program) : (Alias.obj * Alias.obj) list =
+  let pairs = ref [] in
+  List.iter
+    (fun (f : Ir.func) ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          match b.term with
+          | Tselect (arms, _, _) ->
+              let objs_per_arm =
+                List.map
+                  (fun (a : Ir.select_arm) ->
+                    let p =
+                      match a.arm_op with Arm_recv (p, _) | Arm_send (p, _) -> p
+                    in
+                    Primitives.objs prims f.name p)
+                  arms
+              in
+              List.iteri
+                (fun i oi ->
+                  List.iteri
+                    (fun j oj ->
+                      if i < j then
+                        List.iter
+                          (fun a -> List.iter (fun b -> pairs := (a, b) :: !pairs) oj)
+                          oi)
+                    objs_per_arm)
+                objs_per_arm
+          | _ -> ())
+        f.blocks)
+    (Ir.funcs_list prog);
+  !pairs
+
+let build (prims : Primitives.t) (cg : Callgraph.t) : t =
+  let all =
+    Primitives.channels prims @ Primitives.mutexes prims
+    |> List.sort_uniq compare
+  in
+  let scopes = Hashtbl.create 16 in
+  List.iter (fun obj -> Hashtbl.replace scopes obj (compute_scope prims cg obj)) all;
+  (* direct dependence edges *)
+  let deps = Hashtbl.create 16 in
+  let add_dep a b =
+    if a <> b then
+      let cur = Option.value (Hashtbl.find_opt deps a) ~default:[] in
+      if not (List.mem b cur) then Hashtbl.replace deps a (b :: cur)
+  in
+  List.iter
+    (fun a ->
+      List.iter (fun b -> if depends_on prims cg a b then add_dep a b) all)
+    all;
+  List.iter
+    (fun (a, b) ->
+      add_dep a b;
+      add_dep b a)
+    (select_partners prims prims.prog);
+  (* transitive closure *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun a ->
+        let da = Option.value (Hashtbl.find_opt deps a) ~default:[] in
+        List.iter
+          (fun b ->
+            let db = Option.value (Hashtbl.find_opt deps b) ~default:[] in
+            List.iter
+              (fun c ->
+                if c <> a && not (List.mem c da) then begin
+                  Hashtbl.replace deps a (c :: Option.value (Hashtbl.find_opt deps a) ~default:[]);
+                  changed := true
+                end)
+              db)
+          da)
+      all
+  done;
+  { prims; cg; scopes; deps }
+
+let scope_of t obj =
+  match Hashtbl.find_opt t.scopes obj with
+  | Some s -> s
+  | None ->
+      let s = compute_scope t.prims t.cg obj in
+      Hashtbl.replace t.scopes obj s;
+      s
+
+(* Externally-created primitives (context done channels, channels arriving
+   through entry parameters) have creation sites outside the program, so
+   their scope extends beyond anything we analyse: treat it as unbounded.
+   This is what keeps ctx.Done() out of outDone's Pset in the paper's
+   running example. *)
+let rec rooted_external = function
+  | Alias.Aext _ -> true
+  | Alias.Aprim (owner, _) -> rooted_external owner
+  | Alias.Achan _ | Alias.Astruct _ | Alias.Afunc _ -> false
+
+let scope_size t obj =
+  if rooted_external obj then max_int / 2
+  else List.length (scope_of t obj).funcs
+
+let depends t a b =
+  match Hashtbl.find_opt t.deps a with Some l -> List.mem b l | None -> false
+
+(* Pset(c): c plus primitives with no-larger scope circularly dependent
+   with c (§3.2). *)
+let pset t (c : Alias.obj) : Alias.obj list =
+  let all =
+    Primitives.channels t.prims @ Primitives.mutexes t.prims
+    |> List.sort_uniq compare
+  in
+  let related =
+    List.filter
+      (fun p ->
+        p <> c
+        && depends t p c && depends t c p
+        && scope_size t p <= scope_size t c)
+      all
+  in
+  c :: related

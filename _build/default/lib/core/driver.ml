@@ -1,0 +1,41 @@
+module Ir = Goir.Ir
+module Alias = Goanalysis.Alias
+
+(* End-to-end GCatch pipeline (the workflow of the paper's Figure 2):
+   source text -> parse -> type check -> lower -> BMOC detector +
+   traditional detectors -> reports. *)
+
+type analysis = {
+  source : Minigo.Ast.program;
+  ir : Ir.program;
+  bmoc : Report.bmoc_bug list;
+  trad : Report.trad_bug list;
+  stats : Bmoc.stats;
+  elapsed_s : float;
+}
+
+let compile_sources ~name (sources : string list) : Minigo.Ast.program * Ir.program
+    =
+  let ast = Minigo.Parser.parse_program ~name sources in
+  let ast = Minigo.Typecheck.check_program ast in
+  let ir = Goir.Lower.lower_program ast in
+  (ast, ir)
+
+let analyse_ir ?(cfg = Bmoc.default_config) (source : Minigo.Ast.program)
+    (ir : Ir.program) : analysis =
+  let t0 = Unix.gettimeofday () in
+  let bmoc, stats = Bmoc.detect ~cfg ir in
+  let trad = Traditional.detect ir in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  { source; ir; bmoc; trad; stats; elapsed_s }
+
+let analyse ?(cfg = Bmoc.default_config) ~name (sources : string list) : analysis =
+  let ast, ir = compile_sources ~name sources in
+  analyse_ir ~cfg ast ir
+
+let analyse_string ?(cfg = Bmoc.default_config) (src : string) : analysis =
+  analyse ~cfg ~name:"input" [ src ]
+
+let print_reports (a : analysis) =
+  List.iter (fun b -> print_endline (Report.bmoc_str b)) a.bmoc;
+  List.iter (fun t -> print_endline (Report.trad_str t)) a.trad

@@ -1,0 +1,28 @@
+(** End-to-end GCatch pipeline (the workflow of the paper's Figure 2):
+    source text → parse → type check → lower → BMOC detector +
+    traditional detectors → reports. *)
+
+type analysis = {
+  source : Minigo.Ast.program;
+  ir : Goir.Ir.program;
+  bmoc : Report.bmoc_bug list;
+  trad : Report.trad_bug list;
+  stats : Bmoc.stats;
+  elapsed_s : float;
+}
+
+val compile_sources :
+  name:string -> string list -> Minigo.Ast.program * Goir.Ir.program
+(** Parse, type-check, and lower without running the detectors.
+    @raise Minigo.Parser.Parse_error and {!Minigo.Typecheck.Type_error}. *)
+
+val analyse_ir :
+  ?cfg:Bmoc.config -> Minigo.Ast.program -> Goir.Ir.program -> analysis
+
+val analyse : ?cfg:Bmoc.config -> name:string -> string list -> analysis
+(** Run the full pipeline over source texts. *)
+
+val analyse_string : ?cfg:Bmoc.config -> string -> analysis
+(** Convenience wrapper for a single source string. *)
+
+val print_reports : analysis -> unit

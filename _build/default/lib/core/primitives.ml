@@ -1,0 +1,134 @@
+module Ir = Goir.Ir
+module Alias = Goanalysis.Alias
+module Callgraph = Goanalysis.Callgraph
+
+(* Primitive and operation discovery (Algorithm 1, lines 2–5).
+
+   GCatch identifies every synchronization primitive by its static
+   creation site and uses alias analysis to map each sync operation to the
+   primitives it may touch.  The result is the [op_map]: for each abstract
+   object, every operation performed on it anywhere in the program. *)
+
+type op = {
+  o_obj : Alias.obj;
+  o_func : string;       (* function containing the operation *)
+  o_pp : Ir.pp;
+  o_loc : Minigo.Loc.t;
+  o_kind : Report.op_kind;
+  o_deferred : bool;
+  o_select_arm : int option; (* arm index when the op lives in a select *)
+}
+
+type prim_kind = Pchan | Pmutex | Pwaitgroup
+
+type t = {
+  ops : (Alias.obj, op list) Hashtbl.t;
+  kinds : (Alias.obj, prim_kind) Hashtbl.t;
+  prog : Ir.program;
+  alias : Alias.t;
+}
+
+let add_op t (o : op) =
+  let cur = Option.value (Hashtbl.find_opt t.ops o.o_obj) ~default:[] in
+  Hashtbl.replace t.ops o.o_obj (o :: cur)
+
+let note_kind t obj kind =
+  if not (Hashtbl.mem t.kinds obj) then Hashtbl.replace t.kinds obj kind
+
+(* Objects a place may refer to, from the alias analysis. *)
+let objs t fname place = Alias.ObjSet.elements (Alias.objects_of_place t.alias fname place)
+
+let collect (prog : Ir.program) (alias : Alias.t) : t =
+  let t = { ops = Hashtbl.create 64; kinds = Hashtbl.create 64; prog; alias } in
+  List.iter
+    (fun (f : Ir.func) ->
+      Ir.iter_insts
+        (fun (i : Ir.inst) ->
+          let record kind prim_kind place =
+            List.iter
+              (fun obj ->
+                note_kind t obj prim_kind;
+                add_op t
+                  {
+                    o_obj = obj;
+                    o_func = f.name;
+                    o_pp = i.ipp;
+                    o_loc = i.iloc;
+                    o_kind = kind;
+                    o_deferred = i.ideferred;
+                    o_select_arm = None;
+                  })
+              (objs t f.name place)
+          in
+          match i.idesc with
+          | Isend (p, _) -> record Report.Ksend Pchan p
+          | Irecv (_, p, _) -> record Report.Krecv Pchan p
+          | Iclose p -> record Report.Kclose Pchan p
+          | Ilock p -> record Report.Klock Pmutex p
+          | Iunlock p -> record Report.Kunlock Pmutex p
+          | Iwg_add (p, _) -> record Report.Kwg_add Pwaitgroup p
+          | Iwg_done p -> record Report.Kwg_done Pwaitgroup p
+          | Iwg_wait p -> record Report.Kwg_wait Pwaitgroup p
+          | _ -> ())
+        f;
+      Array.iter
+        (fun (b : Ir.block) ->
+          match b.term with
+          | Tselect (arms, _, sel_pp) ->
+              List.iteri
+                (fun idx (a : Ir.select_arm) ->
+                  let place, kind =
+                    match a.arm_op with
+                    | Arm_recv (p, _) -> (p, Report.Krecv)
+                    | Arm_send (p, _) -> (p, Report.Ksend)
+                  in
+                  List.iter
+                    (fun obj ->
+                      note_kind t obj Pchan;
+                      add_op t
+                        {
+                          o_obj = obj;
+                          o_func = f.name;
+                          o_pp = sel_pp;
+                          o_loc = b.term_loc;
+                          o_kind = kind;
+                          o_deferred = false;
+                          o_select_arm = Some idx;
+                        })
+                    (objs t f.name place))
+                arms
+          | _ -> ())
+        f.blocks)
+    (Ir.funcs_list prog);
+  t
+
+let ops_of t obj = Option.value (Hashtbl.find_opt t.ops obj) ~default:[]
+
+let kind_of t obj = Hashtbl.find_opt t.kinds obj
+
+(* All channel objects with at least one operation, created inside the
+   program (the detectors iterate these; externally-created channels are
+   examined when their owner is analysed, per §3.2's scope rule). *)
+let channels t =
+  Hashtbl.fold
+    (fun obj kind acc -> if kind = Pchan then obj :: acc else acc)
+    t.kinds []
+  |> List.sort compare
+
+let mutexes t =
+  Hashtbl.fold
+    (fun obj kind acc -> if kind = Pmutex then obj :: acc else acc)
+    t.kinds []
+  |> List.sort compare
+
+(* Functions whose bodies contain at least one operation on [obj]. *)
+let funcs_using t obj =
+  List.sort_uniq String.compare (List.map (fun o -> o.o_func) (ops_of t obj))
+
+(* Static buffer size of a channel object, if known (BS in the constraint
+   system; mutexes are modelled as channels with BS = 1, §3.4). *)
+let buffer_size t obj =
+  match kind_of t obj with
+  | Some Pmutex -> Some 1
+  | Some Pwaitgroup -> None
+  | _ -> Alias.capacity t.alias obj

@@ -1,0 +1,99 @@
+module Ir = Goir.Ir
+module Alias = Goanalysis.Alias
+
+(* Bug reports produced by GCatch's detectors.
+
+   A report carries everything a user (or GFix) needs: the primitive, the
+   blocking operations with their locations, the path combination, and
+   the witness schedule found by the solver — mirroring the information
+   the paper says GCatch provides for triaging (§5.2). *)
+
+type op_kind =
+  | Ksend
+  | Krecv
+  | Kclose
+  | Kselect (* a whole select statement *)
+  | Klock
+  | Kunlock
+  | Kwg_add
+  | Kwg_done
+  | Kwg_wait
+
+let op_kind_str = function
+  | Ksend -> "send"
+  | Krecv -> "recv"
+  | Kclose -> "close"
+  | Kselect -> "select"
+  | Klock -> "lock"
+  | Kunlock -> "unlock"
+  | Kwg_add -> "wg-add"
+  | Kwg_done -> "wg-done"
+  | Kwg_wait -> "wg-wait"
+
+type blocked_op = {
+  bo_func : string;         (* function whose body contains the op *)
+  bo_pp : Ir.pp;
+  bo_loc : Minigo.Loc.t;
+  bo_kind : op_kind;
+}
+
+type bmoc_kind =
+  | Chan_only      (* the paper's BMOC_C column *)
+  | Chan_and_mutex (* the paper's BMOC_M column *)
+
+type bmoc_bug = {
+  channel : Alias.obj;                 (* buggy primitive *)
+  chan_loc : Minigo.Loc.t option;      (* its creation site *)
+  blocked : blocked_op list;           (* the suspicious group that blocks *)
+  kind : bmoc_kind;
+  scope_funcs : string list;
+  witness : (Ir.pp * int) list;        (* solver model: pp -> order value *)
+  combination_id : int;
+}
+
+type trad_kind =
+  | Forget_unlock
+  | Double_lock
+  | Conflict_lock
+  | Struct_field_race
+  | Fatal_in_child
+
+let trad_kind_str = function
+  | Forget_unlock -> "missing unlock"
+  | Double_lock -> "double lock"
+  | Conflict_lock -> "conflicting lock order"
+  | Struct_field_race -> "racy struct field"
+  | Fatal_in_child -> "testing.Fatal in child goroutine"
+
+type trad_bug = {
+  tkind : trad_kind;
+  tfunc : string;
+  tloc : Minigo.Loc.t;
+  tdetail : string;
+}
+
+type t = Bmoc of bmoc_bug | Trad of trad_bug
+
+let bmoc_str (b : bmoc_bug) =
+  let ops =
+    String.concat "; "
+      (List.map
+         (fun o ->
+           Printf.sprintf "%s at %s in %s" (op_kind_str o.bo_kind)
+             (Minigo.Loc.to_string o.bo_loc) o.bo_func)
+         b.blocked)
+  in
+  Printf.sprintf "BMOC(%s) on %s%s: blocked {%s}"
+    (match b.kind with Chan_only -> "chan" | Chan_and_mutex -> "chan+mutex")
+    (Alias.obj_str b.channel)
+    (match b.chan_loc with
+    | Some l -> " made at " ^ Minigo.Loc.to_string l
+    | None -> "")
+    ops
+
+let trad_str (t : trad_bug) =
+  Printf.sprintf "%s at %s in %s%s" (trad_kind_str t.tkind)
+    (Minigo.Loc.to_string t.tloc) t.tfunc
+    (if t.tdetail = "" then "" else " (" ^ t.tdetail ^ ")")
+
+let to_string = function Bmoc b -> bmoc_str b | Trad t -> trad_str t

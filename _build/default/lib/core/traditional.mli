@@ -1,0 +1,5 @@
+(** The five traditional checkers (paper §3.5): missing unlock, double
+    lock, conflicting lock order, racy struct fields (lockset), and
+    testing.Fatal called from a child goroutine. *)
+
+val detect : Goir.Ir.program -> Report.trad_bug list

@@ -1,0 +1,1 @@
+lib/corpus/apps.ml: Buffer Filler List Patterns String

@@ -1,0 +1,1 @@
+lib/corpus/bugset.ml: List Printf

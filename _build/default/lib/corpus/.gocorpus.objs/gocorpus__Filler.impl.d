@@ -1,0 +1,1 @@
+lib/corpus/filler.ml: Buffer List Printf

@@ -1,0 +1,1 @@
+lib/corpus/patterns.ml: Gcatch Printf

@@ -1,0 +1,123 @@
+(* Deterministic benign-code generator.
+
+   Scales each synthetic application with correct, concurrency-free (or
+   correctly synchronised) code, so detector work and timing reflect a
+   realistic ratio of interesting to boring code — the paper's targets
+   range from 1 kLoC to 3 MLoC, and the detection-time experiment (E2)
+   needs apps whose sizes span orders of magnitude. *)
+
+let sp = Printf.sprintf
+
+(* A tiny deterministic PRNG so generation never depends on global state. *)
+type rng = { mutable s : int }
+
+let next r =
+  r.s <- (r.s * 1103515245) + 12345;
+  (r.s lsr 16) land 0x7fff
+
+let pick r xs = List.nth xs (next r mod List.length xs)
+
+let pure_fn r id =
+  match next r mod 5 with
+  | 0 ->
+      sp
+        {|
+func helperSum%d(limit int) int {
+	total := 0
+	for i := range limit {
+		total = total + i
+	}
+	return total
+}
+|}
+        id
+  | 1 ->
+      sp
+        {|
+func helperScale%d(v int, factor int) int {
+	if factor == 0 {
+		return 0
+	}
+	scaled := v * factor
+	if scaled < 0 {
+		return -scaled
+	}
+	return scaled
+}
+|}
+        id
+  | 2 ->
+      sp
+        {|
+func helperJoin%d(a string, b string) string {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	return a + "/" + b
+}
+|}
+        id
+  | 3 ->
+      sp
+        {|
+func helperClamp%d(v int, lo int, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+|}
+        id
+  | _ ->
+      sp
+        {|
+func helperDigits%d(v int) int {
+	count := 0
+	for v > 0 {
+		v = v / 10
+		count++
+	}
+	return count
+}
+|}
+        id
+
+(* Correct, boring concurrency: a worker that signals completion over a
+   buffered channel and is always drained. *)
+let concurrent_fn _r id =
+  sp
+    {|
+func workerRound%d(jobs int) int {
+	resw%d := make(chan int, 1)
+	go func(n int) {
+		acc := 0
+		for i := range n {
+			acc = acc + i
+		}
+		resw%d <- acc
+	}(jobs)
+	return <-resw%d
+}
+|}
+    id id id id
+
+(* Generate roughly [target_lines] lines of benign code. *)
+let generate ~seed ~target_lines : string =
+  let r = { s = seed } in
+  let buf = Buffer.create (target_lines * 24) in
+  let id = ref 0 in
+  while Buffer.length buf / 24 < target_lines do
+    incr id;
+    let gen = pick r [ `Pure; `Pure; `Pure; `Conc ] in
+    Buffer.add_string buf
+      (match gen with
+      | `Pure -> pure_fn r (!id + (seed * 1000))
+      | `Conc -> concurrent_fn r (!id + (seed * 1000)))
+  done;
+  Buffer.contents buf

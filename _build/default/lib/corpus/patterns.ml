@@ -1,0 +1,659 @@
+(* Bug-pattern templates.
+
+   Every template instantiates to MiniGo source plus ground-truth labels.
+   The bug shapes follow the taxonomy the paper's detectors and fixers
+   target: the three GFix-fixable BMOC shapes come straight from the
+   paper's Figures 1, 3 and 4; the unfixable shapes mirror the four
+   rejection reasons of §5.3; the look-alike shapes exercise the
+   documented false-positive sources of §5.2 (loop unrolling, infeasible
+   paths); and the traditional shapes cover the five §3.5 checkers. *)
+
+type fix_expect = FS1 | FS2 | FS3 | Funfixable of string
+
+type truth =
+  | T_bmoc of {
+      fn : string;              (* function whose scope hosts the bug *)
+      fixable : fix_expect;
+      with_mutex : bool;
+    }
+  | T_trad of Gcatch.Report.trad_kind * string
+  | T_fp_bait of string         (* an expected/acceptable false positive *)
+  | T_benign of string          (* must never be flagged *)
+
+type instance = { src : string; truth : truth list }
+
+let sp = Printf.sprintf
+
+(* -------------------------------------------------- BMOC bug shapes *)
+
+(* Figure 1: the Docker Exec single-sending bug.  Fix: Strategy-I. *)
+let single_send_select n : instance =
+  let fn = sp "ExecTask%d" n in
+  let src =
+    sp
+      {|
+func %s(ctx context.Context, payload string) (string, error) {
+	done%d := make(chan error)
+	go func(data string) {
+		var err error
+		if len(data) > 1024 {
+			err = errorf("payload too large")
+		}
+		done%d <- err
+	}(payload)
+	select {
+	case err := <-done%d:
+		if err != nil {
+			return "", err
+		}
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+	return "ok", nil
+}
+|}
+      fn n n n
+  in
+  { src; truth = [ T_bmoc { fn; fixable = FS1; with_mutex = false } ] }
+
+(* A compact Figure-1 variant: result notification never drained when the
+   caller times out via a second channel.  Fix: Strategy-I. *)
+let single_send_timeout n : instance =
+  let fn = sp "FetchWithTimeout%d" n in
+  let src =
+    sp
+      {|
+func %s(timeout chan bool, url string) string {
+	result%d := make(chan string)
+	go func(u string) {
+		body := u + "/index.html"
+		result%d <- body
+	}(url)
+	select {
+	case body := <-result%d:
+		return body
+	case <-timeout:
+		return ""
+	}
+}
+|}
+      fn n n n
+  in
+  { src; truth = [ T_bmoc { fn; fixable = FS1; with_mutex = false } ] }
+
+(* Figure 3: the etcd missing-interaction bug — the test can exit through
+   t.Fatalf before sending on stop, leaving the child blocked.
+   Fix: Strategy-II (defer the send). *)
+let missing_interaction_fatal n : instance =
+  let fn = sp "TestDialer%d" n in
+  let helper = sp "dialerStart%d" n in
+  let src =
+    sp
+      {|
+func %s(stop chan bool) {
+	conns := 0
+	conns++
+	<-stop
+}
+
+func %s(t *testing.T) {
+	stop%d := make(chan bool)
+	go %s(stop%d)
+	err := errorf("dial failed")
+	if err != nil {
+		t.Fatalf("dial error")
+	}
+	stop%d <- true
+}
+|}
+      helper fn n helper n n
+  in
+  { src; truth = [ T_bmoc { fn; fixable = FS2; with_mutex = false } ] }
+
+(* Figure 4: the go-ethereum multiple-operations bug — the child sends in
+   a loop; when the parent returns early nobody drains the channel.
+   Fix: Strategy-III (stop channel + select). *)
+let loop_send n : instance =
+  let fn = sp "Interactive%d" n in
+  let src =
+    sp
+      {|
+func %s(abort chan bool, inputs int) int {
+	sched%d := make(chan string)
+	go func(n int) {
+		for i := range n {
+			line := "input"
+			sched%d <- line
+		}
+	}(inputs)
+	handled := 0
+	for {
+		select {
+		case <-abort:
+			return handled
+		case line := <-sched%d:
+			if len(line) == 0 {
+				return handled
+			}
+			handled++
+		}
+	}
+}
+|}
+      fn n n n
+  in
+  { src; truth = [ T_bmoc { fn; fixable = FS3; with_mutex = false } ] }
+
+(* Unfixable: the blocked goroutine is the parent (one of the paper's
+   nine parent-blocking rejections). *)
+let parent_blocked n : instance =
+  let fn = sp "WaitForever%d" n in
+  let src =
+    sp
+      {|
+func %s(flag bool) int {
+	ack%d := make(chan int)
+	go func(skip bool) {
+		if skip {
+			return
+		}
+		ack%d <- 1
+	}(flag)
+	v := <-ack%d
+	return v
+}
+|}
+      fn n n n
+  in
+  {
+    src;
+    truth =
+      [ T_bmoc { fn; fixable = Funfixable "parent blocked"; with_mutex = false } ];
+  }
+
+(* Unfixable: side effects (a global-ish field update through a struct)
+   after the blocking send. *)
+let side_effect_after n : instance =
+  let fn = sp "RecordAndNotify%d" n in
+  let src =
+    sp
+      {|
+type Stats%d struct {
+	count int
+}
+
+func %s(ctx context.Context, st Stats%d) int {
+	fin%d := make(chan bool)
+	go func(s Stats%d) {
+		fin%d <- true
+		s.count = s.count + 1
+		println("updated")
+	}(st)
+	select {
+	case <-fin%d:
+		return st.count
+	case <-ctx.Done():
+		return 0
+	}
+}
+|}
+      n fn n n n n n
+  in
+  {
+    src;
+    truth =
+      [ T_bmoc { fn; fixable = Funfixable "side effects"; with_mutex = false } ];
+  }
+
+(* BMOC involving a channel and a mutex: the child cannot send because the
+   parent holds the lock it needs before receiving. *)
+let chan_mutex_deadlock n : instance =
+  let fn = sp "LockedHandoff%d" n in
+  let src =
+    sp
+      {|
+type Box%d struct {
+	mu sync.Mutex
+	val int
+}
+
+func %s(v int) int {
+	b := Box%d{val: v}
+	ready%d := make(chan bool)
+	go func(bx Box%d) {
+		bx.mu.Lock()
+		ready%d <- true
+		bx.mu.Unlock()
+	}(b)
+	b.mu.Lock()
+	<-ready%d
+	b.mu.Unlock()
+	return b.val
+}
+|}
+      n fn n n n n n
+  in
+  {
+    src;
+    truth =
+      [ T_bmoc { fn; fixable = Funfixable "mutex involved"; with_mutex = true } ];
+  }
+
+(* ------------------------------------------- false-positive baits *)
+
+(* Loop-unrolling bait (§5.2): producer sends [n] values, consumer drains
+   exactly [n]; bounded unrolling miscounts, so GCatch may report the send
+   as blocking even though counts always match. *)
+let fp_loop_unroll n : instance =
+  let fn = sp "BatchCopy%d" n in
+  let src =
+    sp
+      {|
+func %s(items int) int {
+	feed%d := make(chan int)
+	go func(k int) {
+		for i := range k {
+			feed%d <- i
+		}
+	}(items)
+	got := 0
+	for j := range items {
+		v := <-feed%d
+		got = got + v + j - j
+	}
+	return got
+}
+|}
+      fn n n n
+  in
+  { src; truth = [ T_fp_bait fn ] }
+
+(* Infeasible-path bait (§5.2): the early return and the skipped receive
+   are guarded by the same runtime condition, which path-insensitive
+   condition filtering cannot see (the variable is written twice). *)
+let fp_infeasible n : instance =
+  let fn = sp "GuardedNotify%d" n in
+  let src =
+    sp
+      {|
+func %s(input int) int {
+	sig%d := make(chan int)
+	mode := 0
+	if input > 10 {
+		mode = 1
+	}
+	go func() {
+		sig%d <- 1
+	}()
+	if mode == 0 {
+		v := <-sig%d
+		return v
+	}
+	w := <-sig%d
+	return w + 1
+}
+|}
+      fn n n n n
+  in
+  { src; truth = [ T_fp_bait fn ] }
+
+(* ------------------------------------------------- benign shapes *)
+
+let benign_buffered n : instance =
+  let fn = sp "AsyncResult%d" n in
+  let src =
+    sp
+      {|
+func %s(ctx context.Context, job string) string {
+	out%d := make(chan string, 1)
+	go func(j string) {
+		out%d <- j + ":done"
+	}(job)
+	select {
+	case r := <-out%d:
+		return r
+	case <-ctx.Done():
+		return ""
+	}
+}
+|}
+      fn n n n
+  in
+  { src; truth = [ T_benign fn ] }
+
+let benign_pipeline n : instance =
+  let fn = sp "Pipeline%d" n in
+  let src =
+    sp
+      {|
+func %s(count int) int {
+	stage%d := make(chan int, 4)
+	donep%d := make(chan int)
+	go func(k int) {
+		for i := range k {
+			stage%d <- i * 2
+		}
+		close(stage%d)
+	}(count)
+	go func() {
+		total := 0
+		for v := range stage%d {
+			total = total + v
+		}
+		donep%d <- total
+	}()
+	return <-donep%d
+}
+|}
+      fn n n n n n n n
+  in
+  { src; truth = [ T_benign fn ] }
+
+let benign_wg n : instance =
+  let fn = sp "FanOut%d" n in
+  let src =
+    sp
+      {|
+func %s(workers int) int {
+	var wg sync.WaitGroup
+	acc%d := make(chan int, 16)
+	for w := range workers {
+		wg.Add(1)
+		go func(id int) {
+			acc%d <- id
+			wg.Done()
+		}(w)
+	}
+	wg.Wait()
+	close(acc%d)
+	sum := 0
+	for v := range acc%d {
+		sum = sum + v
+	}
+	return sum
+}
+|}
+      fn n n n n
+  in
+  { src; truth = [ T_benign fn ] }
+
+(* --------------------------------------------- traditional shapes *)
+
+let double_lock n : instance =
+  let fn = sp "Reload%d" n in
+  let helper = sp "flush%d" n in
+  let src =
+    sp
+      {|
+type Cache%d struct {
+	mu sync.Mutex
+	entries int
+}
+
+func %s(c Cache%d) {
+	c.mu.Lock()
+	c.entries = 0
+	c.mu.Unlock()
+}
+
+func %s(c Cache%d) {
+	c.mu.Lock()
+	c.entries = c.entries + 1
+	%s(c)
+	c.mu.Unlock()
+}
+|}
+      n helper n fn n helper
+  in
+  { src; truth = [ T_trad (Gcatch.Report.Double_lock, fn) ] }
+
+let forget_unlock n : instance =
+  let fn = sp "UpdateQuota%d" n in
+  let src =
+    sp
+      {|
+type Quota%d struct {
+	mu sync.Mutex
+	used int
+}
+
+func %s(q Quota%d, amount int) error {
+	q.mu.Lock()
+	if amount < 0 {
+		return errorf("negative amount")
+	}
+	q.used = q.used + amount
+	q.mu.Unlock()
+	return nil
+}
+|}
+      n fn n
+  in
+  { src; truth = [ T_trad (Gcatch.Report.Forget_unlock, fn) ] }
+
+let conflict_order n : instance =
+  let fa = sp "TransferAB%d" n in
+  let fb = sp "TransferBA%d" n in
+  let src =
+    sp
+      {|
+type Pair%d struct {
+	ma sync.Mutex
+	mb sync.Mutex
+	a int
+	b int
+}
+
+func %s(p Pair%d) {
+	p.ma.Lock()
+	p.mb.Lock()
+	p.a = p.a - 1
+	p.b = p.b + 1
+	p.mb.Unlock()
+	p.ma.Unlock()
+}
+
+func %s(p Pair%d) {
+	p.mb.Lock()
+	p.ma.Lock()
+	p.b = p.b - 1
+	p.a = p.a + 1
+	p.ma.Unlock()
+	p.mb.Unlock()
+}
+
+func runPair%d(v int) {
+	p := Pair%d{a: v, b: v}
+	go %s(p)
+	go %s(p)
+}
+|}
+      n fa n fb n n n fa fb
+  in
+  {
+    src;
+    truth =
+      [ T_trad (Gcatch.Report.Conflict_lock, fa); T_benign fb ];
+  }
+
+let field_race n : instance =
+  let fn = sp "BumpCounter%d" n in
+  let g1 = sp "readCounter%d" n in
+  let g2 = sp "resetCounter%d" n in
+  let src =
+    sp
+      {|
+type Meter%d struct {
+	mu sync.Mutex
+	hits int
+}
+
+func %s(m Meter%d) {
+	m.mu.Lock()
+	m.hits = m.hits + 1
+	m.mu.Unlock()
+}
+
+func %s(m Meter%d) int {
+	m.mu.Lock()
+	v := m.hits
+	m.mu.Unlock()
+	return v
+}
+
+func %s(m Meter%d) {
+	m.hits = 0
+}
+
+func runMeter%d(rounds int) int {
+	m := Meter%d{hits: 0}
+	go %s(m)
+	go %s(m)
+	%s(m)
+	return %s(m)
+}
+|}
+      n fn n g1 n g2 n n n fn g2 fn g1
+  in
+  { src; truth = [ T_trad (Gcatch.Report.Struct_field_race, g2) ] }
+
+let fatal_in_child n : instance =
+  let fn = sp "TestConcurrent%d" n in
+  let src =
+    sp
+      {|
+func %s(t *testing.T) {
+	okc%d := make(chan bool, 1)
+	go func() {
+		err := errorf("boom")
+		if err != nil {
+			t.Fatalf("worker failed")
+		}
+		okc%d <- true
+	}()
+	sleep(1)
+}
+|}
+      fn n n
+  in
+  {
+    src;
+    truth = [ T_trad (Gcatch.Report.Fatal_in_child, fn) ];
+  }
+
+(* ------------------------------------------------------- registry *)
+
+type kind =
+  | P_single_send_select
+  | P_single_send_timeout
+  | P_missing_interaction
+  | P_loop_send
+  | P_parent_blocked
+  | P_side_effect
+  | P_chan_mutex
+  | P_fp_loop
+  | P_fp_infeasible
+  | P_benign_buffered
+  | P_benign_pipeline
+  | P_benign_wg
+  | P_double_lock
+  | P_forget_unlock
+  | P_conflict_order
+  | P_field_race
+  | P_fatal_in_child
+
+let instantiate (k : kind) (n : int) : instance =
+  match k with
+  | P_single_send_select -> single_send_select n
+  | P_single_send_timeout -> single_send_timeout n
+  | P_missing_interaction -> missing_interaction_fatal n
+  | P_loop_send -> loop_send n
+  | P_parent_blocked -> parent_blocked n
+  | P_side_effect -> side_effect_after n
+  | P_chan_mutex -> chan_mutex_deadlock n
+  | P_fp_loop -> fp_loop_unroll n
+  | P_fp_infeasible -> fp_infeasible n
+  | P_benign_buffered -> benign_buffered n
+  | P_benign_pipeline -> benign_pipeline n
+  | P_benign_wg -> benign_wg n
+  | P_double_lock -> double_lock n
+  | P_forget_unlock -> forget_unlock n
+  | P_conflict_order -> conflict_order n
+  | P_field_race -> field_race n
+  | P_fatal_in_child -> fatal_in_child n
+
+(* Driver statements calling the instance's entry point from main();
+   used to give each application a whole-program root for the E5
+   ablation and to make the applications runnable. *)
+let driver_for (k : kind) (n : int) : string list =
+  match k with
+  | P_single_send_select -> [ sp "ExecTask%d(background(), \"payload\")" n ]
+  | P_single_send_timeout ->
+      [
+        sp "tm%d := make(chan bool, 1)" n;
+        sp "tm%d <- true" n;
+        sp "FetchWithTimeout%d(tm%d, \"url\")" n n;
+      ]
+  | P_missing_interaction ->
+      [ sp "var td%d *testing.T" n; sp "TestDialer%d(td%d)" n n ]
+  | P_loop_send ->
+      [
+        sp "ab%d := make(chan bool, 1)" n;
+        sp "ab%d <- true" n;
+        sp "Interactive%d(ab%d, 3)" n n;
+      ]
+  | P_parent_blocked -> [ sp "WaitForever%d(false)" n ]
+  | P_side_effect ->
+      [ sp "RecordAndNotify%d(background(), Stats%d{count: 0})" n n ]
+  | P_chan_mutex -> [ sp "LockedHandoff%d(1)" n ]
+  | P_fp_loop -> [ sp "BatchCopy%d(4)" n ]
+  | P_fp_infeasible -> [ sp "GuardedNotify%d(5)" n ]
+  | P_benign_buffered -> [ sp "AsyncResult%d(background(), \"job\")" n ]
+  | P_benign_pipeline -> [ sp "Pipeline%d(4)" n ]
+  | P_benign_wg -> [ sp "FanOut%d(3)" n ]
+  | P_double_lock -> [ sp "Reload%d(Cache%d{entries: 0})" n n ]
+  | P_forget_unlock -> [ sp "UpdateQuota%d(Quota%d{used: 0}, 2)" n n ]
+  | P_conflict_order -> [ sp "runPair%d(1)" n ]
+  | P_field_race -> [ sp "runMeter%d(2)" n ]
+  | P_fatal_in_child ->
+      [ sp "var tc%d *testing.T" n; sp "TestConcurrent%d(tc%d)" n n ]
+
+let kind_name = function
+  | P_single_send_select -> "single-send-select"
+  | P_single_send_timeout -> "single-send-timeout"
+  | P_missing_interaction -> "missing-interaction"
+  | P_loop_send -> "loop-send"
+  | P_parent_blocked -> "parent-blocked"
+  | P_side_effect -> "side-effect-after"
+  | P_chan_mutex -> "chan-mutex-deadlock"
+  | P_fp_loop -> "fp-loop-unroll"
+  | P_fp_infeasible -> "fp-infeasible-path"
+  | P_benign_buffered -> "benign-buffered"
+  | P_benign_pipeline -> "benign-pipeline"
+  | P_benign_wg -> "benign-waitgroup"
+  | P_double_lock -> "double-lock"
+  | P_forget_unlock -> "forget-unlock"
+  | P_conflict_order -> "conflict-order"
+  | P_field_race -> "field-race"
+  | P_fatal_in_child -> "fatal-in-child"
+
+let all_kinds =
+  [
+    P_single_send_select;
+    P_single_send_timeout;
+    P_missing_interaction;
+    P_loop_send;
+    P_parent_blocked;
+    P_side_effect;
+    P_chan_mutex;
+    P_fp_loop;
+    P_fp_infeasible;
+    P_benign_buffered;
+    P_benign_pipeline;
+    P_benign_wg;
+    P_double_lock;
+    P_forget_unlock;
+    P_conflict_order;
+    P_field_race;
+    P_fatal_in_child;
+  ]

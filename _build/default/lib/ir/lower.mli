@@ -1,0 +1,14 @@
+(** Lowering: MiniGo AST → IR control-flow graphs.
+
+    Performs alpha renaming, lambda lifting of goroutine and function
+    literals (free variables become extra parameters), defer
+    materialisation before every function exit (including panics and
+    testing.Fatal, matching Go's run-defers-on-Goexit semantics that
+    GFix Strategy-II relies on), and structured-control lowering. *)
+
+exception Lower_error of string * Minigo.Loc.t
+
+val lower_program : Minigo.Ast.program -> Ir.program
+
+val captures : string -> string list option
+(** Free variables captured by a lifted literal, by lifted name. *)

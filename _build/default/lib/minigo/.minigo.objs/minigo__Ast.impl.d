@@ -1,0 +1,1 @@
+lib/minigo/ast.ml: List Loc Printf String

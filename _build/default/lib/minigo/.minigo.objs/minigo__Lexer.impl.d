@@ -1,0 +1,1 @@
+lib/minigo/lexer.ml: Buffer List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/minigo/loc.ml: Format String

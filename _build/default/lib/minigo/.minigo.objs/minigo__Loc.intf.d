@@ -1,0 +1,1 @@
+lib/minigo/loc.mli: Format

@@ -1,0 +1,1 @@
+lib/minigo/pretty.ml: Ast Buffer List Printf String

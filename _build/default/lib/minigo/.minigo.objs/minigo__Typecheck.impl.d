@@ -1,0 +1,1 @@
+lib/minigo/typecheck.ml: Ast Hashtbl List Loc Option Pretty Printf

@@ -1,0 +1,202 @@
+(* Abstract syntax of MiniGo.
+
+   MiniGo is the Go subset the reproduction analyses.  It covers every
+   concurrency construct the GCatch/GFix paper reasons about: goroutines,
+   buffered and unbuffered channels with send/receive/close, [select] with
+   and without [default], [defer], mutexes, panics, plus enough sequential
+   language (functions, closures, structs, loops, conditionals) to express
+   the paper's example bugs and realistic surrounding code. *)
+
+type typ =
+  | Tint
+  | Tbool
+  | Tstring
+  | Tunit
+  | Tchan of typ
+  | Tmutex
+  | Twaitgroup
+  | Tcond                      (* sync.Cond *)
+  | Tstruct of string          (* named struct type *)
+  | Tfunc of typ list * typ list
+  | Ttesting                   (* the *testing.T parameter type *)
+  | Tcontext                   (* context.Context: provides Done() channel *)
+  | Terror
+  | Tany                       (* used by the checker for unresolved holes *)
+
+let rec typ_to_string = function
+  | Tint -> "int"
+  | Tbool -> "bool"
+  | Tstring -> "string"
+  | Tunit -> "unit"
+  | Tchan t -> "chan " ^ typ_to_string t
+  | Tmutex -> "sync.Mutex"
+  | Twaitgroup -> "sync.WaitGroup"
+  | Tcond -> "sync.Cond"
+  | Tstruct s -> s
+  | Tfunc (args, rets) ->
+      let commas ts = String.concat ", " (List.map typ_to_string ts) in
+      Printf.sprintf "func(%s) (%s)" (commas args) (commas rets)
+  | Ttesting -> "*testing.T"
+  | Tcontext -> "context.Context"
+  | Terror -> "error"
+  | Tany -> "any"
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type expr = { e : expr_desc; eloc : Loc.t }
+
+and expr_desc =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Nil
+  | Ident of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of call
+  | MakeChan of typ * expr option         (* make(chan T [, cap]) *)
+  | Recv of expr                          (* <-ch used as an expression *)
+  | Field of expr * string                (* e.f *)
+  | StructLit of string * (string * expr) list
+  | FuncLit of param list * typ list * block   (* func(params) rets { body } *)
+  | Len of expr
+
+and call = {
+  callee : callee;
+  args : expr list;
+}
+
+and callee =
+  | Fname of string                       (* direct call f(...) *)
+  | Fmethod of expr * string              (* e.m(...): mutex/testing/ctx/etc *)
+  | Fexpr of expr                         (* call through a function value *)
+
+and param = { pname : string; ptyp : typ }
+
+and block = stmt list
+
+and stmt = { s : stmt_desc; sloc : Loc.t }
+
+and stmt_desc =
+  | Decl of string * typ option * expr option      (* var x T = e *)
+  | Define of string list * expr                   (* x, y := e *)
+  | Assign of lvalue * expr
+  | ExprStmt of expr
+  | Send of expr * expr                            (* ch <- v *)
+  | CloseStmt of expr
+  | Go of call                                     (* go f(args) *)
+  | GoFuncLit of param list * block * expr list    (* go func(ps){..}(args) *)
+  | If of expr * block * block option
+  | For of for_kind * block
+  | Select of select_case list * block option      (* cases, default *)
+  | Return of expr list
+  | DeferStmt of defer_op
+  | Break
+  | Continue
+  | Panic of expr
+  | BlockStmt of block
+  | IncDec of lvalue * bool                        (* x++ / x-- *)
+
+and lvalue =
+  | Lid of string
+  | Lfield of expr * string
+
+and for_kind =
+  | ForEver                                        (* for { } *)
+  | ForCond of expr                                (* for cond { } *)
+  | ForClassic of stmt option * expr option * stmt option
+  | ForRangeInt of string * expr                   (* for i := range n *)
+  | ForRangeChan of string option * expr           (* for v := range ch *)
+
+and select_case =
+  | CaseRecv of string option * bool * expr * block (* [x :=] / [x, ok :=] <-ch *)
+  | CaseSend of expr * expr * block                 (* ch <- v *)
+
+and defer_op =
+  | DeferCall of call
+  | DeferSend of expr * expr
+  | DeferClose of expr
+  | DeferFuncLit of block                           (* defer func(){..}() *)
+
+type struct_decl = {
+  struct_name : string;
+  fields : (string * typ) list;
+  struct_loc : Loc.t;
+}
+
+type func_decl = {
+  fname : string;
+  params : param list;
+  results : typ list;
+  body : block;
+  floc : Loc.t;
+}
+
+type decl =
+  | Dfunc of func_decl
+  | Dstruct of struct_decl
+
+type file = {
+  package : string;
+  decls : decl list;
+  source_name : string;
+}
+
+type program = file list
+
+(* ------------------------------------------------------------------ *)
+(* Convenience constructors used by tests and the corpus builders.    *)
+
+let mk_expr ?(loc = Loc.none) e = { e; eloc = loc }
+let mk_stmt ?(loc = Loc.none) s = { s; sloc = loc }
+
+let funcs_of_file file =
+  List.filter_map (function Dfunc f -> Some f | Dstruct _ -> None) file.decls
+
+let structs_of_file file =
+  List.filter_map (function Dstruct s -> Some s | Dfunc _ -> None) file.decls
+
+let funcs_of_program (prog : program) = List.concat_map funcs_of_file prog
+
+let find_func (prog : program) name =
+  List.find_opt (fun f -> String.equal f.fname name) (funcs_of_program prog)
+
+(* Structural fold over all statements in a block, visiting nested
+   blocks, loop bodies, select cases and goroutine literals. *)
+let rec fold_stmts f acc (b : block) =
+  List.fold_left (fold_stmt f) acc b
+
+and fold_stmt f acc stmt =
+  let acc = f acc stmt in
+  match stmt.s with
+  | If (_, b1, b2) ->
+      let acc = fold_stmts f acc b1 in
+      (match b2 with Some b -> fold_stmts f acc b | None -> acc)
+  | For (_, b) | BlockStmt b | GoFuncLit (_, b, _) -> fold_stmts f acc b
+  | Select (cases, dflt) ->
+      let acc =
+        List.fold_left
+          (fun acc case ->
+            match case with
+            | CaseRecv (_, _, _, b) | CaseSend (_, _, b) -> fold_stmts f acc b)
+          acc cases
+      in
+      (match dflt with Some b -> fold_stmts f acc b | None -> acc)
+  | DeferStmt (DeferFuncLit b) -> fold_stmts f acc b
+  | Decl _ | Define _ | Assign _ | ExprStmt _ | Send _ | CloseStmt _ | Go _
+  | Return _ | DeferStmt _ | Break | Continue | Panic _ | IncDec _ ->
+      acc
+
+let iter_stmts f b = fold_stmts (fun () s -> f s) () b
+
+(* Count the number of physical source lines a block spans; used by the
+   corpus and by E7 (patch readability) statistics. *)
+let rec count_stmts (b : block) =
+  fold_stmts (fun n _ -> n + 1) 0 b
+
+and count_func_stmts (fd : func_decl) = count_stmts fd.body

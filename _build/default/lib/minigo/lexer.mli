@@ -1,0 +1,11 @@
+(** Hand-written lexer for MiniGo, implementing Go's automatic semicolon
+    insertion: a semicolon is inserted at a newline when the previous
+    token can end a statement. *)
+
+exception Lex_error of string * Loc.t
+
+type token_info = { tok : Token.t; loc : Loc.t }
+
+val tokenize : file:string -> string -> token_info list
+(** Tokenize a whole source string.  The result always ends with
+    {!Token.EOF}.  @raise Lex_error on malformed input. *)

@@ -1,0 +1,29 @@
+(* Source locations for MiniGo programs.
+
+   Every AST node and IR instruction carries a [t] so that diagnostics and
+   generated patches can point back at concrete lines, mirroring how GCatch
+   reports "the sending operation at line 7". *)
+
+type t = {
+  file : string;
+  line : int;  (* 1-based *)
+  col : int;   (* 1-based *)
+}
+
+let none = { file = "<none>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let pp fmt { file; line; col } = Format.fprintf fmt "%s:%d:%d" file line col
+
+let to_string t = Format.asprintf "%a" pp t
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let line t = t.line
+let file t = t.file

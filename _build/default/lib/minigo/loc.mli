@@ -1,0 +1,21 @@
+(** Source locations.
+
+    Every AST node and IR instruction carries a location so diagnostics
+    and generated patches can point at concrete lines, the way GCatch
+    reports "the sending operation at line 7". *)
+
+type t = { file : string; line : int; col : int }
+
+val none : t
+(** Placeholder for synthesised nodes. *)
+
+val make : file:string -> line:int -> col:int -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val line : t -> int
+val file : t -> string

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for MiniGo.
+
+    The concurrency constructs — [go], [chan], [select], [defer],
+    [close] — parse into dedicated AST forms so later phases never have
+    to recognise them by function name. *)
+
+exception Parse_error of string * Loc.t
+
+val parse_file : file:string -> string -> Ast.file
+(** Parse one source file.  @raise Parse_error on syntax errors. *)
+
+val parse_program : name:string -> string list -> Ast.program
+(** Parse a multi-file program; files are named [<name>/file<i>.go]. *)
+
+val parse_string : ?file:string -> string -> Ast.program
+(** Parse a single source string as a one-file program. *)

@@ -1,0 +1,250 @@
+(* Pretty-printer that renders MiniGo ASTs back to source text.
+
+   GFix performs source-to-source transformation: it edits the AST and
+   re-prints the program, and patch "readability" (E7) is measured as the
+   diff between the original and re-printed text.  The printer therefore
+   produces stable, gofmt-like output: one statement per line, tab-free,
+   braces in Go style. *)
+
+let indent_unit = "\t"
+
+let binop_str : Ast.binop -> string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let rec typ_str : Ast.typ -> string = function
+  | Tint -> "int"
+  | Tbool -> "bool"
+  | Tstring -> "string"
+  | Tunit -> "struct{}"
+  | Tchan t -> "chan " ^ typ_str t
+  | Tmutex -> "sync.Mutex"
+  | Twaitgroup -> "sync.WaitGroup"
+  | Tcond -> "sync.Cond"
+  | Tstruct s -> s
+  | Tfunc (args, rets) ->
+      let commas ts = String.concat ", " (List.map typ_str ts) in
+      let ret_s =
+        match rets with
+        | [] -> ""
+        | [ r ] -> " " ^ typ_str r
+        | rs -> " (" ^ commas rs ^ ")"
+      in
+      "func(" ^ commas args ^ ")" ^ ret_s
+  | Ttesting -> "*testing.T"
+  | Tcontext -> "context.Context"
+  | Terror -> "error"
+  | Tany -> "interface{}"
+
+let rec expr_str (e : Ast.expr) : string =
+  match e.e with
+  | Int n -> string_of_int n
+  | Bool b -> if b then "true" else "false"
+  | Str s -> Printf.sprintf "%S" s
+  | Nil -> "nil"
+  | Ident x -> x
+  | Binop (op, a, b) ->
+      Printf.sprintf "%s %s %s" (paren_expr a) (binop_str op) (paren_expr b)
+  | Unop (Neg, a) -> "-" ^ paren_expr a
+  | Unop (Not, a) -> "!" ^ paren_expr a
+  | Call c -> call_str c
+  | MakeChan (t, None) -> Printf.sprintf "make(chan %s)" (typ_str t)
+  | MakeChan (t, Some cap) ->
+      Printf.sprintf "make(chan %s, %s)" (typ_str t) (expr_str cap)
+  | Recv ch -> "<-" ^ paren_expr ch
+  | Field (b, f) -> paren_expr b ^ "." ^ f
+  | StructLit (name, fields) ->
+      let fs =
+        List.map (fun (f, v) -> Printf.sprintf "%s: %s" f (expr_str v)) fields
+      in
+      Printf.sprintf "%s{%s}" name (String.concat ", " fs)
+  | FuncLit (params, rets, body) ->
+      (* single-line rendering used only inside expressions; goroutine
+         literals go through stmt printing instead *)
+      let ps =
+        List.map (fun (p : Ast.param) -> p.pname ^ " " ^ typ_str p.ptyp) params
+      in
+      let ret_s =
+        match rets with
+        | [] -> ""
+        | [ r ] -> " " ^ typ_str r
+        | rs -> " (" ^ String.concat ", " (List.map typ_str rs) ^ ")"
+      in
+      Printf.sprintf "func(%s)%s { %s }" (String.concat ", " ps) ret_s
+        (String.concat "; " (List.map (fun s -> String.trim (stmt_one_line s)) body))
+  | Len e -> Printf.sprintf "len(%s)" (expr_str e)
+
+and paren_expr (e : Ast.expr) =
+  match e.e with
+  | Binop _ -> "(" ^ expr_str e ^ ")"
+  | _ -> expr_str e
+
+and call_str (c : Ast.call) =
+  let args = String.concat ", " (List.map expr_str c.args) in
+  match c.callee with
+  | Fname f -> Printf.sprintf "%s(%s)" f args
+  | Fmethod (recv, m) -> Printf.sprintf "%s.%s(%s)" (paren_expr recv) m args
+  | Fexpr e -> Printf.sprintf "%s(%s)" (paren_expr e) args
+
+and stmt_one_line (s : Ast.stmt) : string =
+  (* flat rendering for statements inside func literals in expressions *)
+  String.concat " " (String.split_on_char '\n' (stmt_block_str "" s))
+
+and lvalue_str = function
+  | Ast.Lid x -> x
+  | Ast.Lfield (b, f) -> paren_expr b ^ "." ^ f
+
+and stmt_block_str ind (s : Ast.stmt) : string =
+  let line fmt = Printf.ksprintf (fun str -> ind ^ str) fmt in
+  match s.s with
+  | Decl (x, Some t, None) -> line "var %s %s" x (typ_str t)
+  | Decl (x, Some t, Some e) -> line "var %s %s = %s" x (typ_str t) (expr_str e)
+  | Decl (x, None, Some e) -> line "var %s = %s" x (expr_str e)
+  | Decl (x, None, None) -> line "var %s" x
+  | Define (xs, e) -> line "%s := %s" (String.concat ", " xs) (expr_str e)
+  | Assign (lv, e) -> line "%s = %s" (lvalue_str lv) (expr_str e)
+  | ExprStmt e -> line "%s" (expr_str e)
+  | Send (ch, v) -> line "%s <- %s" (expr_str ch) (expr_str v)
+  | CloseStmt ch -> line "close(%s)" (expr_str ch)
+  | Go c -> line "go %s" (call_str c)
+  | GoFuncLit (params, body, args) ->
+      let ps =
+        List.map (fun (p : Ast.param) -> p.pname ^ " " ^ typ_str p.ptyp) params
+      in
+      let header = Printf.sprintf "%sgo func(%s) {" ind (String.concat ", " ps) in
+      let body_s = block_str (ind ^ indent_unit) body in
+      let args_s = String.concat ", " (List.map expr_str args) in
+      Printf.sprintf "%s\n%s%s}(%s)" header body_s ind args_s
+  | If (cond, then_b, else_b) ->
+      let header = Printf.sprintf "%sif %s {" ind (expr_str cond) in
+      let then_s = block_str (ind ^ indent_unit) then_b in
+      let close =
+        match else_b with
+        | None -> Printf.sprintf "%s}" ind
+        | Some [ ({ s = If _; _ } as nested) ] ->
+            let nested_s = stmt_block_str ind nested in
+            (* graft "else if": drop nested's indent *)
+            Printf.sprintf "%s} else %s" ind (String.trim nested_s)
+        | Some b ->
+            Printf.sprintf "%s} else {\n%s%s}" ind
+              (block_str (ind ^ indent_unit) b)
+              ind
+      in
+      Printf.sprintf "%s\n%s%s" header then_s close
+  | For (kind, body) ->
+      let header =
+        match kind with
+        | ForEver -> Printf.sprintf "%sfor {" ind
+        | ForCond c -> Printf.sprintf "%sfor %s {" ind (expr_str c)
+        | ForClassic (init, cond, post) ->
+            let part = function
+              | None -> ""
+              | Some (st : Ast.stmt) -> String.trim (stmt_block_str "" st)
+            in
+            let cond_s = match cond with None -> "" | Some c -> expr_str c in
+            Printf.sprintf "%sfor %s; %s; %s {" ind
+              (match init with None -> "" | Some i -> String.trim (stmt_block_str "" i))
+              cond_s (part post)
+        | ForRangeInt (x, e) ->
+            Printf.sprintf "%sfor %s := range %s {" ind x (expr_str e)
+        | ForRangeChan (Some x, e) ->
+            Printf.sprintf "%sfor %s := range %s {" ind x (expr_str e)
+        | ForRangeChan (None, e) ->
+            Printf.sprintf "%sfor range %s {" ind (expr_str e)
+      in
+      Printf.sprintf "%s\n%s%s}" header (block_str (ind ^ indent_unit) body) ind
+  | Select (cases, dflt) ->
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf (ind ^ "select {\n");
+      List.iter
+        (fun case ->
+          match case with
+          | Ast.CaseRecv (bind, ok, ch, body) ->
+              let head =
+                match (bind, ok) with
+                | None, _ -> Printf.sprintf "case <-%s:" (expr_str ch)
+                | Some x, false -> Printf.sprintf "case %s := <-%s:" x (expr_str ch)
+                | Some x, true ->
+                    Printf.sprintf "case %s, ok := <-%s:" x (expr_str ch)
+              in
+              Buffer.add_string buf (ind ^ head ^ "\n");
+              Buffer.add_string buf (block_str (ind ^ indent_unit) body)
+          | Ast.CaseSend (ch, v, body) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%scase %s <- %s:\n" ind (expr_str ch) (expr_str v));
+              Buffer.add_string buf (block_str (ind ^ indent_unit) body))
+        cases;
+      (match dflt with
+      | Some body ->
+          Buffer.add_string buf (ind ^ "default:\n");
+          Buffer.add_string buf (block_str (ind ^ indent_unit) body)
+      | None -> ());
+      Buffer.add_string buf (ind ^ "}");
+      Buffer.contents buf
+  | Return [] -> line "return"
+  | Return es -> line "return %s" (String.concat ", " (List.map expr_str es))
+  | DeferStmt (DeferCall c) -> line "defer %s" (call_str c)
+  | DeferStmt (DeferSend (ch, v)) ->
+      line "defer func() {\n%s%s%s <- %s\n%s}()" ind indent_unit (expr_str ch)
+        (expr_str v) ind
+  | DeferStmt (DeferClose ch) -> line "defer close(%s)" (expr_str ch)
+  | DeferStmt (DeferFuncLit body) ->
+      Printf.sprintf "%sdefer func() {\n%s%s}()" ind
+        (block_str (ind ^ indent_unit) body)
+        ind
+  | Break -> line "break"
+  | Continue -> line "continue"
+  | Panic e -> line "panic(%s)" (expr_str e)
+  | BlockStmt b -> Printf.sprintf "%s{\n%s%s}" ind (block_str (ind ^ indent_unit) b) ind
+  | IncDec (lv, true) -> line "%s++" (lvalue_str lv)
+  | IncDec (lv, false) -> line "%s--" (lvalue_str lv)
+
+and block_str ind (b : Ast.block) : string =
+  String.concat "" (List.map (fun s -> stmt_block_str ind s ^ "\n") b)
+
+let func_str (fd : Ast.func_decl) : string =
+  let ps =
+    List.map (fun (p : Ast.param) -> p.pname ^ " " ^ typ_str p.ptyp) fd.params
+  in
+  let ret_s =
+    match fd.results with
+    | [] -> ""
+    | [ r ] -> " " ^ typ_str r
+    | rs -> " (" ^ String.concat ", " (List.map typ_str rs) ^ ")"
+  in
+  Printf.sprintf "func %s(%s)%s {\n%s}\n" fd.fname (String.concat ", " ps) ret_s
+    (block_str indent_unit fd.body)
+
+let struct_str (sd : Ast.struct_decl) : string =
+  let fields =
+    List.map
+      (fun (f, t) -> Printf.sprintf "%s%s %s\n" indent_unit f (typ_str t))
+      sd.fields
+  in
+  Printf.sprintf "type %s struct {\n%s}\n" sd.struct_name (String.concat "" fields)
+
+let file_str (f : Ast.file) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "package %s\n\n" f.package);
+  List.iter
+    (fun d ->
+      (match d with
+      | Ast.Dfunc fd -> Buffer.add_string buf (func_str fd)
+      | Ast.Dstruct sd -> Buffer.add_string buf (struct_str sd));
+      Buffer.add_char buf '\n')
+    f.decls;
+  Buffer.contents buf
+
+let program_str (p : Ast.program) : string =
+  String.concat "\n" (List.map file_str p)

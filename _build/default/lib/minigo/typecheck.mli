@@ -1,0 +1,11 @@
+(** Type checker for MiniGo.
+
+    Besides rejecting ill-typed programs, checking performs the one AST
+    rewrite the parser defers: [for x := range e] is re-classified as a
+    channel-drain loop when [e] is a channel. *)
+
+exception Type_error of string * Loc.t
+
+val check_program : Ast.program -> Ast.program
+(** Check a whole program; returns the normalised program.
+    @raise Type_error on the first error found. *)

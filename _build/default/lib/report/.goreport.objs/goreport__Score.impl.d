@@ -1,0 +1,1 @@
+lib/report/score.ml: Gcatch Gocorpus List String

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Effect Hashtbl Lazy List Minigo Option Printf Queue Scheduler String Value

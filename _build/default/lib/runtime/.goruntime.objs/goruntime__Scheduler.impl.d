@@ -1,0 +1,1 @@
+lib/runtime/scheduler.ml: Effect List Minigo Queue Random Value

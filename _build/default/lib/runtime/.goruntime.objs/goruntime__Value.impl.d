@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Hashtbl List Minigo Printf Queue String

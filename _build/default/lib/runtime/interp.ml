@@ -1,0 +1,539 @@
+(* Tree-walking interpreter for MiniGo on top of {!Scheduler}.
+
+   Environments map names to mutable cells; closures and goroutine
+   literals share cells with their defining scope, giving Go's
+   capture-by-reference semantics.  Control flow uses exceptions
+   ([Return_exc], [Break_exc], [Continue_exc]); deferred operations are
+   recorded per call frame and executed in LIFO order on every exit —
+   normal return, panic, and testing.Fatal (Goexit) alike. *)
+
+module A = Minigo.Ast
+module V = Value
+module S = Scheduler
+
+exception Return_exc of V.t list
+exception Break_exc
+exception Continue_exc
+
+type env = (string, V.t ref) Hashtbl.t
+
+type ctx = {
+  sched : S.t;
+  funcs : (string, A.func_decl) Hashtbl.t;
+  structs : (string, (string * A.typ) list) Hashtbl.t;
+  nil_chan : V.chan Lazy.t;
+      (* operations on a nil channel block forever in Go; they all target
+         this orphan channel nobody else can touch *)
+}
+
+let clone (env : env) : env = Hashtbl.copy env
+
+let lookup env x =
+  match Hashtbl.find_opt env x with
+  | Some r -> r
+  | None -> raise (S.Go_panic (Printf.sprintf "undefined variable %s" x))
+
+let define env x v = if x <> "_" then Hashtbl.replace env x (ref v)
+
+let rec zero ctx (ty : A.typ) : V.t =
+  match ty with
+  | Tstruct name -> (
+      match Hashtbl.find_opt ctx.structs name with
+      | Some fields ->
+          let tbl = Hashtbl.create (List.length fields) in
+          List.iter (fun (f, ft) -> Hashtbl.replace tbl f (zero ctx ft)) fields;
+          V.Vstruct tbl
+      | None -> V.Vstruct (Hashtbl.create 4))
+  | _ ->
+      V.zero_of_type
+        ~fresh_chan:(fun () -> S.fresh_chan ctx.sched ~loc:Minigo.Loc.none ())
+        ~fresh_mutex:(fun () -> S.fresh_mutex ctx.sched ())
+        ~fresh_wg:(fun () -> S.fresh_wg ctx.sched ())
+        ~fresh_cond:(fun () -> S.fresh_cond ctx.sched ())
+        ty
+
+let as_chan ctx loc = function
+  | V.Vchan c -> c
+  | V.Vctx c -> c
+  | V.Vnil ->
+      ignore loc;
+      Lazy.force ctx.nil_chan
+  | v -> raise (S.Go_panic ("not a channel: " ^ V.to_string v))
+
+let as_int = function
+  | V.Vint n -> n
+  | v -> raise (S.Go_panic ("not an int: " ^ V.to_string v))
+
+let as_struct = function
+  | V.Vstruct t -> t
+  | v -> raise (S.Go_panic ("not a struct: " ^ V.to_string v))
+
+(* ----------------------------------------------------------- exprs *)
+
+let rec eval ctx env (e : A.expr) : V.t =
+  match e.e with
+  | Int n -> Vint n
+  | Bool b -> Vbool b
+  | Str s -> Vstr s
+  | Nil -> Vnil
+  | Ident x -> (
+      match Hashtbl.find_opt env x with
+      | Some r -> !r
+      | None -> (
+          match Hashtbl.find_opt ctx.funcs x with
+          | Some fd ->
+              Vclosure
+                {
+                  params = fd.params;
+                  results = fd.results;
+                  body = fd.body;
+                  env = Hashtbl.create 1;
+                  fn_name = fd.fname;
+                }
+          | None -> raise (S.Go_panic ("undefined: " ^ x))))
+  | Binop (op, a, b) -> eval_binop ctx env op a b
+  | Unop (Neg, a) -> Vint (-as_int (eval ctx env a))
+  | Unop (Not, a) -> Vbool (not (V.truthy (eval ctx env a)))
+  | Call c -> (
+      match eval_call ctx env e.eloc c with
+      | [ v ] -> v
+      | [] -> V.Vunit
+      | vs -> Vtuple vs)
+  | MakeChan (t, cap) ->
+      let capacity = match cap with Some c -> as_int (eval ctx env c) | None -> 0 in
+      Vchan (S.fresh_chan ctx.sched ~capacity ~elem_zero:(zero ctx t) ~loc:e.eloc ())
+  | Recv ch ->
+      let c = as_chan ctx e.eloc (eval ctx env ch) in
+      let v, _ok = Effect.perform (S.Chan_recv (c, e.eloc)) in
+      v
+  | Field (b, f) -> (
+      let bv = eval ctx env b in
+      match Hashtbl.find_opt (as_struct bv) f with
+      | Some v -> v
+      | None -> raise (S.Go_panic ("no field " ^ f)))
+  | StructLit (name, fields) ->
+      let v = zero ctx (Tstruct name) in
+      let tbl = as_struct v in
+      List.iter (fun (f, fe) -> Hashtbl.replace tbl f (eval ctx env fe)) fields;
+      v
+  | FuncLit (params, results, body) ->
+      Vclosure { params; results; body; env; fn_name = "<func literal>" }
+  | Len a -> (
+      match eval ctx env a with
+      | Vstr s -> Vint (String.length s)
+      | Vchan c -> Vint (Queue.length c.buffer)
+      | v -> raise (S.Go_panic ("len of " ^ V.to_string v)))
+
+and eval_binop ctx env op a b =
+  match op with
+  | And -> if V.truthy (eval ctx env a) then eval ctx env b else Vbool false
+  | Or -> if V.truthy (eval ctx env a) then Vbool true else eval ctx env b
+  | _ -> (
+      let va = eval ctx env a in
+      let vb = eval ctx env b in
+      match (op, va, vb) with
+      | Add, V.Vint x, V.Vint y -> Vint (x + y)
+      | Add, V.Vstr x, V.Vstr y -> Vstr (x ^ y)
+      | Sub, V.Vint x, V.Vint y -> Vint (x - y)
+      | Mul, V.Vint x, V.Vint y -> Vint (x * y)
+      | Div, V.Vint x, V.Vint y ->
+          if y = 0 then raise (S.Go_panic "integer divide by zero") else Vint (x / y)
+      | Mod, V.Vint x, V.Vint y ->
+          if y = 0 then raise (S.Go_panic "integer divide by zero") else Vint (x mod y)
+      | Eq, x, y -> Vbool (V.equal x y)
+      | Neq, x, y -> Vbool (not (V.equal x y))
+      | Lt, V.Vint x, V.Vint y -> Vbool (x < y)
+      | Le, V.Vint x, V.Vint y -> Vbool (x <= y)
+      | Gt, V.Vint x, V.Vint y -> Vbool (x > y)
+      | Ge, V.Vint x, V.Vint y -> Vbool (x >= y)
+      | Lt, V.Vstr x, V.Vstr y -> Vbool (x < y)
+      | Gt, V.Vstr x, V.Vstr y -> Vbool (x > y)
+      | _ ->
+          raise
+            (S.Go_panic
+               (Printf.sprintf "bad operands: %s %s %s" (V.to_string va)
+                  (Minigo.Pretty.binop_str op) (V.to_string vb))))
+
+and eval_call ctx env loc (c : A.call) : V.t list =
+  match c.callee with
+  | Fname "println" | Fname "print" ->
+      let vs = List.map (eval ctx env) c.args in
+      Effect.perform (S.Output (String.concat " " (List.map V.to_string vs)));
+      []
+  | Fname "sleep" ->
+      let n = as_int (eval ctx env (List.hd c.args)) in
+      Effect.perform (S.Sleep_eff n);
+      []
+  | Fname "errorf" -> (
+      match List.map (eval ctx env) c.args with
+      | [ V.Vstr m ] -> [ Verror (Some m) ]
+      | _ -> [ Verror (Some "error") ])
+  | Fname "background" -> [ Vctx (S.fresh_chan ctx.sched ~loc ()) ]
+  | Fname "cancel" -> (
+      match eval ctx env (List.hd c.args) with
+      | Vctx ch -> (
+          (* cancelling twice is a no-op, unlike closing a channel *)
+          match Effect.perform (S.Chan_close (ch, loc)) with
+          | () -> []
+          | exception S.Go_panic _ -> [])
+      | _ -> raise (S.Go_panic "cancel of non-context"))
+  | Fname f -> (
+      match Hashtbl.find_opt env f with
+      | Some { contents = V.Vclosure cl } ->
+          call_closure ctx cl (List.map (eval ctx env) c.args)
+      | Some { contents = v } ->
+          raise (S.Go_panic ("calling non-function " ^ V.to_string v))
+      | None -> (
+          match Hashtbl.find_opt ctx.funcs f with
+          | Some fd -> call_func ctx fd (List.map (eval ctx env) c.args)
+          | None -> raise (S.Go_panic ("undefined function " ^ f))))
+  | Fexpr fe -> (
+      match eval ctx env fe with
+      | Vclosure cl -> call_closure ctx cl (List.map (eval ctx env) c.args)
+      | v -> raise (S.Go_panic ("calling non-function " ^ V.to_string v)))
+  | Fmethod (recv, m) -> eval_method ctx env loc recv m c.args
+
+and eval_method ctx env loc recv m args : V.t list =
+  let rv = eval ctx env recv in
+  match (rv, m) with
+  | V.Vmutex mu, "Lock" ->
+      Effect.perform (S.Mutex_lock (mu, loc));
+      []
+  | V.Vmutex mu, "Unlock" ->
+      Effect.perform (S.Mutex_unlock (mu, loc));
+      []
+  | V.Vwg w, "Add" ->
+      let n = as_int (eval ctx env (List.hd args)) in
+      Effect.perform (S.Wg_add (w, n, loc));
+      []
+  | V.Vwg w, "Done" ->
+      Effect.perform (S.Wg_done (w, loc));
+      []
+  | V.Vwg w, "Wait" ->
+      Effect.perform (S.Wg_wait (w, loc));
+      []
+  | V.Vcond c, "Wait" ->
+      Effect.perform (S.Cond_wait (c, loc));
+      []
+  | V.Vcond c, "Signal" ->
+      Effect.perform (S.Cond_signal (c, loc));
+      []
+  | V.Vcond c, "Broadcast" ->
+      Effect.perform (S.Cond_broadcast (c, loc));
+      []
+  | V.Vtesting, ("Fatal" | "Fatalf" | "FailNow") ->
+      let msg = List.map (fun a -> V.to_string (eval ctx env a)) args in
+      Effect.perform (S.Output ("FATAL: " ^ String.concat " " msg));
+      raise S.Goexit
+  | V.Vtesting, _ ->
+      let msg = List.map (fun a -> V.to_string (eval ctx env a)) args in
+      Effect.perform (S.Output ("t." ^ m ^ ": " ^ String.concat " " msg));
+      []
+  | V.Vctx ch, "Done" -> [ Vchan ch ]
+  | V.Vctx _, "Err" -> [ Verror (Some "context canceled") ]
+  | V.Verror e, "Error" -> [ Vstr (Option.value e ~default:"") ]
+  | v, m -> raise (S.Go_panic (Printf.sprintf "%s has no method %s" (V.to_string v) m))
+
+(* Call a top-level function. *)
+and call_func ctx (fd : A.func_decl) (args : V.t list) : V.t list =
+  let env = Hashtbl.create 16 in
+  List.iteri
+    (fun i (p : A.param) ->
+      define env p.pname
+        (match List.nth_opt args i with Some v -> v | None -> zero ctx p.ptyp))
+    fd.params;
+  run_body ctx env fd.body fd.results
+
+and call_closure ctx (cl : V.closure) (args : V.t list) : V.t list =
+  let env = clone cl.env in
+  List.iteri
+    (fun i (p : A.param) ->
+      define env p.pname
+        (match List.nth_opt args i with Some v -> v | None -> zero ctx p.ptyp))
+    cl.params;
+  run_body ctx env cl.body cl.results
+
+(* Execute a function body with defer handling. *)
+and run_body ctx env body results : V.t list =
+  let defers : (unit -> unit) list ref = ref [] in
+  let run_defers () =
+    let ds = !defers in
+    defers := [];
+    List.iter (fun d -> d ()) ds
+  in
+  match exec_block ctx env defers body with
+  | () ->
+      run_defers ();
+      List.map (zero ctx) results
+  | exception Return_exc vs ->
+      run_defers ();
+      vs
+  | exception e ->
+      (* panic or Goexit: run defers, then continue unwinding *)
+      run_defers ();
+      raise e
+
+and exec_block ctx env defers (b : A.block) : unit =
+  let env = clone env in
+  List.iter (exec_stmt ctx env defers) b
+
+and exec_stmt ctx env defers (s : A.stmt) : unit =
+  let loc = s.sloc in
+  match s.s with
+  | Decl (x, ty, init) ->
+      let v =
+        match init with
+        | Some e -> eval ctx env e
+        | None -> ( match ty with Some t -> zero ctx t | None -> V.Vnil)
+      in
+      define env x v
+  | Define (xs, e) -> (
+      match (xs, e.e) with
+      | [ x; ok ], Recv ch ->
+          let c = as_chan ctx loc (eval ctx env ch) in
+          let v, okv = Effect.perform (S.Chan_recv (c, loc)) in
+          define env x v;
+          define env ok (Vbool okv)
+      | _, Call call -> (
+          let vs = eval_call ctx env loc call in
+          match (xs, vs) with
+          | [ x ], [ v ] -> define env x v
+          | xs, vs when List.length xs = List.length vs ->
+              List.iter2 (define env) xs vs
+          | [ x ], [] -> define env x V.Vunit
+          | _ ->
+              raise
+                (S.Go_panic
+                   (Printf.sprintf "assignment mismatch: %d = %d" (List.length xs)
+                      (List.length vs))))
+      | [ x ], _ -> define env x (eval ctx env e)
+      | _ -> raise (S.Go_panic "bad multi-assign"))
+  | Assign (lv, e) -> (
+      let v = eval ctx env e in
+      match lv with
+      | Lid "_" -> ()
+      | Lid x -> lookup env x := v
+      | Lfield (b, f) -> Hashtbl.replace (as_struct (eval ctx env b)) f v)
+  | ExprStmt e -> ignore (eval ctx env e)
+  | Send (ch, v) ->
+      let c = as_chan ctx loc (eval ctx env ch) in
+      let value = eval ctx env v in
+      Effect.perform (S.Chan_send (c, value, loc))
+  | CloseStmt ch ->
+      let c = as_chan ctx loc (eval ctx env ch) in
+      Effect.perform (S.Chan_close (c, loc))
+  | Go call -> (
+      match call.callee with
+      | Fname _ | Fexpr _ | Fmethod _ ->
+          (* evaluate callee and args now, run later *)
+          let thunk =
+            match call.callee with
+            | Fname f -> (
+                match Hashtbl.find_opt env f with
+                | Some { contents = V.Vclosure cl } ->
+                    let args = List.map (eval ctx env) call.args in
+                    fun () -> ignore (call_closure ctx cl args)
+                | _ -> (
+                    match Hashtbl.find_opt ctx.funcs f with
+                    | Some fd ->
+                        let args = List.map (eval ctx env) call.args in
+                        fun () -> ignore (call_func ctx fd args)
+                    | None -> raise (S.Go_panic ("undefined function " ^ f))))
+            | Fexpr fe -> (
+                match eval ctx env fe with
+                | Vclosure cl ->
+                    let args = List.map (eval ctx env) call.args in
+                    fun () -> ignore (call_closure ctx cl args)
+                | v -> raise (S.Go_panic ("go on non-function " ^ V.to_string v)))
+            | Fmethod _ ->
+                let env' = clone env in
+                fun () -> ignore (eval_call ctx env' loc call)
+          in
+          Effect.perform (S.Spawn (thunk, "go")))
+  | GoFuncLit (params, body, args) ->
+      let argvs = List.map (eval ctx env) args in
+      let cl = { V.params; results = []; body; env; fn_name = "<goroutine>" } in
+      Effect.perform (S.Spawn ((fun () -> ignore (call_closure ctx cl argvs)), "go"))
+  | If (cond, then_b, else_b) ->
+      if V.truthy (eval ctx env cond) then exec_block ctx env defers then_b
+      else Option.iter (exec_block ctx env defers) else_b
+  | For (kind, body) -> exec_for ctx env defers loc kind body
+  | Select (cases, dflt) -> exec_select ctx env defers loc cases dflt
+  | Return es -> raise (Return_exc (List.map (eval ctx env) es))
+  | DeferStmt d ->
+      let thunk =
+        match d with
+        | DeferCall call -> (
+            (* Go evaluates deferred call arguments at registration *)
+            match call.callee with
+            | Fname f -> (
+                match Hashtbl.find_opt ctx.funcs f with
+                | Some fd ->
+                    let args = List.map (eval ctx env) call.args in
+                    fun () -> ignore (call_func ctx fd args)
+                | None -> (
+                    match Hashtbl.find_opt env f with
+                    | Some { contents = V.Vclosure cl } ->
+                        let args = List.map (eval ctx env) call.args in
+                        fun () -> ignore (call_closure ctx cl args)
+                    | _ ->
+                        let env' = clone env in
+                        fun () -> ignore (eval_call ctx env' loc call)))
+            | _ ->
+                let env' = clone env in
+                fun () -> ignore (eval_call ctx env' loc call))
+        | DeferSend (ch, v) ->
+            let c = as_chan ctx loc (eval ctx env ch) in
+            let env' = clone env in
+            fun () ->
+              let value = eval ctx env' v in
+              Effect.perform (S.Chan_send (c, value, loc))
+        | DeferClose ch ->
+            let c = as_chan ctx loc (eval ctx env ch) in
+            fun () -> Effect.perform (S.Chan_close (c, loc))
+        | DeferFuncLit body ->
+            let env' = clone env in
+            fun () ->
+              let inner_defers = ref [] in
+              (try exec_block ctx env' inner_defers body
+               with Return_exc _ -> ());
+              List.iter (fun d -> d ()) !inner_defers
+      in
+      defers := thunk :: !defers
+  | Break -> raise Break_exc
+  | Continue -> raise Continue_exc
+  | Panic e ->
+      let v = eval ctx env e in
+      raise (S.Go_panic (V.to_string v))
+  | BlockStmt b -> exec_block ctx env defers b
+  | IncDec (lv, up) -> (
+      let delta = if up then 1 else -1 in
+      match lv with
+      | Lid x ->
+          let r = lookup env x in
+          r := Vint (as_int !r + delta)
+      | Lfield (b, f) ->
+          let tbl = as_struct (eval ctx env b) in
+          let cur = match Hashtbl.find_opt tbl f with Some v -> as_int v | None -> 0 in
+          Hashtbl.replace tbl f (Vint (cur + delta)))
+
+and exec_for ctx env defers loc kind body =
+  let loop_body env' =
+    try exec_block ctx env' defers body with Continue_exc -> ()
+  in
+  try
+    match kind with
+    | ForEver ->
+        while true do
+          Effect.perform S.Yield;
+          loop_body env
+        done
+    | ForCond cond ->
+        while V.truthy (eval ctx env cond) do
+          Effect.perform S.Yield;
+          loop_body env
+        done
+    | ForClassic (init, cond, post) ->
+        let env = clone env in
+        Option.iter (exec_stmt ctx env defers) init;
+        let check () =
+          match cond with Some c -> V.truthy (eval ctx env c) | None -> true
+        in
+        while check () do
+          loop_body env;
+          Option.iter (exec_stmt ctx env defers) post
+        done
+    | ForRangeInt (x, e) ->
+        let n = as_int (eval ctx env e) in
+        let env = clone env in
+        define env x (Vint 0);
+        for i = 0 to n - 1 do
+          lookup env x := Vint i;
+          loop_body env
+        done
+    | ForRangeChan (bind, e) ->
+        let c = as_chan ctx loc (eval ctx env e) in
+        let env = clone env in
+        Option.iter (fun x -> define env x V.Vnil) bind;
+        let continue_loop = ref true in
+        while !continue_loop do
+          let v, ok = Effect.perform (S.Chan_recv (c, loc)) in
+          if ok then begin
+            Option.iter (fun x -> lookup env x := v) bind;
+            loop_body env
+          end
+          else continue_loop := false
+        done
+  with Break_exc -> ()
+
+and exec_select ctx env defers loc cases dflt =
+  let arms =
+    List.map
+      (fun case ->
+        match case with
+        | A.CaseRecv (_, _, ch, _) -> S.Sel_recv (as_chan ctx loc (eval ctx env ch))
+        | A.CaseSend (ch, v, _) ->
+            S.Sel_send (as_chan ctx loc (eval ctx env ch), eval ctx env v))
+      cases
+  in
+  match Effect.perform (S.Select_eff (arms, dflt <> None, loc)) with
+  | S.Chose_default -> (
+      match dflt with Some b -> exec_block ctx env defers b | None -> ())
+  | S.Chose_send (i) -> (
+      match List.nth cases i with
+      | A.CaseSend (_, _, body) -> exec_block ctx env defers body
+      | A.CaseRecv _ -> assert false)
+  | S.Chose_recv (i, v, ok) -> (
+      match List.nth cases i with
+      | A.CaseRecv (bind, wants_ok, _, body) ->
+          let env = clone env in
+          Option.iter (fun x -> define env x v) bind;
+          if wants_ok then define env "ok" (Vbool ok);
+          exec_block ctx env defers body
+      | A.CaseSend _ -> assert false)
+
+(* ------------------------------------------------------------- API *)
+
+let build_ctx sched (prog : A.program) : ctx =
+  let funcs = Hashtbl.create 16 in
+  let structs = Hashtbl.create 16 in
+  List.iter
+    (fun (file : A.file) ->
+      List.iter
+        (fun d ->
+          match d with
+          | A.Dfunc fd -> Hashtbl.replace funcs fd.fname fd
+          | A.Dstruct sd -> Hashtbl.replace structs sd.struct_name sd.fields)
+        file.decls)
+    prog;
+  {
+    sched;
+    funcs;
+    structs;
+    nil_chan = lazy (S.fresh_chan sched ~loc:Minigo.Loc.none ());
+  }
+
+(* Run [entry] (default "main"); test functions get a testing.T value. *)
+let run ?(seed = 42) ?(fuel = 200_000) ?(entry = "main") (prog : A.program) :
+    S.report =
+  let sched = S.create ~seed ~fuel () in
+  let ctx = build_ctx sched prog in
+  match Hashtbl.find_opt ctx.funcs entry with
+  | None -> failwith ("no entry function " ^ entry)
+  | Some fd ->
+      let args = List.map (fun (p : A.param) -> zero ctx p.ptyp) fd.params in
+      S.run sched ~entry:(fun () -> ignore (call_func ctx fd args))
+
+(* Run under many seeds; aggregate leak behaviour.  Returns
+   (runs, runs-with-leak, max steps). *)
+let run_schedules ?(seeds = 20) ?(fuel = 200_000) ?(entry = "main") prog =
+  let leaks = ref 0 in
+  let max_steps = ref 0 in
+  let reports = ref [] in
+  for seed = 1 to seeds do
+    let r = run ~seed ~fuel ~entry prog in
+    if r.S.leaked <> [] then incr leaks;
+    if r.S.steps > !max_steps then max_steps := r.S.steps;
+    reports := r :: !reports
+  done;
+  (seeds, !leaks, !max_steps, List.rev !reports)

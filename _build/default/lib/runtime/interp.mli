@@ -1,0 +1,26 @@
+(** Tree-walking interpreter for MiniGo on top of the effects-based
+    goroutine {!Scheduler}.
+
+    Re-running a program under different seeds explores different
+    interleavings; a goroutine still blocked when the run queue drains is
+    a leaked goroutine — the observable symptom of a BMOC bug, and the
+    oracle the test suite and patch validation use. *)
+
+val run :
+  ?seed:int ->
+  ?fuel:int ->
+  ?entry:string ->
+  Minigo.Ast.program ->
+  Scheduler.report
+(** Run [entry] (default ["main"]) once under one seeded schedule.
+    Parameters of the entry function are zero-valued (test functions get
+    a testing.T). *)
+
+val run_schedules :
+  ?seeds:int ->
+  ?fuel:int ->
+  ?entry:string ->
+  Minigo.Ast.program ->
+  int * int * int * Scheduler.report list
+(** Run under seeds [1..seeds]; returns
+    (runs, runs-with-a-leak, max steps, all reports). *)

@@ -1,0 +1,599 @@
+(* Cooperative goroutine scheduler built on OCaml 5 effect handlers.
+
+   Every goroutine runs inside [Effect.Deep.match_with] with a handler
+   that turns channel/mutex/waitgroup operations into scheduler
+   transitions.  The run loop picks the next runnable goroutine with a
+   seeded PRNG, so re-running a program under different seeds explores
+   different interleavings — this is how the harness both *manifests*
+   seeded BMOC bugs and validates GFix patches (paper §5.3, where the
+   authors inject random sleeps around buggy channel operations).
+
+   A goroutine that is still blocked when the run queue drains is a
+   *leaked* goroutine: exactly the observable symptom of a blocking
+   misuse-of-channel bug. *)
+
+open! Effect
+open Effect.Deep
+
+type sel_arm = Sel_recv of Value.chan | Sel_send of Value.chan * Value.t
+
+type sel_outcome =
+  | Chose_recv of int * Value.t * bool
+  | Chose_send of int
+  | Chose_default
+
+type _ Effect.t +=
+  | Spawn : (unit -> unit) * string -> unit Effect.t
+  | Chan_send : Value.chan * Value.t * Minigo.Loc.t -> unit Effect.t
+  | Chan_recv : Value.chan * Minigo.Loc.t -> (Value.t * bool) Effect.t
+  | Chan_close : Value.chan * Minigo.Loc.t -> unit Effect.t
+  | Select_eff : sel_arm list * bool * Minigo.Loc.t -> sel_outcome Effect.t
+  | Mutex_lock : Value.mutex * Minigo.Loc.t -> unit Effect.t
+  | Mutex_unlock : Value.mutex * Minigo.Loc.t -> unit Effect.t
+  | Wg_add : Value.waitgroup * int * Minigo.Loc.t -> unit Effect.t
+  | Wg_done : Value.waitgroup * Minigo.Loc.t -> unit Effect.t
+  | Wg_wait : Value.waitgroup * Minigo.Loc.t -> unit Effect.t
+  | Cond_wait : Value.cond * Minigo.Loc.t -> unit Effect.t
+  | Cond_signal : Value.cond * Minigo.Loc.t -> unit Effect.t
+  | Cond_broadcast : Value.cond * Minigo.Loc.t -> unit Effect.t
+  | Sleep_eff : int -> unit Effect.t
+  | Output : string -> unit Effect.t
+  | Yield : unit Effect.t
+
+exception Go_panic of string
+exception Goexit
+
+type gstate = Running | Blocked of string * Minigo.Loc.t | Finished | Panicked of string
+
+type goroutine = {
+  gid : int;
+  gname : string;
+  mutable state : gstate;
+}
+
+type report = {
+  steps : int;
+  output : string list; (* in order *)
+  leaked : (int * string * string * Minigo.Loc.t) list; (* gid, name, reason, loc *)
+  panics : (int * string) list;
+  spawned : int;
+  completed : int;
+  fuel_exhausted : bool;
+}
+
+type t = {
+  mutable runq : (int * (unit -> unit)) list; (* gid, resume thunk *)
+  mutable sleeping : (int * int ref * (unit -> unit)) list;
+  mutable goroutines : goroutine list;
+  mutable next_gid : int;
+  mutable next_chan : int;
+  mutable next_mutex : int;
+  mutable next_wg : int;
+  mutable steps : int;
+  mutable out_rev : string list;
+  mutable panics : (int * string) list;
+  rng : Random.State.t;
+  fuel : int;
+}
+
+let create ?(seed = 42) ?(fuel = 1_000_000) () =
+  {
+    runq = [];
+    sleeping = [];
+    goroutines = [];
+    next_gid = 0;
+    next_chan = 0;
+    next_mutex = 0;
+    next_wg = 0;
+    steps = 0;
+    out_rev = [];
+    panics = [];
+    rng = Random.State.make [| seed |];
+    fuel;
+  }
+
+let fresh_chan sched ?(capacity = 0) ?(elem_zero = Value.Vnil) ~loc () : Value.chan =
+  sched.next_chan <- sched.next_chan + 1;
+  {
+    Value.chan_id = sched.next_chan;
+    capacity;
+    buffer = Queue.create ();
+    closed = false;
+    send_waiters = [];
+    recv_waiters = [];
+    made_at = loc;
+    elem_zero;
+  }
+
+let fresh_mutex sched () : Value.mutex =
+  sched.next_mutex <- sched.next_mutex + 1;
+  { Value.mutex_id = sched.next_mutex; held_by = None; lock_waiters = [] }
+
+let fresh_wg sched () : Value.waitgroup =
+  sched.next_wg <- sched.next_wg + 1;
+  { Value.wg_id = sched.next_wg; counter = 0; wg_waiters = [] }
+
+let fresh_cond sched () : Value.cond =
+  sched.next_wg <- sched.next_wg + 1;
+  { Value.cond_id = sched.next_wg; cond_waiters = [] }
+
+let enqueue sched gid thunk = sched.runq <- sched.runq @ [ (gid, thunk) ]
+
+let set_state sched gid st =
+  List.iter (fun g -> if g.gid = gid then g.state <- st) sched.goroutines
+
+(* -------------------------------------------------- channel helpers *)
+
+(* Find the first claimable waiter, pruning dead ones. *)
+let rec pop_claimable = function
+  | [] -> (None, [])
+  | w :: rest ->
+      let alive, claim =
+        match w with
+        | `S (sw : Value.send_waiter) -> (sw.sw_alive, sw.sw_claim)
+        | `R (rw : Value.recv_waiter) -> (rw.rw_alive, rw.rw_claim)
+      in
+      if not (alive ()) then pop_claimable rest
+      else if claim () then (Some w, rest)
+      else pop_claimable rest
+
+let pop_send_waiter (c : Value.chan) : Value.send_waiter option =
+  let found, rest = pop_claimable (List.map (fun w -> `S w) c.send_waiters) in
+  c.send_waiters <-
+    List.filter_map (function `S w -> Some w | `R _ -> None) rest;
+  match found with Some (`S w) -> Some w | _ -> None
+
+let pop_recv_waiter (c : Value.chan) : Value.recv_waiter option =
+  let found, rest = pop_claimable (List.map (fun w -> `R w) c.recv_waiters) in
+  c.recv_waiters <-
+    List.filter_map (function `R w -> Some w | `S _ -> None) rest;
+  match found with Some (`R w) -> Some w | _ -> None
+
+(* Would a send on [c] proceed right now? *)
+let send_ready (c : Value.chan) =
+  c.closed
+  || Queue.length c.buffer < c.capacity
+  || List.exists (fun (w : Value.recv_waiter) -> w.rw_alive ()) c.recv_waiters
+
+let recv_ready (c : Value.chan) =
+  c.closed
+  || Queue.length c.buffer > 0
+  || List.exists (fun (w : Value.send_waiter) -> w.sw_alive ()) c.send_waiters
+
+(* Deliver one send to channel [c]: either hand to a waiting receiver or
+   put into the buffer.  Caller ensures this will succeed.  Returns false
+   if it could not (race with select claims). *)
+let do_send sched (c : Value.chan) v : bool =
+  if c.closed then raise (Go_panic "send on closed channel");
+  match pop_recv_waiter c with
+  | Some rw ->
+      set_state sched rw.rw_gid Running;
+      rw.rw_wake (v, true);
+      true
+  | None ->
+      if Queue.length c.buffer < c.capacity then begin
+        Queue.push v c.buffer;
+        true
+      end
+      else false
+
+(* Take one value from channel [c]; caller checked readiness.  Returns
+   None if a racing claim emptied it. *)
+let do_recv sched (c : Value.chan) : (Value.t * bool) option =
+  if Queue.length c.buffer > 0 then begin
+    let v = Queue.pop c.buffer in
+    (* a sender may be waiting for buffer space: refill from it *)
+    (match pop_send_waiter c with
+    | Some sw ->
+        Queue.push sw.sw_value c.buffer;
+        set_state sched sw.sw_gid Running;
+        sw.sw_wake ()
+    | None -> ());
+    Some (v, true)
+  end
+  else
+    match pop_send_waiter c with
+    | Some sw ->
+        set_state sched sw.sw_gid Running;
+        sw.sw_wake ();
+        Some (sw.sw_value, true)
+    | None -> if c.closed then Some (c.elem_zero, false) else None
+
+let close_chan sched (c : Value.chan) =
+  if c.closed then raise (Go_panic "close of closed channel");
+  c.closed <- true;
+  (* wake all waiting receivers with the zero value *)
+  let rws = c.recv_waiters in
+  c.recv_waiters <- [];
+  List.iter
+    (fun (rw : Value.recv_waiter) ->
+      if rw.rw_alive () && rw.rw_claim () then begin
+        set_state sched rw.rw_gid Running;
+        rw.rw_wake (c.elem_zero, false)
+      end)
+    rws;
+  (* senders blocked on a now-closed channel panic when resumed; in Go a
+     blocked sender on a closed channel panics *)
+  let sws = c.send_waiters in
+  c.send_waiters <- [];
+  List.iter
+    (fun (sw : Value.send_waiter) ->
+      if sw.sw_alive () && sw.sw_claim () then begin
+        set_state sched sw.sw_gid Running;
+        sw.sw_wake () (* the resumed send re-checks closedness and panics *)
+      end)
+    sws
+
+(* ----------------------------------------------------- goroutine run *)
+
+let rec spawn sched name (body : unit -> unit) =
+  let gid = sched.next_gid in
+  sched.next_gid <- sched.next_gid + 1;
+  let g = { gid; gname = name; state = Running } in
+  sched.goroutines <- g :: sched.goroutines;
+  enqueue sched gid (fun () -> run_goroutine sched g body)
+
+and run_goroutine sched g body =
+  match_with
+    (fun () ->
+      (try body () with
+      | Goexit -> ()
+      | Go_panic msg ->
+          g.state <- Panicked msg;
+          sched.panics <- (g.gid, msg) :: sched.panics);
+      if g.state = Running then g.state <- Finished
+      else match g.state with Panicked _ -> () | _ -> g.state <- Finished)
+    ()
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          match e with
+          | Go_panic msg ->
+              g.state <- Panicked msg;
+              sched.panics <- (g.gid, msg) :: sched.panics
+          | Goexit -> g.state <- Finished
+          | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Spawn (f, name) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  spawn sched name f;
+                  enqueue sched g.gid (fun () -> continue k ()))
+          | Output s ->
+              Some
+                (fun k ->
+                  sched.out_rev <- s :: sched.out_rev;
+                  continue k ())
+          | Yield -> Some (fun k -> enqueue sched g.gid (fun () -> continue k ()))
+          | Sleep_eff n ->
+              Some
+                (fun k ->
+                  let counter = ref (max 1 n) in
+                  sched.sleeping <-
+                    (g.gid, counter, fun () -> continue k ()) :: sched.sleeping;
+                  set_state sched g.gid (Blocked ("sleep", Minigo.Loc.none)))
+          | Chan_send (c, v, loc) ->
+              Some
+                (fun k ->
+                  if c.Value.closed then
+                    enqueue sched g.gid (fun () ->
+                        discontinue k (Go_panic "send on closed channel"))
+                  else if do_send sched c v then
+                    enqueue sched g.gid (fun () -> continue k ())
+                  else begin
+                    (* block: register as sender *)
+                    let claimed = ref false in
+                    let sw =
+                      {
+                        Value.sw_gid = g.gid;
+                        sw_value = v;
+                        sw_wake =
+                          (fun () ->
+                            enqueue sched g.gid (fun () ->
+                                if c.Value.closed then
+                                  discontinue k (Go_panic "send on closed channel")
+                                else continue k ()));
+                        sw_alive = (fun () -> not !claimed);
+                        sw_claim =
+                          (fun () ->
+                            if !claimed then false
+                            else begin
+                              claimed := true;
+                              true
+                            end);
+                      }
+                    in
+                    c.Value.send_waiters <- c.Value.send_waiters @ [ sw ];
+                    set_state sched g.gid (Blocked ("chan send", loc))
+                  end)
+          | Chan_recv (c, loc) ->
+              Some
+                (fun k ->
+                  match do_recv sched c with
+                  | Some (v, ok) -> enqueue sched g.gid (fun () -> continue k (v, ok))
+                  | None ->
+                      let claimed = ref false in
+                      let rw =
+                        {
+                          Value.rw_gid = g.gid;
+                          rw_wake =
+                            (fun (v, ok) ->
+                              enqueue sched g.gid (fun () -> continue k (v, ok)));
+                          rw_alive = (fun () -> not !claimed);
+                          rw_claim =
+                            (fun () ->
+                              if !claimed then false
+                              else begin
+                                claimed := true;
+                                true
+                              end);
+                        }
+                      in
+                      c.Value.recv_waiters <- c.Value.recv_waiters @ [ rw ];
+                      set_state sched g.gid (Blocked ("chan recv", loc)))
+          | Chan_close (c, _loc) ->
+              Some
+                (fun k ->
+                  match close_chan sched c with
+                  | () -> enqueue sched g.gid (fun () -> continue k ())
+                  | exception Go_panic m ->
+                      enqueue sched g.gid (fun () -> discontinue k (Go_panic m)))
+          | Select_eff (arms, has_default, loc) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let k : (sel_outcome, unit) continuation = k in
+                  handle_select sched g k arms has_default loc)
+          | Mutex_lock (m, loc) ->
+              Some
+                (fun k ->
+                  match m.Value.held_by with
+                  | None ->
+                      m.Value.held_by <- Some g.gid;
+                      enqueue sched g.gid (fun () -> continue k ())
+                  | Some _ ->
+                      m.Value.lock_waiters <-
+                        m.Value.lock_waiters
+                        @ [ (g.gid, fun () -> enqueue sched g.gid (fun () -> continue k ())) ];
+                      set_state sched g.gid (Blocked ("mutex lock", loc)))
+          | Mutex_unlock (m, _loc) ->
+              Some
+                (fun k ->
+                  match m.Value.held_by with
+                  | None ->
+                      enqueue sched g.gid (fun () ->
+                          discontinue k (Go_panic "unlock of unlocked mutex"))
+                  | Some _ -> (
+                      match m.Value.lock_waiters with
+                      | [] ->
+                          m.Value.held_by <- None;
+                          enqueue sched g.gid (fun () -> continue k ())
+                      | (wgid, wake) :: rest ->
+                          m.Value.lock_waiters <- rest;
+                          m.Value.held_by <- Some wgid;
+                          set_state sched wgid Running;
+                          wake ();
+                          enqueue sched g.gid (fun () -> continue k ())))
+          | Wg_add (w, n, _loc) ->
+              Some
+                (fun k ->
+                  w.Value.counter <- w.Value.counter + n;
+                  enqueue sched g.gid (fun () -> continue k ()))
+          | Wg_done (w, _loc) ->
+              Some
+                (fun k ->
+                  w.Value.counter <- w.Value.counter - 1;
+                  if w.Value.counter < 0 then
+                    enqueue sched g.gid (fun () ->
+                        discontinue k (Go_panic "negative WaitGroup counter"))
+                  else begin
+                    if w.Value.counter = 0 then begin
+                      let ws = w.Value.wg_waiters in
+                      w.Value.wg_waiters <- [];
+                      List.iter
+                        (fun (wgid, wake) ->
+                          set_state sched wgid Running;
+                          wake ())
+                        ws
+                    end;
+                    enqueue sched g.gid (fun () -> continue k ())
+                  end)
+          | Cond_wait (c, loc) ->
+              Some
+                (fun k ->
+                  c.Value.cond_waiters <-
+                    c.Value.cond_waiters
+                    @ [ (g.gid, fun () -> enqueue sched g.gid (fun () -> continue k ())) ];
+                  set_state sched g.gid (Blocked ("cond wait", loc)))
+          | Cond_signal (c, _loc) ->
+              Some
+                (fun k ->
+                  (match c.Value.cond_waiters with
+                  | [] -> () (* a signal with no waiter is lost, as in Go *)
+                  | (wgid, wake) :: rest ->
+                      c.Value.cond_waiters <- rest;
+                      set_state sched wgid Running;
+                      wake ());
+                  enqueue sched g.gid (fun () -> continue k ()))
+          | Cond_broadcast (c, _loc) ->
+              Some
+                (fun k ->
+                  let ws = c.Value.cond_waiters in
+                  c.Value.cond_waiters <- [];
+                  List.iter
+                    (fun (wgid, wake) ->
+                      set_state sched wgid Running;
+                      wake ())
+                    ws;
+                  enqueue sched g.gid (fun () -> continue k ()))
+          | Wg_wait (w, loc) ->
+              Some
+                (fun k ->
+                  if w.Value.counter = 0 then
+                    enqueue sched g.gid (fun () -> continue k ())
+                  else begin
+                    w.Value.wg_waiters <-
+                      w.Value.wg_waiters
+                      @ [ (g.gid, fun () -> enqueue sched g.gid (fun () -> continue k ())) ];
+                    set_state sched g.gid (Blocked ("WaitGroup wait", loc))
+                  end)
+          | _ -> None);
+    }
+
+and handle_select sched g (k : (sel_outcome, unit) continuation) arms
+    has_default loc =
+  (* indices of arms ready to fire right now *)
+  let ready =
+    List.filteri
+      (fun _ arm ->
+        match arm with
+        | Sel_recv c -> recv_ready c
+        | Sel_send (c, _) -> send_ready c)
+      (List.mapi (fun i a -> (i, a)) arms |> List.map snd)
+  in
+  ignore ready;
+  let ready_idx =
+    List.filteri (fun _ _ -> true) arms
+    |> List.mapi (fun i a -> (i, a))
+    |> List.filter (fun (_, a) ->
+           match a with
+           | Sel_recv c -> recv_ready c
+           | Sel_send (c, _) -> send_ready c)
+  in
+  match ready_idx with
+  | _ :: _ ->
+      (* runtime picks uniformly among ready cases, like Go *)
+      let i, arm =
+        List.nth ready_idx (Random.State.int sched.rng (List.length ready_idx))
+      in
+      (match arm with
+      | Sel_recv c -> (
+          match do_recv sched c with
+          | Some (v, ok) ->
+              enqueue sched g.gid (fun () -> continue k (Chose_recv (i, v, ok)))
+          | None ->
+              (* readiness raced away; retry via re-entering the select *)
+              enqueue sched g.gid (fun () ->
+                  handle_select sched g k arms has_default loc))
+      | Sel_send (c, v) ->
+          if c.Value.closed then
+            enqueue sched g.gid (fun () ->
+                discontinue k (Go_panic "send on closed channel"))
+          else if do_send sched c v then
+            enqueue sched g.gid (fun () -> continue k (Chose_send i))
+          else
+            enqueue sched g.gid (fun () ->
+                handle_select sched g k arms has_default loc))
+  | [] ->
+      if has_default then enqueue sched g.gid (fun () -> continue k Chose_default)
+      else begin
+        (* block on all arms with a shared claim token *)
+        let taken = ref false in
+        let claim () =
+          if !taken then false
+          else begin
+            taken := true;
+            true
+          end
+        in
+        let alive () = not !taken in
+        List.iteri
+          (fun i arm ->
+            match arm with
+            | Sel_recv c ->
+                let rw =
+                  {
+                    Value.rw_gid = g.gid;
+                    rw_wake =
+                      (fun (v, ok) ->
+                        enqueue sched g.gid (fun () -> continue k (Chose_recv (i, v, ok))));
+                    rw_alive = alive;
+                    rw_claim = claim;
+                  }
+                in
+                c.Value.recv_waiters <- c.Value.recv_waiters @ [ rw ]
+            | Sel_send (c, v) ->
+                let sw =
+                  {
+                    Value.sw_gid = g.gid;
+                    sw_value = v;
+                    sw_wake =
+                      (fun () ->
+                        enqueue sched g.gid (fun () ->
+                            if c.Value.closed then
+                              discontinue k (Go_panic "send on closed channel")
+                            else continue k (Chose_send i)));
+                    sw_alive = alive;
+                    sw_claim = claim;
+                  }
+                in
+                c.Value.send_waiters <- c.Value.send_waiters @ [ sw ])
+          arms;
+        set_state sched g.gid (Blocked ("select", loc))
+      end
+
+(* ------------------------------------------------------------ driver *)
+
+let run sched ~entry : report =
+  spawn sched "main" entry;
+  let fuel_exhausted = ref false in
+  let continue_run = ref true in
+  while !continue_run do
+    if sched.steps >= sched.fuel then begin
+      fuel_exhausted := true;
+      continue_run := false
+    end
+    else begin
+      (match sched.runq with
+      | [] -> ()
+      | q ->
+          (* pick a random runnable goroutine: interleaving exploration *)
+          let n = List.length q in
+          let idx = if n = 1 then 0 else Random.State.int sched.rng n in
+          let _, thunk = List.nth q idx in
+          sched.runq <- List.filteri (fun i _ -> i <> idx) q;
+          sched.steps <- sched.steps + 1;
+          thunk ());
+      if sched.runq = [] then begin
+        (* advance sleepers; they tick only when nothing else can run *)
+        match sched.sleeping with
+        | [] -> continue_run := false
+        | sleepers ->
+            let woken, still =
+              List.partition
+                (fun (_, c, _) ->
+                  decr c;
+                  !c <= 0)
+                sleepers
+            in
+            sched.sleeping <- still;
+            List.iter
+              (fun (gid, _, wake) ->
+                set_state sched gid Running;
+                wake ())
+              woken
+      end
+    end
+  done;
+  let leaked =
+    List.filter_map
+      (fun g ->
+        match g.state with
+        | Blocked (reason, loc) -> Some (g.gid, g.gname, reason, loc)
+        | _ -> None)
+      sched.goroutines
+  in
+  let completed =
+    List.length (List.filter (fun g -> g.state = Finished) sched.goroutines)
+  in
+  {
+    steps = sched.steps;
+    output = List.rev sched.out_rev;
+    leaked;
+    panics = sched.panics;
+    spawned = List.length sched.goroutines;
+    completed;
+    fuel_exhausted = !fuel_exhausted;
+  }

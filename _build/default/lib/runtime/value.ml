@@ -1,0 +1,137 @@
+(* Runtime values of the MiniGo interpreter. *)
+
+type t =
+  | Vint of int
+  | Vbool of bool
+  | Vstr of string
+  | Vunit
+  | Vnil
+  | Vchan of chan
+  | Vmutex of mutex
+  | Vwg of waitgroup
+  | Vcond of cond
+  | Vstruct of (string, t) Hashtbl.t
+  | Vclosure of closure
+  | Vtuple of t list
+  | Vctx of chan (* a context is represented by its Done channel *)
+  | Vtesting
+  | Verror of string option (* None represents a nil error *)
+
+and chan = {
+  chan_id : int;
+  capacity : int;
+  buffer : t Queue.t;
+  mutable closed : bool;
+  mutable send_waiters : send_waiter list; (* FIFO: append at back *)
+  mutable recv_waiters : recv_waiter list;
+  made_at : Minigo.Loc.t;
+  elem_zero : t; (* value a receive on a closed channel yields *)
+}
+
+and send_waiter = {
+  sw_gid : int;
+  sw_value : t;
+  sw_wake : unit -> unit; (* resume the sender *)
+  sw_alive : unit -> bool; (* still waiting? (select may have fired) *)
+  sw_claim : unit -> bool; (* atomically claim; false if already taken *)
+}
+
+and recv_waiter = {
+  rw_gid : int;
+  rw_wake : t * bool -> unit; (* resume the receiver with (value, ok) *)
+  rw_alive : unit -> bool;
+  rw_claim : unit -> bool;
+}
+
+and mutex = {
+  mutex_id : int;
+  mutable held_by : int option;
+  mutable lock_waiters : (int * (unit -> unit)) list;
+}
+
+and waitgroup = {
+  wg_id : int;
+  mutable counter : int;
+  mutable wg_waiters : (int * (unit -> unit)) list;
+}
+
+and cond = {
+  cond_id : int;
+  mutable cond_waiters : (int * (unit -> unit)) list;
+}
+
+and closure = {
+  params : Minigo.Ast.param list;
+  results : Minigo.Ast.typ list;
+  body : Minigo.Ast.block;
+  env : (string, t ref) Hashtbl.t;
+  fn_name : string; (* for diagnostics *)
+}
+
+let rec to_string = function
+  | Vint n -> string_of_int n
+  | Vbool b -> string_of_bool b
+  | Vstr s -> s
+  | Vunit -> "{}"
+  | Vnil -> "nil"
+  | Vchan c -> Printf.sprintf "<chan#%d>" c.chan_id
+  | Vmutex m -> Printf.sprintf "<mutex#%d>" m.mutex_id
+  | Vwg w -> Printf.sprintf "<wg#%d>" w.wg_id
+  | Vcond c -> Printf.sprintf "<cond#%d>" c.cond_id
+  | Vstruct fields ->
+      let fs =
+        Hashtbl.fold (fun k v acc -> Printf.sprintf "%s: %s" k (to_string v) :: acc) fields []
+      in
+      "{" ^ String.concat ", " (List.sort compare fs) ^ "}"
+  | Vclosure c -> Printf.sprintf "<func %s>" c.fn_name
+  | Vtuple vs -> "(" ^ String.concat ", " (List.map to_string vs) ^ ")"
+  | Vctx c -> Printf.sprintf "<ctx#%d>" c.chan_id
+  | Vtesting -> "<testing.T>"
+  | Verror None -> "nil"
+  | Verror (Some m) -> Printf.sprintf "error(%s)" m
+
+let truthy = function
+  | Vbool b -> b
+  | Vnil -> false
+  | Verror None -> false
+  | Verror (Some _) -> true
+  | _ -> true
+
+(* Equality used by == / !=; nil compares with channels, errors, etc. *)
+let rec equal a b =
+  match (a, b) with
+  | Vint x, Vint y -> x = y
+  | Vbool x, Vbool y -> x = y
+  | Vstr x, Vstr y -> String.equal x y
+  | Vunit, Vunit -> true
+  | Vnil, Vnil -> true
+  | Vnil, Verror None | Verror None, Vnil -> true
+  | Verror x, Verror y -> x = y
+  | Vnil, (Vchan _ | Vclosure _ | Vstruct _) | (Vchan _ | Vclosure _ | Vstruct _), Vnil
+    ->
+      false
+  | Vchan x, Vchan y -> x.chan_id = y.chan_id
+  | Vmutex x, Vmutex y -> x.mutex_id = y.mutex_id
+  | Vtuple xs, Vtuple ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | _ -> false
+
+(* Zero value of a type, used for var declarations and closed-channel
+   receives. *)
+let zero_of_type ~fresh_chan ~fresh_mutex ~fresh_wg ~fresh_cond
+    (ty : Minigo.Ast.typ) : t =
+  match ty with
+  | Tint -> Vint 0
+  | Tbool -> Vbool false
+  | Tstring -> Vstr ""
+  | Tunit -> Vunit
+  | Terror -> Verror None
+  | Tchan _ -> Vnil
+  | Tmutex -> Vmutex (fresh_mutex ())
+  | Twaitgroup -> Vwg (fresh_wg ())
+  | Tcond -> Vcond (fresh_cond ())
+  | Tstruct _ -> Vstruct (Hashtbl.create 4)
+  | Tfunc _ -> Vnil
+  | Ttesting -> Vtesting
+  | Tcontext -> Vctx (fresh_chan ())
+  | Tany -> Vnil

@@ -1,0 +1,1 @@
+lib/smt/diff_logic.ml: Array List Printf

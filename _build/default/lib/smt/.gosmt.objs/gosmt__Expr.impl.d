@@ -1,0 +1,1 @@
+lib/smt/expr.ml: Array List Printf Sat String

@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Array Diff_logic Expr Hashtbl List Sat

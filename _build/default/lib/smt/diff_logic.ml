@@ -1,0 +1,71 @@
+(* Integer difference-logic theory solver.
+
+   Atoms have the form  x - y <= c  over integer variables.  A set of such
+   atoms is satisfiable iff the constraint graph (edge y -> x with weight
+   c) has no negative cycle; Bellman-Ford both decides this and produces a
+   model (shortest-path potentials).  On conflict we return the atoms
+   forming the negative cycle as an explanation, which the DPLL(T) driver
+   turns into a blocking clause.
+
+   Strict inequalities over integers are normalised by the caller:
+   x < y  ≡  x - y <= -1.  Equality is two [<=] atoms. *)
+
+type atom = { ax : int; ay : int; ac : int } (* ax - ay <= ac *)
+
+let atom_str a = Printf.sprintf "v%d - v%d <= %d" a.ax a.ay a.ac
+
+type result =
+  | Consistent of int array (* model: value per variable *)
+  | Inconsistent of atom list (* atoms of a negative cycle *)
+
+(* Check a conjunction of difference atoms over variables [0, nvars). *)
+let check ~nvars (atoms : atom list) : result =
+  (* edge y -> x weight c for each atom x - y <= c *)
+  let edges = List.map (fun a -> (a.ay, a.ax, a.ac, a)) atoms in
+  let dist = Array.make nvars 0 in
+  let pred = Array.make nvars None in
+  (* virtual source connecting to all nodes with weight 0 is modelled by
+     the all-zero initial distances *)
+  let changed = ref true in
+  let iter = ref 0 in
+  let last_relaxed = ref None in
+  while !changed && !iter <= nvars do
+    changed := false;
+    incr iter;
+    List.iter
+      (fun (u, v, w, a) ->
+        if dist.(u) + w < dist.(v) then begin
+          dist.(v) <- dist.(u) + w;
+          pred.(v) <- Some (u, a);
+          changed := true;
+          last_relaxed := Some v
+        end)
+      edges
+  done;
+  (* with edge (ay -> ax, ac) Bellman-Ford guarantees
+     dist(ax) <= dist(ay) + ac, i.e. dist itself is a model of every
+     atom ax - ay <= ac *)
+  if not !changed then Consistent (Array.copy dist)
+  else begin
+    (* a vertex relaxed on the nth pass lies on / reaches a negative
+       cycle; walk pred n steps to land on the cycle, then collect it *)
+    let v = match !last_relaxed with Some v -> v | None -> assert false in
+    let v = ref v in
+    for _ = 1 to nvars do
+      match pred.(!v) with Some (u, _) -> v := u | None -> ()
+    done;
+    let start = !v in
+    let cycle = ref [] in
+    let cur = ref start in
+    let continue_walk = ref true in
+    while !continue_walk do
+      match pred.(!cur) with
+      | Some (u, a) ->
+          cycle := a :: !cycle;
+          cur := u;
+          if u = start then continue_walk := false
+      | None -> continue_walk := false
+    done;
+    Inconsistent !cycle
+  end
+

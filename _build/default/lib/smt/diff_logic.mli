@@ -1,0 +1,17 @@
+(** Integer difference-logic theory solver.
+
+    Atoms have the form [x - y <= c].  A conjunction is satisfiable iff
+    the constraint graph has no negative cycle; Bellman-Ford decides this
+    and produces either a model or the cycle as an explanation, which the
+    DPLL(T) driver turns into a blocking clause. *)
+
+type atom = { ax : int; ay : int; ac : int }
+(** [ax - ay <= ac] over variables identified by dense indices. *)
+
+val atom_str : atom -> string
+
+type result =
+  | Consistent of int array  (** a model: value per variable *)
+  | Inconsistent of atom list  (** the atoms of a negative cycle *)
+
+val check : nvars:int -> atom list -> result

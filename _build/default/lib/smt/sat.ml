@@ -1,0 +1,354 @@
+(* A CDCL SAT solver.
+
+   Standard architecture: two-watched-literal propagation, first-UIP
+   conflict analysis with clause learning, non-chronological backjumping,
+   and VSIDS-style variable activities.  The solver supports incremental
+   clause addition between [solve] calls, which the DPLL(T) driver uses to
+   add theory-conflict (blocking) clauses.
+
+   Literal encoding: variable [v] (1-based) has positive literal [2*v] and
+   negative literal [2*v+1].  [neg l = l lxor 1]. *)
+
+type lbool = LTrue | LFalse | LUndef
+
+type clause = { lits : int array; mutable activity : float; learnt : bool }
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause list;
+  mutable watches : clause list array; (* indexed by literal *)
+  mutable assign : lbool array;        (* indexed by var *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable trail : int array;           (* literals, in assignment order *)
+  mutable trail_size : int;
+  mutable trail_lim : int list;        (* decision-level boundaries *)
+  mutable qhead : int;
+  mutable activity : float array;
+  mutable var_inc : float;
+  mutable ok : bool;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+}
+
+let lit_of_var v sign = (2 * v) + if sign then 0 else 1
+let var_of_lit l = l / 2
+let is_pos l = l land 1 = 0
+let neg l = l lxor 1
+
+let create () =
+  {
+    nvars = 0;
+    clauses = [];
+    watches = Array.make 16 [];
+    assign = Array.make 8 LUndef;
+    level = Array.make 8 0;
+    reason = Array.make 8 None;
+    trail = Array.make 8 0;
+    trail_size = 0;
+    trail_lim = [];
+    qhead = 0;
+    activity = Array.make 8 0.0;
+    var_inc = 1.0;
+    ok = true;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+  }
+
+let ensure_capacity s n =
+  let cap = Array.length s.assign in
+  if n >= cap then begin
+    let ncap = max (n + 1) (2 * cap) in
+    let grow a d = Array.append a (Array.make (ncap - Array.length a) d) in
+    s.assign <- grow s.assign LUndef;
+    s.level <- grow s.level 0;
+    s.reason <- grow s.reason None;
+    s.activity <- grow s.activity 0.0;
+    s.trail <- grow s.trail 0
+  end;
+  let wcap = Array.length s.watches in
+  if (2 * n) + 1 >= wcap then begin
+    let nwcap = max ((2 * n) + 2) (2 * wcap) in
+    s.watches <- Array.append s.watches (Array.make (nwcap - wcap) [])
+  end
+
+let new_var s =
+  s.nvars <- s.nvars + 1;
+  ensure_capacity s s.nvars;
+  s.nvars
+
+let value_lit s l =
+  match s.assign.(var_of_lit l) with
+  | LUndef -> LUndef
+  | LTrue -> if is_pos l then LTrue else LFalse
+  | LFalse -> if is_pos l then LFalse else LTrue
+
+let decision_level s = List.length s.trail_lim
+
+let enqueue s l reason =
+  let v = var_of_lit l in
+  s.assign.(v) <- (if is_pos l then LTrue else LFalse);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 1 to s.nvars do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+let decay_activities s = s.var_inc <- s.var_inc /. 0.95
+
+(* Attach a clause to the watch lists of its first two literals. *)
+let watch_clause s c =
+  if Array.length c.lits >= 2 then begin
+    s.watches.(neg c.lits.(0)) <- c :: s.watches.(neg c.lits.(0));
+    s.watches.(neg c.lits.(1)) <- c :: s.watches.(neg c.lits.(1))
+  end
+
+exception Conflict of clause
+
+(* Boolean constraint propagation; raises [Conflict] on failure. *)
+let propagate s =
+  while s.qhead < s.trail_size do
+    let l = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let watching = s.watches.(l) in
+    s.watches.(l) <- [];
+    let rec process = function
+      | [] -> ()
+      | c :: rest -> (
+          (* make sure the false literal is at position 1 *)
+          if c.lits.(0) = neg l then begin
+            c.lits.(0) <- c.lits.(1);
+            c.lits.(1) <- neg l
+          end;
+          if value_lit s c.lits.(0) = LTrue then begin
+            (* clause already satisfied; keep watching *)
+            s.watches.(l) <- c :: s.watches.(l);
+            process rest
+          end
+          else begin
+            (* look for a new literal to watch *)
+            let n = Array.length c.lits in
+            let found = ref false in
+            let k = ref 2 in
+            while (not !found) && !k < n do
+              if value_lit s c.lits.(!k) <> LFalse then begin
+                let tmp = c.lits.(1) in
+                c.lits.(1) <- c.lits.(!k);
+                c.lits.(!k) <- tmp;
+                s.watches.(neg c.lits.(1)) <- c :: s.watches.(neg c.lits.(1));
+                found := true
+              end;
+              incr k
+            done;
+            if !found then process rest
+            else begin
+              (* unit or conflicting *)
+              s.watches.(l) <- c :: s.watches.(l);
+              match value_lit s c.lits.(0) with
+              | LFalse ->
+                  (* restore remaining watches before failing *)
+                  List.iter (fun c' -> s.watches.(l) <- c' :: s.watches.(l)) rest;
+                  raise (Conflict c)
+              | LUndef ->
+                  enqueue s c.lits.(0) (Some c);
+                  process rest
+              | LTrue -> process rest
+            end
+          end)
+    in
+    process watching
+  done
+
+(* First-UIP conflict analysis.  Returns (learnt clause lits, backjump
+   level); learnt.(0) is the asserting literal.
+
+   [p] is the trail literal currently being resolved on (true under the
+   current assignment); its reason clause contains it positively and we
+   skip it while expanding. *)
+let analyze s (confl : clause) =
+  let seen = Array.make (s.nvars + 1) false in
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref None in
+  let confl = ref (Some confl) in
+  let idx = ref (s.trail_size - 1) in
+  let btlevel = ref 0 in
+  let asserting = ref 0 in
+  let continue_loop = ref true in
+  while !continue_loop do
+    (match !confl with
+    | None -> ()
+    | Some c ->
+        Array.iter
+          (fun q ->
+            let v = var_of_lit q in
+            let skip = match !p with Some pl -> q = pl | None -> false in
+            if (not skip) && (not seen.(v)) && s.level.(v) > 0 then begin
+              seen.(v) <- true;
+              bump_var s v;
+              if s.level.(v) >= decision_level s then incr counter
+              else begin
+                learnt := q :: !learnt;
+                if s.level.(v) > !btlevel then btlevel := s.level.(v)
+              end
+            end)
+          c.lits);
+    (* walk back to the most recently assigned marked literal *)
+    while not seen.(var_of_lit s.trail.(!idx)) do
+      decr idx
+    done;
+    let l = s.trail.(!idx) in
+    decr idx;
+    decr counter;
+    seen.(var_of_lit l) <- false;
+    p := Some l;
+    if !counter <= 0 then begin
+      asserting := neg l;
+      continue_loop := false
+    end
+    else confl := s.reason.(var_of_lit l)
+  done;
+  (Array.of_list (!asserting :: !learnt), !btlevel)
+
+(* Undo all assignments above decision level [lvl].  [trail_lim] is a
+   stack whose head is the trail index where the most recent decision
+   level begins. *)
+let cancel_until s lvl =
+  while decision_level s > lvl do
+    match s.trail_lim with
+    | [] -> assert false
+    | b :: rest ->
+        for i = s.trail_size - 1 downto b do
+          let v = var_of_lit s.trail.(i) in
+          s.assign.(v) <- LUndef;
+          s.reason.(v) <- None
+        done;
+        s.trail_size <- b;
+        s.trail_lim <- rest
+  done;
+  if s.qhead > s.trail_size then s.qhead <- s.trail_size
+
+(* Add a clause; returns false if the solver becomes trivially unsat.
+   May be called between solve invocations (at level 0). *)
+let add_clause s (lits : int list) =
+  if not s.ok then false
+  else begin
+    cancel_until s 0;
+    (* simplify: drop false lits, detect satisfied/duplicate *)
+    let tbl = Hashtbl.create 8 in
+    let sat = ref false in
+    let lits =
+      List.filter
+        (fun l ->
+          match value_lit s l with
+          | LTrue ->
+              sat := true;
+              false
+          | LFalse -> false
+          | LUndef ->
+              if Hashtbl.mem tbl l then false
+              else if Hashtbl.mem tbl (neg l) then begin
+                sat := true;
+                false
+              end
+              else begin
+                Hashtbl.add tbl l ();
+                true
+              end)
+        lits
+    in
+    if !sat then true
+    else
+      match lits with
+      | [] ->
+          s.ok <- false;
+          false
+      | [ l ] ->
+          enqueue s l None;
+          (try
+             propagate s;
+             true
+           with Conflict _ ->
+             s.ok <- false;
+             false)
+      | _ ->
+          let c = { lits = Array.of_list lits; activity = 0.0; learnt = false } in
+          s.clauses <- c :: s.clauses;
+          watch_clause s c;
+          true
+  end
+
+let pick_branch_var s =
+  let best = ref 0 in
+  let best_act = ref neg_infinity in
+  for v = 1 to s.nvars do
+    if s.assign.(v) = LUndef && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  !best
+
+type result = Sat | Unsat
+
+let solve s : result =
+  if not s.ok then Unsat
+  else begin
+    cancel_until s 0;
+    s.qhead <- 0;
+    (* re-propagate the level-0 trail *)
+    let rec loop () =
+      match
+        try
+          propagate s;
+          None
+        with Conflict c -> Some c
+      with
+      | Some confl ->
+          s.conflicts <- s.conflicts + 1;
+          if decision_level s = 0 then begin
+            s.ok <- false;
+            Unsat
+          end
+          else begin
+            let learnt, btlevel = analyze s confl in
+            cancel_until s btlevel;
+            (match Array.length learnt with
+            | 1 -> enqueue s learnt.(0) None
+            | _ ->
+                let c = { lits = learnt; activity = 0.0; learnt = true } in
+                s.clauses <- c :: s.clauses;
+                watch_clause s c;
+                enqueue s learnt.(0) (Some c));
+            decay_activities s;
+            loop ()
+          end
+      | None ->
+          let v = pick_branch_var s in
+          if v = 0 then Sat
+          else begin
+            s.decisions <- s.decisions + 1;
+            s.trail_lim <- s.trail_size :: s.trail_lim;
+            (* phase saving would go here; default to false first *)
+            enqueue s (lit_of_var v false) None;
+            loop ()
+          end
+    in
+    loop ()
+  end
+
+let model_value s v =
+  match s.assign.(v) with LTrue -> true | LFalse -> false | LUndef -> false
+
+let stats s = (s.conflicts, s.decisions, s.propagations)

@@ -1,0 +1,35 @@
+(** A CDCL SAT solver: two-watched-literal propagation, first-UIP clause
+    learning, non-chronological backjumping, VSIDS-style activities.
+    Supports incremental clause addition between [solve] calls, which the
+    DPLL(T) driver uses for theory-conflict (blocking) clauses.
+
+    Literal encoding: variable [v] (1-based) has positive literal [2*v]
+    and negative literal [2*v+1]. *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its 1-based index. *)
+
+val lit_of_var : int -> bool -> int
+(** [lit_of_var v sign] is the literal for [v], positive when [sign]. *)
+
+val var_of_lit : int -> int
+val is_pos : int -> bool
+val neg : int -> int
+
+val add_clause : t -> int list -> bool
+(** Add a clause of literals; returns [false] if the formula became
+    trivially unsatisfiable.  May be called between [solve] calls. *)
+
+val solve : t -> result
+
+val model_value : t -> int -> bool
+(** Value of a variable in the last satisfying assignment. *)
+
+val stats : t -> int * int * int
+(** (conflicts, decisions, propagations). *)

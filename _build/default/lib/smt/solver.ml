@@ -1,0 +1,162 @@
+(* DPLL(T): the CDCL SAT core combined with the difference-logic theory.
+
+   Usage mirrors a small subset of the Z3 API the paper relies on:
+   - declare order variables ([new_order_var]) and booleans ([new_bool]);
+   - build formulas with [lt]/[le]/[eq] atoms and {!Expr} connectives;
+   - [add] asserts a formula; [solve] returns [Sat model] or [Unsat].
+
+   The loop is offline-lazy: SAT finds a complete boolean assignment; the
+   true (and negated-false) difference atoms are checked by Bellman-Ford;
+   a negative cycle becomes a blocking clause; repeat.  This is sound and
+   complete for the QF_IDL + pseudo-boolean fragment GCatch generates. *)
+
+type ovar = int (* order variable index, dense from 0 *)
+
+type atom_info =
+  | Abool of string
+  | Adiff of Diff_logic.atom (* x - y <= c *)
+
+type t = {
+  sat : Sat.t;
+  mutable atoms : atom_info array; (* atom id -> info *)
+  mutable natoms : int;
+  mutable atom_sat_var : int array; (* atom id -> SAT var *)
+  atom_cache : (atom_info, int) Hashtbl.t;
+  mutable novars : int;
+  mutable ovar_names : string list; (* reverse order *)
+  mutable bool_names : (string, int) Hashtbl.t;
+  mutable pending : Expr.t list;
+  mutable theory_conflicts : int;
+}
+
+type model = {
+  order_of : ovar -> int;
+  bool_of : string -> bool;
+}
+
+type result = Sat_model of model | Unsat
+
+let create () =
+  {
+    sat = Sat.create ();
+    atoms = Array.make 16 (Abool "");
+    natoms = 0;
+    atom_sat_var = Array.make 16 0;
+    atom_cache = Hashtbl.create 64;
+    novars = 0;
+    ovar_names = [];
+    bool_names = Hashtbl.create 16;
+    pending = [];
+    theory_conflicts = 0;
+  }
+
+let new_order_var t name : ovar =
+  let v = t.novars in
+  t.novars <- t.novars + 1;
+  t.ovar_names <- name :: t.ovar_names;
+  v
+
+let intern_atom t info : int =
+  match Hashtbl.find_opt t.atom_cache info with
+  | Some id -> id
+  | None ->
+      let id = t.natoms in
+      t.natoms <- t.natoms + 1;
+      if id >= Array.length t.atoms then begin
+        let grow a d = Array.append a (Array.make (Array.length a) d) in
+        t.atoms <- grow t.atoms (Abool "");
+        t.atom_sat_var <- grow t.atom_sat_var 0
+      end;
+      t.atoms.(id) <- info;
+      t.atom_sat_var.(id) <- Sat.new_var t.sat;
+      Hashtbl.add t.atom_cache info id;
+      id
+
+let new_bool t name : Expr.t =
+  match Hashtbl.find_opt t.bool_names name with
+  | Some id -> Expr.Atom id
+  | None ->
+      let id = intern_atom t (Abool name) in
+      Hashtbl.replace t.bool_names name id;
+      Expr.Atom id
+
+(* x - y <= c *)
+let le_c t x y c : Expr.t =
+  Expr.Atom (intern_atom t (Adiff { Diff_logic.ax = x; ay = y; ac = c }))
+
+let lt t x y = le_c t x y (-1) (* x < y *)
+let le t x y = le_c t x y 0
+let eq t x y = Expr.And [ le t x y; le t y x ]
+
+let add t (f : Expr.t) = t.pending <- f :: t.pending
+
+let flush_pending t =
+  match t.pending with
+  | [] -> ()
+  | fs ->
+      t.pending <- [];
+      let ctx =
+        {
+          Expr.fresh = (fun () -> Sat.new_var t.sat);
+          lit_of_atom = (fun id -> Sat.lit_of_var t.atom_sat_var.(id) true);
+          out = [];
+        }
+      in
+      List.iter (Expr.assert_formula ctx) (List.rev fs);
+      List.iter (fun c -> ignore (Sat.add_clause t.sat c)) (List.rev ctx.Expr.out)
+
+let solve t : result =
+  flush_pending t;
+  let rec loop budget =
+    if budget = 0 then Unsat (* safety valve; never reached in practice *)
+    else
+      match Sat.solve t.sat with
+      | Sat.Unsat -> Unsat
+      | Sat.Sat -> (
+          (* collect asserted difference atoms (true => atom, false =>
+             negation: ¬(x-y<=c) ≡ y-x <= -c-1) *)
+          let asserted = ref [] in
+          let provenance = Hashtbl.create 16 in
+          for id = 0 to t.natoms - 1 do
+            match t.atoms.(id) with
+            | Adiff a ->
+                let v = t.atom_sat_var.(id) in
+                let truth = Sat.model_value t.sat v in
+                let a' =
+                  if truth then a
+                  else { Diff_logic.ax = a.ay; ay = a.ax; ac = -a.ac - 1 }
+                in
+                asserted := a' :: !asserted;
+                Hashtbl.replace provenance a' (id, truth)
+            | Abool _ -> ()
+          done;
+          match Diff_logic.check ~nvars:(max 1 t.novars) !asserted with
+          | Diff_logic.Consistent vals ->
+              let order_of v = if v < Array.length vals then vals.(v) else 0 in
+              let bool_of name =
+                match Hashtbl.find_opt t.bool_names name with
+                | Some id -> Sat.model_value t.sat t.atom_sat_var.(id)
+                | None -> false
+              in
+              Sat_model { order_of; bool_of }
+          | Diff_logic.Inconsistent cycle ->
+              t.theory_conflicts <- t.theory_conflicts + 1;
+              (* block this combination of atom truth values *)
+              let clause =
+                List.filter_map
+                  (fun a ->
+                    match Hashtbl.find_opt provenance a with
+                    | Some (id, truth) ->
+                        let l = Sat.lit_of_var t.atom_sat_var.(id) true in
+                        Some (if truth then Sat.neg l else l)
+                    | None -> None)
+                  cycle
+              in
+              if clause = [] then Unsat
+              else if Sat.add_clause t.sat clause then loop (budget - 1)
+              else Unsat)
+  in
+  loop 100_000
+
+let theory_conflicts t = t.theory_conflicts
+let sat_stats t = Sat.stats t.sat

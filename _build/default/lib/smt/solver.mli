@@ -1,0 +1,40 @@
+(** DPLL(T): the CDCL SAT core combined with difference logic — the
+    reproduction's stand-in for the subset of Z3 the paper uses.
+
+    The loop is offline-lazy: SAT produces a complete boolean assignment;
+    asserted difference atoms are checked by Bellman-Ford; a negative
+    cycle becomes a blocking clause; repeat.  Sound and complete for the
+    QF_IDL + pseudo-boolean fragment GCatch generates. *)
+
+type t
+
+type ovar
+(** An integer order variable (the paper's O variables). *)
+
+type model = {
+  order_of : ovar -> int;     (** order value in the witness schedule *)
+  bool_of : string -> bool;   (** value of a named boolean (P variables) *)
+}
+
+type result = Sat_model of model | Unsat
+
+val create : unit -> t
+
+val new_order_var : t -> string -> ovar
+val new_bool : t -> string -> Expr.t
+(** Named booleans are interned: the same name yields the same atom. *)
+
+val le_c : t -> ovar -> ovar -> int -> Expr.t
+(** [le_c t x y c] is the atom [x - y <= c]. *)
+
+val lt : t -> ovar -> ovar -> Expr.t
+val le : t -> ovar -> ovar -> Expr.t
+val eq : t -> ovar -> ovar -> Expr.t
+
+val add : t -> Expr.t -> unit
+(** Assert a formula (deferred until [solve]). *)
+
+val solve : t -> result
+
+val theory_conflicts : t -> int
+val sat_stats : t -> int * int * int

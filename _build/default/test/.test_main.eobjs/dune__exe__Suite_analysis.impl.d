@@ -1,0 +1,1 @@
+test/suite_analysis.ml: Alcotest Goanalysis Goir Hashtbl List Minigo Option

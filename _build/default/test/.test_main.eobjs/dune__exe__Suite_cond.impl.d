@@ -1,0 +1,1 @@
+test/suite_cond.ml: Alcotest Array Gcatch Goir Goruntime List Minigo Option

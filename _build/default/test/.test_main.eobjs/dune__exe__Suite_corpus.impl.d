@@ -1,0 +1,1 @@
+test/suite_corpus.ml: Alcotest Gcatch Gocorpus Goreport Goruntime List Minigo Option Printf

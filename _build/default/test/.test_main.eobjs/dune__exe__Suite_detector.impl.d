@@ -1,0 +1,1 @@
+test/suite_detector.ml: Alcotest Gcatch Goanalysis Goir List Minigo String

@@ -1,0 +1,1 @@
+test/suite_differential.ml: Alcotest Gcatch Goruntime List Minigo Printf QCheck QCheck_alcotest String

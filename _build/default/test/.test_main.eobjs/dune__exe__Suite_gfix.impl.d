@@ -1,0 +1,1 @@
+test/suite_gfix.ml: Alcotest Gcatch Gen Goruntime List Minigo Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest Array Goir List Minigo String

@@ -1,0 +1,1 @@
+test/suite_lexer.ml: Alcotest Char Gen List Minigo QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_nonblocking.ml: Alcotest Gcatch Goruntime List Minigo

@@ -1,0 +1,1 @@
+test/suite_parser.ml: Alcotest Gocorpus List Minigo Option String

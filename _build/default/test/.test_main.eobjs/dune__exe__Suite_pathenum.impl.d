@@ -1,0 +1,1 @@
+test/suite_pathenum.ml: Alcotest Gcatch Goanalysis Goir Hashtbl List Printf String

@@ -1,0 +1,1 @@
+test/suite_runtime.ml: Alcotest Goruntime List Minigo Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_smt.ml: Alcotest Array Fun Gen Gosmt List Printf QCheck QCheck_alcotest

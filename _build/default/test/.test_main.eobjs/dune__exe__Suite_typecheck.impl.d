@@ -1,0 +1,1 @@
+test/suite_typecheck.ml: Alcotest Minigo Option

@@ -1,0 +1,1 @@
+test/suite_waitgroup.ml: Alcotest Gcatch Goruntime List Minigo

@@ -1,0 +1,180 @@
+(* Static-analysis tests: alias analysis, call graph, dominance. *)
+
+module Ir = Goir.Ir
+module Alias = Goanalysis.Alias
+module CG = Goanalysis.Callgraph
+module Dom = Goanalysis.Dominance
+
+let lower src =
+  Goir.Lower.lower_program
+    (Minigo.Typecheck.check_program
+       (Minigo.Parser.parse_string ("package p\n" ^ src)))
+
+let chan_objs alias fname var =
+  Alias.ObjSet.elements (Alias.objects_of_place alias fname (Ir.Pvar var))
+
+(* ---- alias ---- *)
+
+let test_alias_direct () =
+  let ir = lower "func f() {\n\tc := make(chan int)\n\td := c\n\t_ = d\n}" in
+  let alias = Alias.analyse ir in
+  match (chan_objs alias "f" "c", chan_objs alias "f" "d") with
+  | [ oc ], [ od ] -> Alcotest.(check bool) "same object" true (oc = od)
+  | _ -> Alcotest.fail "expected singleton points-to sets"
+
+let test_alias_through_call () =
+  let ir =
+    lower
+      "func use(x chan int) {\n\tx <- 1\n}\nfunc f() {\n\tc := make(chan int, 1)\n\tuse(c)\n\t<-c\n}"
+  in
+  let alias = Alias.analyse ir in
+  Alcotest.(check bool) "param aliases caller channel" true
+    (Alias.may_alias alias "f" (Ir.Pvar "c") "use" (Ir.Pvar "x"))
+
+let test_alias_through_goroutine () =
+  let ir =
+    lower "func f() {\n\tc := make(chan int)\n\tgo func() {\n\t\tc <- 1\n\t}()\n\t<-c\n}"
+  in
+  let alias = Alias.analyse ir in
+  Alcotest.(check bool) "capture aliases channel" true
+    (Alias.may_alias alias "f" (Ir.Pvar "c") "f$fn1" (Ir.Pvar "c"))
+
+let test_alias_struct_field () =
+  let ir =
+    lower
+      "type Holder struct {\n\tch chan int\n}\nfunc f() {\n\th := Holder{ch: make(chan int, 1)}\n\th.ch <- 1\n\t<-h.ch\n}"
+  in
+  let alias = Alias.analyse ir in
+  let objs = Alias.objects_of_place alias "f" (Ir.Pfield ("h", "ch")) in
+  Alcotest.(check bool) "field holds the channel" true
+    (Alias.ObjSet.exists (function Alias.Achan _ -> true | _ -> false) objs)
+
+let test_alias_distinct_sites () =
+  let ir =
+    lower "func f() {\n\ta := make(chan int, 1)\n\tb := make(chan int, 1)\n\ta <- 1\n\tb <- 2\n\t<-a\n\t<-b\n}"
+  in
+  let alias = Alias.analyse ir in
+  Alcotest.(check bool) "different creation sites do not alias" false
+    (Alias.may_alias alias "f" (Ir.Pvar "a") "f" (Ir.Pvar "b"))
+
+let test_alias_channel_payload () =
+  (* a channel sent over a channel: the $elem field models the transfer —
+     the precision the paper's alias package lacked (17 FPs) *)
+  let ir =
+    lower
+      "func f() {\n\tinner := make(chan int, 1)\n\tcarrier := make(chan chan int, 1)\n\tcarrier <- inner\n\tgot := <-carrier\n\tgot <- 5\n\t<-inner\n}"
+  in
+  let alias = Alias.analyse ir in
+  Alcotest.(check bool) "received channel aliases sent channel" true
+    (Alias.may_alias alias "f" (Ir.Pvar "inner") "f" (Ir.Pvar "got"))
+
+let test_alias_capacity () =
+  let ir = lower "func f() {\n\ta := make(chan int)\n\tb := make(chan int, 7)\n\t_ = a\n\t_ = b\n}" in
+  let alias = Alias.analyse ir in
+  let cap v =
+    match chan_objs alias "f" v with
+    | [ o ] -> Alias.capacity alias o
+    | _ -> None
+  in
+  Alcotest.(check (option int)) "unbuffered" (Some 0) (cap "a");
+  Alcotest.(check (option int)) "buffered 7" (Some 7) (cap "b")
+
+let test_alias_entry_params_external () =
+  let ir = lower "func Handle(c chan int) {\n\tc <- 1\n}" in
+  let alias = Alias.analyse ir in
+  let objs = chan_objs alias "Handle" "c" in
+  Alcotest.(check bool) "entry param gets an external object" true
+    (List.exists (function Alias.Aext _ -> true | _ -> false) objs)
+
+(* ---- call graph ---- *)
+
+let test_cg_direct_and_go () =
+  let ir =
+    lower
+      "func a() {\n\tb()\n\tgo c()\n}\nfunc b() {}\nfunc c() {}"
+  in
+  let alias = Alias.analyse ir in
+  let cg = CG.build ~alias ir in
+  let callees = List.map (fun (e : CG.edge) -> (e.callee, e.kind)) (CG.callees cg "a") in
+  Alcotest.(check bool) "calls b" true (List.mem ("b", CG.Ecall) callees);
+  Alcotest.(check bool) "spawns c" true (List.mem ("c", CG.Ego) callees)
+
+let test_cg_indirect_via_alias () =
+  let ir =
+    lower
+      "func target() {\n\tprintln(1)\n}\nfunc f() {\n\tg := target\n\tg()\n}"
+  in
+  let alias = Alias.analyse ir in
+  let cg = CG.build ~alias ir in
+  let callees = List.map (fun (e : CG.edge) -> e.callee) (CG.callees cg "f") in
+  Alcotest.(check bool) "resolves function value" true (List.mem "target" callees)
+
+let test_cg_reachability () =
+  let ir = lower "func a() {\n\tb()\n}\nfunc b() {\n\tc()\n}\nfunc c() {}\nfunc d() {}" in
+  let cg = CG.build ir in
+  let reach = CG.reachable_from cg "a" in
+  Alcotest.(check bool) "a reaches c" true (Hashtbl.mem reach "c");
+  Alcotest.(check bool) "a does not reach d" false (Hashtbl.mem reach "d")
+
+let test_cg_lca () =
+  let ir =
+    lower
+      "func root() {\n\tleft()\n\tright()\n}\nfunc left() {\n\tshared()\n}\nfunc right() {\n\tshared()\n}\nfunc shared() {}"
+  in
+  let cg = CG.build ir in
+  Alcotest.(check (option string)) "LCA of left/right" (Some "root")
+    (CG.lca cg [ "left"; "right" ]);
+  Alcotest.(check (option string)) "LCA of a single func" (Some "left")
+    (CG.lca cg [ "left" ])
+
+(* ---- dominance ---- *)
+
+let test_dominators () =
+  let ir =
+    lower
+      "func f(x int) int {\n\tc := make(chan bool, 1)\n\tif x > 0 {\n\t\tc <- true\n\t} else {\n\t\tc <- false\n\t}\n\t<-c\n\treturn 0\n}"
+  in
+  let f = Option.get (Ir.find_func ir "f") in
+  let dom = Dom.dominators f in
+  (* the entry block dominates every return block *)
+  List.iter
+    (fun ret_bid ->
+      Alcotest.(check bool) "entry dominates return" true
+        (Dom.dominates f dom f.entry ret_bid))
+    (Dom.return_blocks f);
+  (* neither branch arm dominates the join *)
+  let make_pp =
+    Ir.fold_insts
+      (fun acc (i : Ir.inst) ->
+        match i.idesc with Imake_chan _ -> Some i.ipp | _ -> acc)
+      None f
+  in
+  let recv_pp =
+    Ir.fold_insts
+      (fun acc (i : Ir.inst) ->
+        match i.idesc with Irecv _ -> Some i.ipp | _ -> acc)
+      None f
+  in
+  match (make_pp, recv_pp) with
+  | Some mk, Some rc ->
+      Alcotest.(check bool) "make dominates recv" true (Dom.pp_dominates f dom mk rc);
+      Alcotest.(check bool) "recv does not dominate make" false
+        (Dom.pp_dominates f dom rc mk)
+  | _ -> Alcotest.fail "missing pps"
+
+let tests =
+  [
+    Alcotest.test_case "alias: direct copy" `Quick test_alias_direct;
+    Alcotest.test_case "alias: through call" `Quick test_alias_through_call;
+    Alcotest.test_case "alias: through goroutine capture" `Quick test_alias_through_goroutine;
+    Alcotest.test_case "alias: struct field" `Quick test_alias_struct_field;
+    Alcotest.test_case "alias: distinct sites" `Quick test_alias_distinct_sites;
+    Alcotest.test_case "alias: channel sent over channel" `Quick test_alias_channel_payload;
+    Alcotest.test_case "alias: static capacity" `Quick test_alias_capacity;
+    Alcotest.test_case "alias: entry params external" `Quick test_alias_entry_params_external;
+    Alcotest.test_case "callgraph: direct and go edges" `Quick test_cg_direct_and_go;
+    Alcotest.test_case "callgraph: indirect via alias" `Quick test_cg_indirect_via_alias;
+    Alcotest.test_case "callgraph: reachability" `Quick test_cg_reachability;
+    Alcotest.test_case "callgraph: LCA" `Quick test_cg_lca;
+    Alcotest.test_case "dominance" `Quick test_dominators;
+  ]

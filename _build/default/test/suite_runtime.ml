@@ -1,0 +1,267 @@
+(* Runtime tests: channel semantics, select, mutexes, WaitGroups, defer,
+   panic, goroutine-leak detection, and schedule determinism. *)
+
+module I = Goruntime.Interp
+module S = Goruntime.Scheduler
+
+let run ?(seed = 7) ?(entry = "main") src =
+  let prog =
+    Minigo.Typecheck.check_program
+      (Minigo.Parser.parse_string ("package p\n" ^ src))
+  in
+  I.run ~seed ~entry prog
+
+let output ?seed src = (run ?seed src).output
+let leaks ?seed src = List.length (run ?seed src).leaked
+
+let check_output name expected src =
+  Alcotest.(check (list string)) name expected (output src)
+
+let test_hello () = check_output "println" [ "hello" ] "func main() {\n\tprintln(\"hello\")\n}"
+
+let test_arith () =
+  check_output "arithmetic" [ "7"; "6"; "2"; "1" ]
+    "func main() {\n\tprintln(3 + 4)\n\tprintln(2 * 3)\n\tprintln(5 / 2)\n\tprintln(5 % 2)\n}"
+
+let test_unbuffered_rendezvous () =
+  check_output "rendezvous" [ "41"; "42" ]
+    "func main() {\n\tc := make(chan int)\n\tgo func() {\n\t\tprintln(41)\n\t\tc <- 42\n\t}()\n\tprintln(<-c)\n}"
+
+let test_buffered_fifo () =
+  check_output "fifo" [ "1"; "2"; "3" ]
+    "func main() {\n\tc := make(chan int, 3)\n\tc <- 1\n\tc <- 2\n\tc <- 3\n\tprintln(<-c)\n\tprintln(<-c)\n\tprintln(<-c)\n}"
+
+let test_buffered_blocks_when_full () =
+  (* capacity 1: second send must wait for the receive *)
+  check_output "buffered full" [ "recv 1"; "recv 2" ]
+    "func main() {\n\tc := make(chan int, 1)\n\tdone := make(chan bool)\n\tgo func() {\n\t\tc <- 1\n\t\tc <- 2\n\t\tdone <- true\n\t}()\n\tprintln(\"recv\", <-c)\n\tprintln(\"recv\", <-c)\n\t<-done\n}"
+
+let test_close_drains () =
+  check_output "close then drain" [ "1"; "2"; "0 false" ]
+    "func main() {\n\tc := make(chan int, 2)\n\tc <- 1\n\tc <- 2\n\tclose(c)\n\tprintln(<-c)\n\tprintln(<-c)\n\tv, ok := <-c\n\tprintln(v, ok)\n}"
+
+let test_range_over_channel () =
+  check_output "range drain" [ "0"; "1"; "2"; "done" ]
+    "func main() {\n\tc := make(chan int, 4)\n\tgo func() {\n\t\tfor i := range 3 {\n\t\t\tc <- i\n\t\t}\n\t\tclose(c)\n\t}()\n\tfor v := range c {\n\t\tprintln(v)\n\t}\n\tprintln(\"done\")\n}"
+
+let test_send_on_closed_panics () =
+  let r = run "func main() {\n\tc := make(chan int, 1)\n\tclose(c)\n\tc <- 1\n}" in
+  Alcotest.(check int) "one panic" 1 (List.length r.panics)
+
+let test_double_close_panics () =
+  let r = run "func main() {\n\tc := make(chan int)\n\tclose(c)\n\tclose(c)\n}" in
+  Alcotest.(check int) "one panic" 1 (List.length r.panics)
+
+let test_nil_channel_blocks () =
+  let r = run "func main() {\n\tvar c chan int\n\tc <- 1\n}" in
+  Alcotest.(check int) "main leaked" 1 (List.length r.leaked);
+  Alcotest.(check int) "no panic" 0 (List.length r.panics)
+
+let test_select_default () =
+  check_output "select default" [ "empty" ]
+    "func main() {\n\tc := make(chan int)\n\tselect {\n\tcase v := <-c:\n\t\tprintln(v)\n\tdefault:\n\t\tprintln(\"empty\")\n\t}\n}"
+
+let test_select_ready_case () =
+  check_output "select ready" [ "got 9" ]
+    "func main() {\n\tc := make(chan int, 1)\n\tc <- 9\n\tselect {\n\tcase v := <-c:\n\t\tprintln(\"got\", v)\n\tdefault:\n\t\tprintln(\"empty\")\n\t}\n}"
+
+let test_select_send_case () =
+  check_output "select send" [ "sent"; "5" ]
+    "func main() {\n\tc := make(chan int, 1)\n\tselect {\n\tcase c <- 5:\n\t\tprintln(\"sent\")\n\t}\n\tprintln(<-c)\n}"
+
+let test_select_blocks_until_ready () =
+  check_output "select waits" [ "w"; "3" ]
+    "func main() {\n\tc := make(chan int)\n\tgo func() {\n\t\tprintln(\"w\")\n\t\tc <- 3\n\t}()\n\tselect {\n\tcase v := <-c:\n\t\tprintln(v)\n\t}\n}"
+
+let test_select_closed_channel () =
+  check_output "select sees close" [ "closed" ]
+    "func main() {\n\tc := make(chan int)\n\tgo func() {\n\t\tclose(c)\n\t}()\n\tselect {\n\tcase _, ok := <-c:\n\t\tif !ok {\n\t\t\tprintln(\"closed\")\n\t\t}\n\t}\n}"
+
+let test_mutex_excludes () =
+  (* with the lock, the two increment loops cannot interleave mid-update *)
+  let src =
+    "func main() {\n\tvar mu sync.Mutex\n\tdone := make(chan bool, 2)\n\ttotal := 0\n\tworker := func() {\n\t\tfor i := range 10 {\n\t\t\tmu.Lock()\n\t\t\ttotal = total + 1\n\t\t\tmu.Unlock()\n\t\t\t_ = i\n\t\t}\n\t\tdone <- true\n\t}\n\tgo worker()\n\tgo worker()\n\t<-done\n\t<-done\n\tprintln(total)\n}"
+  in
+  Alcotest.(check (list string)) "mutex total" [ "20" ] (output src)
+
+let test_unlock_unlocked_panics () =
+  let r = run "func main() {\n\tvar mu sync.Mutex\n\tmu.Unlock()\n}" in
+  Alcotest.(check int) "panic" 1 (List.length r.panics)
+
+let test_waitgroup () =
+  check_output "waitgroup" [ "all done 3" ]
+    "func main() {\n\tvar wg sync.WaitGroup\n\tc := make(chan int, 8)\n\tfor i := range 3 {\n\t\twg.Add(1)\n\t\tgo func(k int) {\n\t\t\tc <- k\n\t\t\twg.Done()\n\t\t}(i)\n\t}\n\twg.Wait()\n\tprintln(\"all done\", len(c))\n}"
+
+let test_defer_lifo () =
+  check_output "defer LIFO" [ "body"; "second"; "first" ]
+    "func f() {\n\tdefer println(\"first\")\n\tdefer println(\"second\")\n\tprintln(\"body\")\n}\nfunc main() {\n\tf()\n}"
+
+let test_defer_args_at_registration () =
+  check_output "defer args early" [ "x = 1" ]
+    "func show(v int) {\n\tprintln(\"x =\", v)\n}\nfunc main() {\n\tx := 1\n\tdefer show(x)\n\tx = 2\n}"
+
+let test_defer_runs_on_panic () =
+  let r =
+    run
+      "func f() {\n\tdefer println(\"cleanup\")\n\tpanic(\"boom\")\n}\nfunc main() {\n\tf()\n}"
+  in
+  Alcotest.(check (list string)) "cleanup ran" [ "cleanup" ] r.output;
+  Alcotest.(check int) "panicked" 1 (List.length r.panics)
+
+let test_defer_runs_on_fatal () =
+  (* testing.Fatal exits the goroutine but still runs defers: the property
+     GFix Strategy-II depends on *)
+  let r =
+    run ~entry:"TestX"
+      "func TestX(t *testing.T) {\n\tc := make(chan bool, 1)\n\tdefer func() {\n\t\tc <- true\n\t}()\n\tt.Fatal(\"stop\")\n\tprintln(\"unreachable\")\n}"
+  in
+  Alcotest.(check bool) "fatal logged" true
+    (List.exists (fun l -> String.length l >= 5 && String.sub l 0 5 = "FATAL") r.output);
+  Alcotest.(check int) "no leak: defer sent into buffered chan" 0
+    (List.length r.leaked)
+
+let test_closure_captures_by_reference () =
+  check_output "capture by reference" [ "10" ]
+    "func main() {\n\tx := 0\n\tbump := func() {\n\t\tx = x + 10\n\t}\n\tbump()\n\tprintln(x)\n}"
+
+let test_goroutine_leak_detected () =
+  Alcotest.(check int) "leak" 1
+    (leaks "func main() {\n\tc := make(chan int)\n\tgo func() {\n\t\tc <- 1\n\t}()\n}")
+
+let test_no_leak_when_drained () =
+  Alcotest.(check int) "no leak" 0
+    (leaks "func main() {\n\tc := make(chan int)\n\tgo func() {\n\t\tc <- 1\n\t}()\n\t<-c\n}")
+
+let test_deadlock_detected () =
+  let r =
+    run
+      "func main() {\n\ta := make(chan int)\n\tb := make(chan int)\n\tgo func() {\n\t\t<-a\n\t\tb <- 1\n\t}()\n\t<-b\n\ta <- 1\n}"
+  in
+  Alcotest.(check int) "both goroutines stuck" 2 (List.length r.leaked)
+
+let test_deterministic_given_seed () =
+  let src =
+    "func main() {\n\tc := make(chan int, 4)\n\tfor i := range 4 {\n\t\tgo func(k int) {\n\t\t\tc <- k\n\t\t}(i)\n\t}\n\tfor i := range 4 {\n\t\tprintln(<-c)\n\t\t_ = i\n\t}\n}"
+  in
+  Alcotest.(check (list string)) "same seed, same schedule" (output ~seed:11 src)
+    (output ~seed:11 src)
+
+let test_sleep_ordering () =
+  check_output "sleep defers goroutine" [ "first"; "second" ]
+    "func main() {\n\tdone := make(chan bool)\n\tgo func() {\n\t\tsleep(5)\n\t\tprintln(\"second\")\n\t\tdone <- true\n\t}()\n\tprintln(\"first\")\n\t<-done\n}"
+
+let test_fuel_exhaustion () =
+  let prog =
+    Minigo.Typecheck.check_program
+      (Minigo.Parser.parse_string
+         "package p\nfunc main() {\n\tfor {\n\t\tprintln(\"spin\")\n\t}\n}")
+  in
+  let r = I.run ~fuel:500 prog in
+  Alcotest.(check bool) "fuel exhausted" true r.fuel_exhausted
+
+let test_context_cancel () =
+  check_output "ctx cancel" [ "cancelled" ]
+    "func main() {\n\tctx := background()\n\tcancel(ctx)\n\tselect {\n\tcase <-ctx.Done():\n\t\tprintln(\"cancelled\")\n\t}\n}"
+
+let test_struct_shared_with_goroutine () =
+  check_output "struct sharing" [ "5" ]
+    "type Counter struct {\n\tn int\n}\nfunc main() {\n\ts := Counter{n: 0}\n\tdone := make(chan bool)\n\tgo func(c Counter) {\n\t\tc.n = 5\n\t\tdone <- true\n\t}(s)\n\t<-done\n\tprintln(s.n)\n}"
+
+(* property: a correct producer/consumer pipeline never leaks under any
+   of 25 random schedules, and always sums correctly *)
+let prop_pipeline_correct =
+  QCheck.Test.make ~name:"runtime: pipeline never leaks, sums correctly" ~count:25
+    QCheck.(pair (int_range 1 1000) (int_range 0 6))
+    (fun (seed, n) ->
+      let src =
+        Printf.sprintf
+          "package p\n\
+           func main() {\n\
+           \tc := make(chan int, 2)\n\
+           \tdone := make(chan int)\n\
+           \tgo func() {\n\
+           \t\tfor i := range %d {\n\t\t\tc <- i\n\t\t}\n\
+           \t\tclose(c)\n\
+           \t}()\n\
+           \tgo func() {\n\
+           \t\ttotal := 0\n\
+           \t\tfor v := range c {\n\t\t\ttotal = total + v\n\t\t}\n\
+           \t\tdone <- total\n\
+           \t}()\n\
+           \tprintln(<-done)\n\
+           }"
+          n
+      in
+      let prog =
+        Minigo.Typecheck.check_program (Minigo.Parser.parse_string src)
+      in
+      let r = I.run ~seed prog in
+      let expected = n * (n - 1) / 2 in
+      r.leaked = [] && r.panics = [] && r.output = [ string_of_int expected ])
+
+(* property: the figure-1 bug leaks on some schedules and the buffered
+   variant never does *)
+let prop_buffer_fix_eliminates_leak =
+  QCheck.Test.make ~name:"runtime: buffered variant never leaks" ~count:20
+    (QCheck.int_range 1 500)
+    (fun seed ->
+      let mk cap =
+        Printf.sprintf
+          "package p\n\
+           func main() {\n\
+           \tctx := background()\n\
+           \tgo func(c context.Context) {\n\t\tcancel(c)\n\t}(ctx)\n\
+           \tout := make(chan int%s)\n\
+           \tgo func() {\n\t\tout <- 1\n\t}()\n\
+           \tselect {\n\
+           \tcase <-out:\n\
+           \tcase <-ctx.Done():\n\
+           \t}\n\
+           }"
+          cap
+      in
+      let run_src src =
+        let prog =
+          Minigo.Typecheck.check_program (Minigo.Parser.parse_string src)
+        in
+        I.run ~seed prog
+      in
+      let fixed = run_src (mk ", 1") in
+      fixed.leaked = [])
+
+let tests =
+  [
+    Alcotest.test_case "println" `Quick test_hello;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "unbuffered rendezvous" `Quick test_unbuffered_rendezvous;
+    Alcotest.test_case "buffered FIFO" `Quick test_buffered_fifo;
+    Alcotest.test_case "buffered blocks when full" `Quick test_buffered_blocks_when_full;
+    Alcotest.test_case "close then drain" `Quick test_close_drains;
+    Alcotest.test_case "range over channel" `Quick test_range_over_channel;
+    Alcotest.test_case "send on closed panics" `Quick test_send_on_closed_panics;
+    Alcotest.test_case "double close panics" `Quick test_double_close_panics;
+    Alcotest.test_case "nil channel blocks forever" `Quick test_nil_channel_blocks;
+    Alcotest.test_case "select default" `Quick test_select_default;
+    Alcotest.test_case "select ready case" `Quick test_select_ready_case;
+    Alcotest.test_case "select send case" `Quick test_select_send_case;
+    Alcotest.test_case "select blocks until ready" `Quick test_select_blocks_until_ready;
+    Alcotest.test_case "select sees close" `Quick test_select_closed_channel;
+    Alcotest.test_case "mutex excludes" `Quick test_mutex_excludes;
+    Alcotest.test_case "unlock unlocked panics" `Quick test_unlock_unlocked_panics;
+    Alcotest.test_case "waitgroup" `Quick test_waitgroup;
+    Alcotest.test_case "defer LIFO" `Quick test_defer_lifo;
+    Alcotest.test_case "defer args at registration" `Quick test_defer_args_at_registration;
+    Alcotest.test_case "defer runs on panic" `Quick test_defer_runs_on_panic;
+    Alcotest.test_case "defer runs on Fatal (Goexit)" `Quick test_defer_runs_on_fatal;
+    Alcotest.test_case "closure captures by reference" `Quick test_closure_captures_by_reference;
+    Alcotest.test_case "goroutine leak detected" `Quick test_goroutine_leak_detected;
+    Alcotest.test_case "no leak when drained" `Quick test_no_leak_when_drained;
+    Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+    Alcotest.test_case "deterministic schedules" `Quick test_deterministic_given_seed;
+    Alcotest.test_case "sleep ordering" `Quick test_sleep_ordering;
+    Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+    Alcotest.test_case "context cancel" `Quick test_context_cancel;
+    Alcotest.test_case "struct shared with goroutine" `Quick test_struct_shared_with_goroutine;
+    QCheck_alcotest.to_alcotest prop_pipeline_correct;
+    QCheck_alcotest.to_alcotest prop_buffer_fix_eliminates_leak;
+  ]

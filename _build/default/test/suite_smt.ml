@@ -1,0 +1,302 @@
+(* SMT solver tests: the CDCL core, difference logic, cardinalities, and
+   DPLL(T) integration — including randomized cross-checks against brute
+   force, since the whole BMOC detector rests on this solver. *)
+
+module S = Gosmt.Solver
+module E = Gosmt.Expr
+module Sat = Gosmt.Sat
+module D = Gosmt.Diff_logic
+
+let is_sat = function S.Sat_model _ -> true | S.Unsat -> false
+
+let check_sat name expected build =
+  let t = S.create () in
+  build t;
+  Alcotest.(check bool) name expected (is_sat (S.solve t))
+
+(* ---- pure SAT ---- *)
+
+let test_sat_trivial () =
+  check_sat "single positive" true (fun t -> S.add t (S.new_bool t "a"))
+
+let test_sat_contradiction () =
+  check_sat "a and not a" false (fun t ->
+      S.add t (S.new_bool t "a");
+      S.add t (E.not_ (S.new_bool t "a")))
+
+let test_sat_implication_chain () =
+  let t = S.create () in
+  let a = S.new_bool t "a" and b = S.new_bool t "b" and c = S.new_bool t "c" in
+  S.add t (E.implies a b);
+  S.add t (E.implies b c);
+  S.add t a;
+  (match S.solve t with
+  | S.Sat_model m ->
+      Alcotest.(check bool) "c forced" true (m.bool_of "c");
+      Alcotest.(check bool) "b forced" true (m.bool_of "b")
+  | S.Unsat -> Alcotest.fail "should be sat")
+
+let test_sat_iff () =
+  check_sat "iff conflict" false (fun t ->
+      let a = S.new_bool t "a" and b = S.new_bool t "b" in
+      S.add t (E.iff a b);
+      S.add t a;
+      S.add t (E.not_ b))
+
+let test_sat_pigeonhole () =
+  (* 3 pigeons, 2 holes: classic small unsat *)
+  let t = S.create () in
+  let v i j = S.new_bool t (Printf.sprintf "p%dh%d" i j) in
+  for i = 1 to 3 do
+    S.add t (E.disj [ v i 1; v i 2 ])
+  done;
+  for j = 1 to 2 do
+    S.add t (E.AtMost (1, [ v 1 j; v 2 j; v 3 j ]))
+  done;
+  Alcotest.(check bool) "pigeonhole unsat" false (is_sat (S.solve t))
+
+(* ---- difference logic ---- *)
+
+let test_dl_chain_model () =
+  let t = S.create () in
+  let vs = List.init 6 (fun i -> S.new_order_var t (string_of_int i)) in
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+        S.add t (S.lt t a b);
+        chain rest
+    | _ -> ()
+  in
+  chain vs;
+  match S.solve t with
+  | S.Sat_model m ->
+      let vals = List.map m.order_of vs in
+      Alcotest.(check bool) "strictly increasing" true
+        (List.for_all2 (fun a b -> a < b) (List.filteri (fun i _ -> i < 5) vals)
+           (List.tl vals))
+  | S.Unsat -> Alcotest.fail "chain should be sat"
+
+let test_dl_cycle () =
+  check_sat "3-cycle" false (fun t ->
+      let x = S.new_order_var t "x"
+      and y = S.new_order_var t "y"
+      and z = S.new_order_var t "z" in
+      S.add t (S.lt t x y);
+      S.add t (S.lt t y z);
+      S.add t (S.lt t z x))
+
+let test_dl_eq_vs_lt () =
+  check_sat "eq and lt conflict" false (fun t ->
+      let x = S.new_order_var t "x" and y = S.new_order_var t "y" in
+      S.add t (S.eq t x y);
+      S.add t (S.lt t x y))
+
+let test_dl_negated_atom () =
+  (* not (x < y) must imply y <= x *)
+  let t = S.create () in
+  let x = S.new_order_var t "x" and y = S.new_order_var t "y" in
+  S.add t (E.not_ (S.lt t x y));
+  (match S.solve t with
+  | S.Sat_model m ->
+      Alcotest.(check bool) "y <= x" true (m.order_of y <= m.order_of x)
+  | S.Unsat -> Alcotest.fail "should be sat")
+
+let test_dl_guarded () =
+  (* p -> x<y, q -> y<x, p|q sat; p&q unsat *)
+  let t = S.create () in
+  let x = S.new_order_var t "x" and y = S.new_order_var t "y" in
+  let p = S.new_bool t "p" and q = S.new_bool t "q" in
+  S.add t (E.implies p (S.lt t x y));
+  S.add t (E.implies q (S.lt t y x));
+  S.add t (E.disj [ p; q ]);
+  Alcotest.(check bool) "disjunction sat" true (is_sat (S.solve t));
+  let t2 = S.create () in
+  let x = S.new_order_var t2 "x" and y = S.new_order_var t2 "y" in
+  let p = S.new_bool t2 "p" and q = S.new_bool t2 "q" in
+  S.add t2 (E.implies p (S.lt t2 x y));
+  S.add t2 (E.implies q (S.lt t2 y x));
+  S.add t2 p;
+  S.add t2 q;
+  Alcotest.(check bool) "conjunction unsat" false (is_sat (S.solve t2))
+
+(* ---- cardinality ---- *)
+
+let test_card_atmost_inside_or () =
+  (* the regression that broke double-recv detection: a cardinality under
+     a disjunction must NOT leak as a global constraint *)
+  let t = S.create () in
+  let x = S.new_order_var t "x" and y = S.new_order_var t "y" in
+  let a = S.new_bool t "a" in
+  (* either y < x (via cardinality: at most 0 of [not (y<x)]) or a *)
+  S.add t (E.disj [ E.AtMost (0, [ E.not_ (S.lt t y x) ]); a ]);
+  (* force x < y so the cardinality branch is false *)
+  S.add t (S.lt t x y);
+  (match S.solve t with
+  | S.Sat_model m -> Alcotest.(check bool) "a chosen" true (m.bool_of "a")
+  | S.Unsat -> Alcotest.fail "disjunction should rescue satisfiability")
+
+let test_card_exactly () =
+  let t = S.create () in
+  let vs = List.init 5 (fun i -> S.new_bool t (string_of_int i)) in
+  S.add t (E.Exactly (2, vs));
+  (match S.solve t with
+  | S.Sat_model m ->
+      let n =
+        List.length
+          (List.filter (fun i -> m.bool_of (string_of_int i)) [ 0; 1; 2; 3; 4 ])
+      in
+      Alcotest.(check int) "exactly two true" 2 n
+  | S.Unsat -> Alcotest.fail "should be sat")
+
+let test_card_bounds () =
+  check_sat "atleast too many" false (fun t ->
+      let vs = List.init 3 (fun i -> S.new_bool t (string_of_int i)) in
+      S.add t (E.AtLeast (4, vs)));
+  check_sat "atmost negative" false (fun t ->
+      let a = S.new_bool t "a" in
+      S.add t (E.AtMost (-1, [ a ])))
+
+(* ---- randomized cross-checks ---- *)
+
+(* Brute-force satisfiability of difference constraints.  Solutions are
+   shift-invariant, so pinning variable 0 at 0 and ranging the others over
+   [0, sum |c|] is complete. *)
+let brute_force_dl nvars (atoms : (int * int * int) list) =
+  let dom = 1 + List.fold_left (fun acc (_, _, c) -> acc + abs c + 1) 0 atoms in
+  let rec go assignment i =
+    if i = nvars then
+      List.for_all (fun (x, y, c) -> assignment.(x) - assignment.(y) <= c) atoms
+    else
+      let rec try_val v =
+        v < dom
+        && (assignment.(i) <- v;
+            go assignment (i + 1) || try_val (v + 1))
+      in
+      try_val 0
+  in
+  go (Array.make nvars 0) 0
+
+let prop_dl_vs_brute =
+  QCheck.Test.make ~name:"diff logic agrees with brute force" ~count:120
+    QCheck.(
+      pair (int_range 2 4)
+        (list_of_size Gen.(1 -- 6)
+           (triple (int_range 0 3) (int_range 0 3) (int_range (-2) 2))))
+    (fun (nvars, raw) ->
+      let atoms =
+        List.filter_map
+          (fun (x, y, c) ->
+            if x < nvars && y < nvars && x <> y then
+              Some { D.ax = x; ay = y; ac = c }
+            else None)
+          raw
+      in
+      QCheck.assume (atoms <> []);
+      let expected =
+        brute_force_dl nvars (List.map (fun a -> (a.D.ax, a.D.ay, a.D.ac)) atoms)
+      in
+      let got = match D.check ~nvars atoms with D.Consistent _ -> true | _ -> false in
+      expected = got)
+
+let prop_dl_model_valid =
+  QCheck.Test.make ~name:"diff logic models satisfy all atoms" ~count:120
+    QCheck.(
+      list_of_size Gen.(1 -- 8)
+        (triple (int_range 0 4) (int_range 0 4) (int_range (-3) 3)))
+    (fun raw ->
+      let atoms =
+        List.filter_map
+          (fun (x, y, c) -> if x <> y then Some { D.ax = x; ay = y; ac = c } else None)
+          raw
+      in
+      QCheck.assume (atoms <> []);
+      match D.check ~nvars:5 atoms with
+      | D.Consistent m ->
+          List.for_all (fun a -> m.(a.D.ax) - m.(a.D.ay) <= a.D.ac) atoms
+      | D.Inconsistent cycle ->
+          (* the explanation must itself be a contradictory set *)
+          cycle <> []
+          && (match D.check ~nvars:5 cycle with
+             | D.Inconsistent _ -> true
+             | D.Consistent _ -> false))
+
+(* brute force a CNF over n variables *)
+let brute_force_cnf nvars clauses =
+  let rec go assignment v =
+    if v > nvars then
+      List.for_all
+        (List.exists (fun l ->
+             let var = Sat.var_of_lit l in
+             if Sat.is_pos l then assignment.(var) else not assignment.(var)))
+        clauses
+    else
+      (assignment.(v) <- true;
+       go assignment (v + 1))
+      ||
+      (assignment.(v) <- false;
+       go assignment (v + 1))
+  in
+  go (Array.make (nvars + 1) false) 1
+
+let prop_sat_vs_brute =
+  QCheck.Test.make ~name:"CDCL agrees with brute force on random 3-CNF" ~count:150
+    QCheck.(
+      list_of_size Gen.(1 -- 18)
+        (triple (int_range 1 5) (int_range 1 5) (int_range 1 5)))
+    (fun raw ->
+      let nvars = 5 in
+      let clauses =
+        List.mapi
+          (fun i (a, b, c) ->
+            (* derive signs deterministically from the clause index *)
+            let lit v bit = Sat.lit_of_var v ((i lsr bit) land 1 = 0) in
+            [ lit a 0; lit b 1; lit c 2 ])
+          raw
+      in
+      QCheck.assume (clauses <> []);
+      let s = Sat.create () in
+      for _ = 1 to nvars do
+        ignore (Sat.new_var s)
+      done;
+      List.iter (fun c -> ignore (Sat.add_clause s c)) clauses;
+      let got = Sat.solve s = Sat.Sat in
+      let expected = brute_force_cnf nvars clauses in
+      got = expected)
+
+let prop_card_counts =
+  QCheck.Test.make ~name:"AtMost(k) models have <= k true" ~count:100
+    QCheck.(pair (int_range 0 4) (int_range 1 6))
+    (fun (k, n) ->
+      let t = S.create () in
+      let vs = List.init n (fun i -> S.new_bool t (string_of_int i)) in
+      S.add t (E.AtMost (k, vs));
+      (* maximise: ask for at least min(k, n) too *)
+      S.add t (E.AtLeast (min k n, vs));
+      match S.solve t with
+      | S.Sat_model m ->
+          let cnt =
+            List.length
+              (List.filter (fun i -> m.bool_of (string_of_int i)) (List.init n Fun.id))
+          in
+          cnt <= k && cnt >= min k n
+      | S.Unsat -> false)
+
+let tests =
+  [
+    Alcotest.test_case "trivial sat" `Quick test_sat_trivial;
+    Alcotest.test_case "contradiction" `Quick test_sat_contradiction;
+    Alcotest.test_case "implication chain" `Quick test_sat_implication_chain;
+    Alcotest.test_case "iff" `Quick test_sat_iff;
+    Alcotest.test_case "pigeonhole 3/2" `Quick test_sat_pigeonhole;
+    Alcotest.test_case "order chain model" `Quick test_dl_chain_model;
+    Alcotest.test_case "order cycle unsat" `Quick test_dl_cycle;
+    Alcotest.test_case "eq vs lt" `Quick test_dl_eq_vs_lt;
+    Alcotest.test_case "negated difference atom" `Quick test_dl_negated_atom;
+    Alcotest.test_case "guarded difference atoms" `Quick test_dl_guarded;
+    Alcotest.test_case "cardinality under disjunction" `Quick test_card_atmost_inside_or;
+    Alcotest.test_case "exactly-k" `Quick test_card_exactly;
+    Alcotest.test_case "cardinality bounds" `Quick test_card_bounds;
+    QCheck_alcotest.to_alcotest prop_dl_vs_brute;
+    QCheck_alcotest.to_alcotest prop_dl_model_valid;
+    QCheck_alcotest.to_alcotest prop_sat_vs_brute;
+    QCheck_alcotest.to_alcotest prop_card_counts;
+  ]

@@ -1,0 +1,94 @@
+(* Type-checker tests: acceptance, rejection, and the range-loop
+   normalisation rewrite. *)
+
+module A = Minigo.Ast
+
+let check src = Minigo.Typecheck.check_program (Minigo.Parser.parse_string ("package p\n" ^ src))
+
+let accepts name src () =
+  match check src with
+  | _ -> ()
+  | exception Minigo.Typecheck.Type_error (m, _) ->
+      Alcotest.failf "%s: unexpected type error: %s" name m
+
+let rejects name src () =
+  match check src with
+  | _ -> Alcotest.failf "%s: expected a type error" name
+  | exception Minigo.Typecheck.Type_error _ -> ()
+
+let test_range_chan_rewrite () =
+  let prog = check "func f(c chan int) int {\n\ttotal := 0\n\tfor v := range c {\n\t\ttotal = total + v\n\t}\n\treturn total\n}" in
+  let fd = Option.get (A.find_func prog "f") in
+  let found = ref false in
+  A.iter_stmts
+    (fun s ->
+      match s.s with
+      | A.For (A.ForRangeChan (Some "v", _), _) -> found := true
+      | _ -> ())
+    fd.body;
+  Alcotest.(check bool) "rewritten to channel range" true !found
+
+let test_range_int_stays () =
+  let prog = check "func f(n int) int {\n\ts := 0\n\tfor i := range n {\n\t\ts = s + i\n\t}\n\treturn s\n}" in
+  let fd = Option.get (A.find_func prog "f") in
+  let found = ref false in
+  A.iter_stmts
+    (fun s ->
+      match s.s with
+      | A.For (A.ForRangeInt ("i", _), _) -> found := true
+      | _ -> ())
+    fd.body;
+  Alcotest.(check bool) "still an int range" true !found
+
+let tests =
+  [
+    Alcotest.test_case "simple function" `Quick
+      (accepts "simple" "func f(x int) int {\n\treturn x + 1\n}");
+    Alcotest.test_case "channel ops" `Quick
+      (accepts "chan" "func f() int {\n\tc := make(chan int, 1)\n\tc <- 2\n\treturn <-c\n}");
+    Alcotest.test_case "select" `Quick
+      (accepts "select"
+         "func f(a chan int, b chan bool) int {\n\tselect {\n\tcase v := <-a:\n\t\treturn v\n\tcase b <- true:\n\t\treturn 0\n\t}\n\treturn 1\n}");
+    Alcotest.test_case "mutex and waitgroup" `Quick
+      (accepts "sync"
+         "func f() {\n\tvar mu sync.Mutex\n\tvar wg sync.WaitGroup\n\tmu.Lock()\n\tmu.Unlock()\n\twg.Add(1)\n\twg.Done()\n\twg.Wait()\n}");
+    Alcotest.test_case "context methods" `Quick
+      (accepts "ctx"
+         "func f(ctx context.Context) error {\n\tselect {\n\tcase <-ctx.Done():\n\t\treturn ctx.Err()\n\t}\n\treturn nil\n}");
+    Alcotest.test_case "testing methods" `Quick
+      (accepts "testing" "func TestX(t *testing.T) {\n\tt.Fatalf(\"boom\")\n}");
+    Alcotest.test_case "struct field access" `Quick
+      (accepts "struct"
+         "type S struct {\n\tn int\n}\nfunc f(s S) int {\n\ts.n = 3\n\treturn s.n\n}");
+    Alcotest.test_case "closures" `Quick
+      (accepts "closure"
+         "func f() int {\n\tadd := func(a int, b int) int {\n\t\treturn a + b\n\t}\n\treturn add(1, 2)\n}");
+    Alcotest.test_case "multi-return" `Quick
+      (accepts "multi" "func two() (int, string) {\n\treturn 1, \"a\"\n}\nfunc f() int {\n\tn, s := two()\n\t_ = s\n\treturn n\n}");
+    Alcotest.test_case "background and cancel" `Quick
+      (accepts "cancelctx" "func f() {\n\tctx := background()\n\tcancel(ctx)\n}");
+    (* rejections *)
+    Alcotest.test_case "unbound variable" `Quick
+      (rejects "unbound" "func f() int {\n\treturn zzz\n}");
+    Alcotest.test_case "send wrong type" `Quick
+      (rejects "send-type" "func f() {\n\tc := make(chan int)\n\tc <- \"str\"\n}");
+    Alcotest.test_case "recv from non-channel" `Quick
+      (rejects "recv-nonchan" "func f(x int) int {\n\treturn <-x\n}");
+    Alcotest.test_case "if needs bool" `Quick
+      (rejects "if-int" "func f(x int) {\n\tif x {\n\t\tprintln(1)\n\t}\n}");
+    Alcotest.test_case "wrong arity" `Quick
+      (rejects "arity" "func g(x int) int {\n\treturn x\n}\nfunc f() int {\n\treturn g(1, 2)\n}");
+    Alcotest.test_case "return count mismatch" `Quick
+      (rejects "returns" "func f() (int, int) {\n\treturn 1\n}");
+    Alcotest.test_case "unknown field" `Quick
+      (rejects "field" "type S struct {\n\tn int\n}\nfunc f(s S) int {\n\treturn s.m\n}");
+    Alcotest.test_case "unknown method" `Quick
+      (rejects "method" "func f(x int) {\n\tvar mu sync.Mutex\n\tmu.Frob()\n\t_ = x\n}");
+    Alcotest.test_case "close non-channel" `Quick
+      (rejects "close" "func f(x int) {\n\tclose(x)\n}");
+    Alcotest.test_case "range over string" `Quick
+      (rejects "range" "func f(s string) {\n\tfor v := range s {\n\t\tprintln(v)\n\t}\n}");
+    (* normalisation *)
+    Alcotest.test_case "range-over-channel rewrite" `Quick test_range_chan_rewrite;
+    Alcotest.test_case "range-over-int preserved" `Quick test_range_int_stays;
+  ]

@@ -1,0 +1,23 @@
+(* Test entry point: every suite registered with alcotest.  Run with
+   `dune runtest`; the `Slow` corpus suites run by default too (they take
+   a few seconds each). *)
+
+let () =
+  Alcotest.run "gocatch"
+    [
+      ("lexer", Suite_lexer.tests);
+      ("parser", Suite_parser.tests);
+      ("typecheck", Suite_typecheck.tests);
+      ("ir", Suite_ir.tests);
+      ("analysis", Suite_analysis.tests);
+      ("smt", Suite_smt.tests);
+      ("runtime", Suite_runtime.tests);
+      ("detector", Suite_detector.tests);
+      ("nonblocking", Suite_nonblocking.tests);
+      ("differential", Suite_differential.tests);
+      ("waitgroup", Suite_waitgroup.tests);
+      ("pathenum", Suite_pathenum.tests);
+      ("cond", Suite_cond.tests);
+      ("gfix", Suite_gfix.tests);
+      ("corpus", Suite_corpus.tests);
+    ]
