@@ -3,9 +3,19 @@
 
      gcatch file1.go [file2.go ...]
      gcatch --no-disentangle file.go      # the E5 ablation
-     gcatch --stats file.go               # print detector statistics *)
+     gcatch --stats file.go               # print detector statistics
+     gcatch --json file.go                # machine-readable diagnostics
+     gcatch --pass bmoc file.go           # run a single pass
+     gcatch --list-passes
+
+   Driven by the staged analysis engine: one [Engine.t] compiles the
+   source set once, the pass registry runs the selected detectors, and
+   parse/type errors come back as structured diagnostics rather than
+   escaping exceptions. *)
 
 open Cmdliner
+module E = Goengine.Engine
+module D = Goengine.Diagnostics
 
 let read_file path =
   let ic = open_in_bin path in
@@ -14,11 +24,15 @@ let read_file path =
   close_in ic;
   s
 
-let run files no_disentangle stats_flag nonblocking model_waitgroup =
-  if files = [] then (
-    prerr_endline "gcatch: no input files";
-    exit 2);
-  let sources = List.map read_file files in
+let list_passes engine =
+  List.iter
+    (fun (p : E.pass) ->
+      Printf.printf "%-20s %s%s\n" p.E.p_name p.E.p_doc
+        (if p.E.p_default then "" else "  [off by default]"))
+    (E.passes engine)
+
+let run files no_disentangle stats_flag nonblocking model_waitgroup json only
+    list_flag =
   let cfg =
     {
       Gcatch.Bmoc.default_config with
@@ -26,31 +40,59 @@ let run files no_disentangle stats_flag nonblocking model_waitgroup =
       path_cfg = { Gcatch.Pathenum.default_config with model_waitgroup };
     }
   in
-  match Gcatch.Driver.analyse ~cfg ~name:"cli" sources with
-  | exception Minigo.Parser.Parse_error (m, loc) ->
-      Printf.eprintf "parse error: %s at %s\n" m (Minigo.Loc.to_string loc);
+  let engine = Gcatch.Passes.engine ~cfg () in
+  if list_flag then (
+    list_passes engine;
+    exit 0);
+  if files = [] then (
+    prerr_endline "gcatch: no input files";
+    exit 2);
+  let sources = List.map read_file files in
+  let only = if only = [] then None else Some only in
+  let extra = if nonblocking then [ "nonblocking" ] else [] in
+  let r =
+    try E.analyse ?only ~extra engine ~name:"cli" sources
+    with Invalid_argument _ ->
+      let known = List.map (fun (p : E.pass) -> p.E.p_name) (E.passes engine) in
+      let bad =
+        List.filter
+          (fun n -> not (List.mem n known))
+          (Option.value only ~default:[])
+      in
+      List.iter
+        (fun n ->
+          Printf.eprintf "gcatch: unknown pass '%s' (see --list-passes)\n" n)
+        bad;
       exit 2
-  | exception Minigo.Typecheck.Type_error (m, loc) ->
-      Printf.eprintf "type error: %s at %s\n" m (Minigo.Loc.to_string loc);
-      exit 2
-  | a ->
-      List.iter (fun b -> print_endline (Gcatch.Report.bmoc_str b)) a.bmoc;
-      List.iter (fun t -> print_endline (Gcatch.Report.trad_str t)) a.trad;
-      if nonblocking then
-        List.iter
-          (fun b -> print_endline (Gcatch.Nonblocking.nb_str b))
-          (Gcatch.Nonblocking.detect a.ir);
-      Printf.printf "%d BMOC bug(s), %d traditional bug(s) in %.2fs\n"
-        (List.length a.bmoc) (List.length a.trad) a.elapsed_s;
-      if stats_flag then begin
-        let s = a.stats in
-        Printf.printf
-          "channels analysed: %d\ncombinations: %d\ngroups checked: %d\n\
-           solver calls: %d\npath events: %d\n"
-          s.channels_analysed s.combinations s.groups_checked s.solver_calls
-          s.total_path_events
-      end;
-      if a.bmoc <> [] || a.trad <> [] then exit 1
+  in
+  if json then print_endline (E.run_to_json r)
+  else if E.frontend_failed r then
+    List.iter (fun d -> prerr_endline (D.render_human d)) r.E.r_diags
+  else begin
+    List.iter (fun d -> print_endline (D.render_human d)) r.E.r_diags;
+    let count prefix =
+      List.length
+        (List.filter
+           (fun (d : D.t) ->
+             String.length d.D.pass >= String.length prefix
+             && String.sub d.D.pass 0 (String.length prefix) = prefix)
+           r.E.r_diags)
+    in
+    Printf.printf "%d BMOC bug(s), %d traditional bug(s) in %.2fs\n"
+      (count "bmoc") (count "trad.") r.E.r_elapsed_s;
+    if stats_flag then
+      List.iter
+        (fun (pr : E.pass_run) ->
+          if pr.E.pr_metrics <> [] then begin
+            Printf.printf "%s (%.3fs):\n" pr.E.pr_pass pr.E.pr_elapsed_s;
+            List.iter
+              (fun (k, v) -> Printf.printf "  %s: %d\n" k v)
+              pr.E.pr_metrics
+          end)
+        r.E.r_passes
+  end;
+  if E.frontend_failed r then exit 2
+  else if r.E.r_diags <> [] then exit 1
 
 let files_arg =
   Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"MiniGo source files")
@@ -62,7 +104,7 @@ let no_disentangle_arg =
         ~doc:"Disable the disentangling policy (whole-program analysis)")
 
 let stats_arg =
-  Arg.(value & flag & info [ "stats" ] ~doc:"Print detector statistics")
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print per-pass statistics")
 
 let nonblocking_arg =
   Arg.(
@@ -78,11 +120,30 @@ let model_waitgroup_arg =
     & info [ "model-waitgroup" ]
         ~doc:"Model WaitGroup Add/Done/Wait in the constraint system")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit the unified diagnostics and per-pass stats as JSON")
+
+let pass_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "pass" ] ~docv:"NAME"
+        ~doc:
+          "Run only the named pass (repeatable); see $(b,--list-passes) for \
+           names")
+
+let list_passes_arg =
+  Arg.(
+    value & flag
+    & info [ "list-passes" ] ~doc:"List the registered detector passes")
+
 let cmd =
   Cmd.v
     (Cmd.info "gcatch" ~doc:"Statically detect Go concurrency bugs")
     Term.(
       const run $ files_arg $ no_disentangle_arg $ stats_arg $ nonblocking_arg
-      $ model_waitgroup_arg)
+      $ model_waitgroup_arg $ json_arg $ pass_arg $ list_passes_arg)
 
 let () = exit (Cmd.eval cmd)

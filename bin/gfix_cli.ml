@@ -2,9 +2,17 @@
 
      gfix file.go                 # print the patched source
      gfix --validate file.go      # additionally run both versions under
-                                  # many schedules and compare leaks *)
+                                  # many schedules and compare leaks
+
+   GFix rides on the staged analysis engine: one [Engine.t] compiles
+   the sources and runs the BMOC pass; the typed AST it needs for
+   patching comes from the same cached artifacts, so preprocessing is
+   shared with detection instead of re-run (the paper's §5.3 point that
+   ~98% of GFix time is preprocessing). *)
 
 open Cmdliner
+module E = Goengine.Engine
+module D = Goengine.Diagnostics
 
 let read_file path =
   let ic = open_in_bin path in
@@ -18,59 +26,35 @@ let run files validate =
     prerr_endline "gfix: no input files";
     exit 2);
   let sources = List.map read_file files in
-  match Gcatch.Driver.analyse ~name:"cli" sources with
-  | exception Minigo.Parser.Parse_error (m, loc) ->
-      Printf.eprintf "parse error: %s at %s\n" m (Minigo.Loc.to_string loc);
-      exit 2
-  | a ->
-      let fixes = Gcatch.Gfix.fix_all a.source a.bmoc in
-      let patched =
-        List.fold_left
-          (fun prog (_bug, outcome) ->
-            match outcome with
-            | Gcatch.Gfix.Fixed f ->
-                Printf.eprintf "fixed: %s [%s, %d changed line(s)]\n"
-                  f.description
-                  (Gcatch.Gfix.strategy_str f.strategy)
-                  f.changed_lines;
-                f.patched
-            | Gcatch.Gfix.Not_fixed r ->
-                Printf.eprintf "not fixed: %s\n" r;
-                prog)
-          a.source fixes
-      in
-      (* Re-apply fixes against the accumulated program so multiple bugs
-         in one file compose: re-analyse and fix until a fixpoint. *)
-      let rec iterate prog rounds =
-        if rounds = 0 then prog
-        else
-          let ir = Goir.Lower.lower_program prog in
-          let a = Gcatch.Driver.analyse_ir prog ir in
-          let progress = ref false in
-          let prog' =
-            List.fold_left
-              (fun p (_b, o) ->
-                match o with
-                | Gcatch.Gfix.Fixed f ->
-                    progress := true;
-                    f.patched
-                | Gcatch.Gfix.Not_fixed _ -> p)
-              prog
-              (Gcatch.Gfix.fix_all prog a.bmoc)
-          in
-          if !progress then iterate prog' (rounds - 1) else prog
-      in
-      let final = if List.length fixes > 1 then iterate a.source 8 else patched in
-      print_string (Minigo.Pretty.program_str final);
-      if validate && Minigo.Ast.find_func a.source "main" <> None then begin
-        let seeds = 30 in
-        let _, leaks_before, _, _ =
-          Goruntime.Interp.run_schedules ~seeds a.source
-        in
-        let _, leaks_after, _, _ = Goruntime.Interp.run_schedules ~seeds final in
-        Printf.eprintf "validation: %d/%d schedules leaked before, %d/%d after\n"
-          leaks_before seeds leaks_after seeds
-      end
+  let engine = Gcatch.Passes.engine () in
+  let r = E.analyse ~only:[ "bmoc" ] engine ~name:"cli" sources in
+  if E.frontend_failed r then begin
+    List.iter (fun d -> prerr_endline (D.render_human d)) r.E.r_diags;
+    exit 2
+  end;
+  let artifacts = Option.get r.E.r_artifacts in
+  let source = Lazy.force artifacts.E.a_typed in
+  let bmoc = Gcatch.Passes.bmoc_bugs r.E.r_diags in
+  let fixes = Gcatch.Gfix.fix_all source bmoc in
+  List.iter
+    (fun (_bug, outcome) ->
+      match outcome with
+      | Gcatch.Gfix.Fixed f ->
+          Printf.eprintf "fixed: %s [%s, %d changed line(s)]\n" f.description
+            (Gcatch.Gfix.strategy_str f.strategy)
+            f.changed_lines
+      | Gcatch.Gfix.Not_fixed reason -> Printf.eprintf "not fixed: %s\n" reason)
+    fixes;
+  (* Multiple bugs in one file compose: re-analyse and fix to a fixpoint. *)
+  let final = Gcatch.Gfix.fix_to_fixpoint source fixes in
+  print_string (Minigo.Pretty.program_str final);
+  if validate && Minigo.Ast.find_func source "main" <> None then begin
+    let seeds = 30 in
+    let _, leaks_before, _, _ = Goruntime.Interp.run_schedules ~seeds source in
+    let _, leaks_after, _, _ = Goruntime.Interp.run_schedules ~seeds final in
+    Printf.eprintf "validation: %d/%d schedules leaked before, %d/%d after\n"
+      leaks_before seeds leaks_after seeds
+  end
 
 let files_arg =
   Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"MiniGo source files")

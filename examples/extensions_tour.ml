@@ -71,37 +71,54 @@ let panic_rate prog =
   done;
   (!n, 40)
 
-let () =
-  print_endline "== 1. send on a closed channel (non-blocking misuse) ==";
-  let ast, ir = Gcatch.Driver.compile_sources ~name:"ext" [ send_on_closed ] in
-  List.iter
-    (fun b -> print_endline ("  static:  " ^ Gcatch.Nonblocking.nb_str b))
-    (Gcatch.Nonblocking.detect ir);
-  let p, n = panic_rate ast in
-  Printf.printf "  dynamic: panics on %d/%d schedules\n\n" p n;
+module E = Goengine.Engine
+module D = Goengine.Diagnostics
 
-  print_endline "== 2. WaitGroup bug (Done skipped on one path) ==";
-  let base = Gcatch.Driver.analyse ~name:"wg" [ waitgroup_bug ] in
-  Printf.printf "  without the extension: %d report(s) — the paper's miss class\n"
-    (List.length base.bmoc);
+let () =
+  (* One engine, one registry.  The WaitGroup-modeling variant of BMOC
+     is registered as an extra named pass over the *same* cached
+     artifacts, so the with/without comparison compiles the program
+     exactly once. *)
+  let engine = Gcatch.Passes.engine () in
   let wg_cfg =
     {
       Gcatch.Bmoc.default_config with
       path_cfg = { Gcatch.Pathenum.default_config with model_waitgroup = true };
     }
   in
-  let ext = Gcatch.Driver.analyse ~cfg:wg_cfg ~name:"wg" [ waitgroup_bug ] in
+  E.register engine
+    {
+      (Gcatch.Passes.bmoc_pass ~cfg:wg_cfg ()) with
+      E.p_name = "bmoc+waitgroup";
+      p_doc = "BMOC with WaitGroup Add/Done/Wait modeled (§6)";
+      p_default = false;
+    };
+
+  print_endline "== 1. send on a closed channel (non-blocking misuse) ==";
+  let r = E.analyse ~only:[ "nonblocking" ] engine ~name:"ext" [ send_on_closed ] in
   List.iter
-    (fun b -> print_endline ("  with --model-waitgroup: " ^ Gcatch.Report.bmoc_str b))
-    ext.bmoc;
+    (fun d -> print_endline ("  static:  " ^ D.render_human d))
+    r.E.r_diags;
+  let ast = Lazy.force (Option.get r.E.r_artifacts).E.a_typed in
+  let p, n = panic_rate ast in
+  Printf.printf "  dynamic: panics on %d/%d schedules\n\n" p n;
+
+  print_endline "== 2. WaitGroup bug (Done skipped on one path) ==";
+  let base = E.analyse ~only:[ "bmoc" ] engine ~name:"wg" [ waitgroup_bug ] in
+  Printf.printf "  without the extension: %d report(s) — the paper's miss class\n"
+    (List.length (Gcatch.Passes.bmoc_bugs base.E.r_diags));
+  let ext = E.analyse ~only:[ "bmoc+waitgroup" ] engine ~name:"wg" [ waitgroup_bug ] in
+  List.iter
+    (fun d -> print_endline ("  with --model-waitgroup: " ^ D.render_human d))
+    ext.E.r_diags;
   let l, n = leak_rate (parse waitgroup_bug) in
   Printf.printf "  dynamic: leaks on %d/%d schedules\n\n" l n;
 
   print_endline "== 3. sync.Cond lost-signal race ==";
-  let a = Gcatch.Driver.analyse ~name:"cond" [ lost_signal ] in
+  let a = E.analyse ~only:[ "bmoc" ] engine ~name:"cond" [ lost_signal ] in
   List.iter
-    (fun b -> print_endline ("  static:  " ^ Gcatch.Report.bmoc_str b))
-    a.bmoc;
+    (fun d -> print_endline ("  static:  " ^ D.render_human d))
+    a.E.r_diags;
   let l, n = leak_rate (parse lost_signal) in
   Printf.printf
     "  dynamic: the waiter leaks on %d/%d schedules (and runs on the rest —\n\

@@ -68,10 +68,17 @@ func main() {
 }
 |gosrc}
 
+module E = Goengine.Engine
+
+(* every figure flows through one shared engine *)
+let engine = Gcatch.Passes.engine ()
+
 let demo name src =
   Printf.printf "== %s ==\n" name;
-  let a = Gcatch.Driver.analyse_string src in
-  Printf.printf "  GCatch found %d BMOC bug(s)\n" (List.length a.bmoc);
+  let r = E.analyse ~only:[ "bmoc" ] engine ~name:"input" [ src ] in
+  let source = Lazy.force (Option.get r.E.r_artifacts).E.a_typed in
+  let bmoc = Gcatch.Passes.bmoc_bugs r.E.r_diags in
+  Printf.printf "  GCatch found %d BMOC bug(s)\n" (List.length bmoc);
   let patched =
     List.fold_left
       (fun prog (_, o) ->
@@ -84,11 +91,11 @@ let demo name src =
         | Gcatch.Gfix.Not_fixed r ->
             Printf.printf "  GFix skipped one report: %s\n" r;
             prog)
-      a.source
-      (Gcatch.Gfix.fix_all a.source a.bmoc)
+      source
+      (Gcatch.Gfix.fix_all source bmoc)
   in
   let seeds = 40 in
-  let _, before, _, _ = Goruntime.Interp.run_schedules ~seeds a.source in
+  let _, before, _, _ = Goruntime.Interp.run_schedules ~seeds source in
   let _, after, _, _ = Goruntime.Interp.run_schedules ~seeds patched in
   Printf.printf "  leaks: %d/%d schedules before, %d/%d after\n\n" before seeds
     after seeds;

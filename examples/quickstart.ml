@@ -44,15 +44,21 @@ func main() {
 }
 |gosrc}
 
+module E = Goengine.Engine
+module D = Goengine.Diagnostics
+
 let () =
   print_endline "== GCatch: detecting ==";
-  let analysis = Gcatch.Driver.analyse_string figure1 in
-  List.iter
-    (fun b -> print_endline ("  " ^ Gcatch.Report.bmoc_str b))
-    analysis.bmoc;
+  (* one engine compiles the program; the BMOC pass reports through the
+     unified diagnostics, and GFix reuses the same cached typed AST *)
+  let engine = Gcatch.Passes.engine () in
+  let r = E.analyse ~only:[ "bmoc" ] engine ~name:"input" [ figure1 ] in
+  List.iter (fun d -> print_endline ("  " ^ D.render_human d)) r.E.r_diags;
+  let source = Lazy.force (Option.get r.E.r_artifacts).E.a_typed in
+  let bmoc = Gcatch.Passes.bmoc_bugs r.E.r_diags in
 
   print_endline "\n== GFix: patching ==";
-  let fixes = Gcatch.Gfix.fix_all analysis.source analysis.bmoc in
+  let fixes = Gcatch.Gfix.fix_all source bmoc in
   let patched =
     List.fold_left
       (fun prog (_, outcome) ->
@@ -65,14 +71,12 @@ let () =
         | Gcatch.Gfix.Not_fixed reason ->
             Printf.printf "  not fixed: %s\n" reason;
             prog)
-      analysis.source fixes
+      source fixes
   in
 
   print_endline "\n== Dynamic validation over 50 schedules ==";
   let seeds = 50 in
-  let _, leaks_before, _, _ =
-    Goruntime.Interp.run_schedules ~seeds analysis.source
-  in
+  let _, leaks_before, _, _ = Goruntime.Interp.run_schedules ~seeds source in
   let _, leaks_after, _, _ = Goruntime.Interp.run_schedules ~seeds patched in
   Printf.printf "  goroutine leaks before the patch: %d/%d schedules\n"
     leaks_before seeds;

@@ -18,7 +18,9 @@ let () =
       Printf.printf "== %s: %d lines of MiniGo, %d seeded labels ==\n\n"
         app.spec.name app.loc
         (List.length app.truth);
-      let score = Goreport.Score.score_app app in
+      let score =
+        Goreport.Score.score_app ~engine:(Goengine.Engine.create ()) app
+      in
       Printf.printf "analysis time: %.2fs\n\n" score.elapsed_s;
 
       print_endline "-- BMOC detector --";

@@ -1,9 +1,16 @@
 module Ir = Goir.Ir
 module Alias = Goanalysis.Alias
+module E = Goengine.Engine
 
-(* End-to-end GCatch pipeline (the workflow of the paper's Figure 2):
-   source text -> parse -> type check -> lower -> BMOC detector +
-   traditional detectors -> reports. *)
+(* Compatibility shim over the staged analysis engine.
+
+   Historically this module *was* the pipeline: every entry point
+   re-wired parse -> typecheck -> lower -> detect by hand.  The pipeline
+   now lives in [Goengine.Engine] (artifact cache, pass registry,
+   unified diagnostics); what remains here is the classic [analysis]
+   record and the [analyse*] helpers the test suites and older callers
+   use.  Compilation goes through a process-wide engine, so repeated
+   analyses of the same source set parse/typecheck/lower exactly once. *)
 
 type analysis = {
   source : Minigo.Ast.program;
@@ -14,27 +21,37 @@ type analysis = {
   elapsed_s : float;
 }
 
-let compile_sources ~name (sources : string list) : Minigo.Ast.program * Ir.program
-    =
-  let ast = Minigo.Parser.parse_program ~name sources in
-  let ast = Minigo.Typecheck.check_program ast in
-  let ir = Goir.Lower.lower_program ast in
-  (ast, ir)
+(* The engine behind the legacy API.  Entry points that want their own
+   cache lifetime (the CLIs, bench) create their own [Engine.t] and use
+   [analyse_with]. *)
+let default_engine : E.t Lazy.t = lazy (E.create ())
+
+let compile_sources ~name (sources : string list) :
+    Minigo.Ast.program * Ir.program =
+  let a = E.artifacts (Lazy.force default_engine) ~name sources in
+  (Lazy.force a.E.a_typed, Lazy.force a.E.a_ir)
 
 let analyse_ir ?(cfg = Bmoc.default_config) (source : Minigo.Ast.program)
     (ir : Ir.program) : analysis =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Goengine.Clock.now_s () in
   let bmoc, stats = Bmoc.detect ~cfg ir in
   let trad = Traditional.detect ir in
-  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let elapsed_s = Goengine.Clock.elapsed_since t0 in
   { source; ir; bmoc; trad; stats; elapsed_s }
 
-let analyse ?(cfg = Bmoc.default_config) ~name (sources : string list) : analysis =
-  let ast, ir = compile_sources ~name sources in
-  analyse_ir ~cfg ast ir
+(* Analyse through a caller-supplied engine: compile via its artifact
+   cache, then run the detectors.  Frontend errors propagate as the
+   classic exceptions; callers wanting structured diagnostics use
+   [Engine.analyse] with the [Passes] registry instead. *)
+let analyse_with (engine : E.t) ?cfg ~name (sources : string list) : analysis =
+  let a = E.artifacts engine ~name sources in
+  analyse_ir ?cfg (Lazy.force a.E.a_typed) (Lazy.force a.E.a_ir)
 
-let analyse_string ?(cfg = Bmoc.default_config) (src : string) : analysis =
-  analyse ~cfg ~name:"input" [ src ]
+let analyse ?cfg ~name (sources : string list) : analysis =
+  analyse_with (Lazy.force default_engine) ?cfg ~name sources
+
+let analyse_string ?cfg (src : string) : analysis =
+  analyse ?cfg ~name:"input" [ src ]
 
 let print_reports (a : analysis) =
   List.iter (fun b -> print_endline (Report.bmoc_str b)) a.bmoc;

@@ -1,6 +1,9 @@
-(** End-to-end GCatch pipeline (the workflow of the paper's Figure 2):
-    source text → parse → type check → lower → BMOC detector +
-    traditional detectors → reports. *)
+(** Compatibility shim over the staged analysis engine
+    ({!Goengine.Engine}): the classic GCatch pipeline API — source text
+    → parse → type check → lower → BMOC detector + traditional
+    detectors → reports — with compilation served from a process-wide
+    artifact cache, so repeated analyses of the same source set
+    parse/typecheck/lower exactly once. *)
 
 type analysis = {
   source : Minigo.Ast.program;
@@ -18,6 +21,16 @@ val compile_sources :
 
 val analyse_ir :
   ?cfg:Bmoc.config -> Minigo.Ast.program -> Goir.Ir.program -> analysis
+
+val analyse_with :
+  Goengine.Engine.t ->
+  ?cfg:Bmoc.config ->
+  name:string ->
+  string list ->
+  analysis
+(** Like {!analyse} but compiling through the caller's engine, so a
+    batch driver (bench, the CLIs) controls the artifact cache
+    lifetime and shares it with registry-based passes. *)
 
 val analyse : ?cfg:Bmoc.config -> name:string -> string list -> analysis
 (** Run the full pipeline over source texts. *)

@@ -439,3 +439,32 @@ let fix_all (prog : A.program) (bugs : Report.bmoc_bug list) :
               else Not_fixed "bug involves a mutex; out of GFix's scope" in
       (bug, o))
     bugs
+
+(* Apply a first round of outcomes, then — when several bugs share one
+   program — re-detect and re-fix against the accumulated program until
+   a fixpoint, so patches compose.  Re-detection reuses the already
+   type-checked AST: only lowering and BMOC detection run per round. *)
+let fix_to_fixpoint ?(max_rounds = 8) (prog : A.program)
+    (fixes : (Report.bmoc_bug * outcome) list) : A.program =
+  let apply p outcomes =
+    List.fold_left
+      (fun acc (_, o) ->
+        match o with Fixed f -> f.patched | Not_fixed _ -> acc)
+      p outcomes
+  in
+  let patched = apply prog fixes in
+  if List.length fixes <= 1 then patched
+  else
+    let rec iterate cur rounds =
+      if rounds = 0 then cur
+      else
+        let ir = Goir.Lower.lower_program cur in
+        let bugs, _ = Bmoc.detect ir in
+        let round = fix_all cur bugs in
+        let progress =
+          List.exists (fun (_, o) -> match o with Fixed _ -> true | _ -> false)
+            round
+        in
+        if progress then iterate (apply cur round) (rounds - 1) else cur
+    in
+    iterate prog max_rounds

@@ -31,3 +31,13 @@ val fix_all :
   (Report.bmoc_bug * outcome) list
 (** Fix every fixable bug; mutex-involved bugs are skipped, like the
     paper's GFix, whose scope is channel-only bugs. *)
+
+val fix_to_fixpoint :
+  ?max_rounds:int ->
+  Minigo.Ast.program ->
+  (Report.bmoc_bug * outcome) list ->
+  Minigo.Ast.program
+(** Apply the outcomes of a first {!fix_all} round; when more than one
+    fix landed, iteratively re-detect and re-fix against the
+    accumulated program (up to [max_rounds], default 8) so multiple
+    bugs in one file compose.  Formerly open-coded in [gfix_cli]. *)

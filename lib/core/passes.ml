@@ -1,0 +1,144 @@
+module E = Goengine.Engine
+module D = Goengine.Diagnostics
+
+(* GCatch's detectors packaged as named engine passes.
+
+   The registry replaces the hard-coded detector calls that used to live
+   in [Driver] and in every entry point: BMOC, each of the five
+   traditional checkers, and the §6 non-blocking checkers are
+   independent passes with their own enable flag, timing, and metrics.
+   Each diagnostic carries the original typed report as a payload so
+   GFix and the scorer lose nothing by going through the engine. *)
+
+type D.payload +=
+  | Bmoc_bug of Report.bmoc_bug
+  | Trad_bug of Report.trad_bug
+  | Nb_bug of Nonblocking.nb_bug
+
+(* ------------------------------------------------ payload recovery --- *)
+
+let bmoc_bugs (diags : D.t list) : Report.bmoc_bug list =
+  List.filter_map
+    (fun (d : D.t) ->
+      match d.D.payload with Bmoc_bug b -> Some b | _ -> None)
+    diags
+
+let trad_bugs (diags : D.t list) : Report.trad_bug list =
+  List.filter_map
+    (fun (d : D.t) ->
+      match d.D.payload with Trad_bug t -> Some t | _ -> None)
+    diags
+
+let nb_bugs (diags : D.t list) : Nonblocking.nb_bug list =
+  List.filter_map
+    (fun (d : D.t) ->
+      match d.D.payload with Nb_bug b -> Some b | _ -> None)
+    diags
+
+(* ------------------------------------------------------ diagnostics --- *)
+
+let bmoc_diag (b : Report.bmoc_bug) : D.t =
+  let loc =
+    match b.Report.chan_loc with
+    | Some l -> Some l
+    | None -> (
+        match b.Report.blocked with
+        | o :: _ -> Some o.Report.bo_loc
+        | [] -> None)
+  in
+  D.v ~pass:"bmoc" ?loc ~payload:(Bmoc_bug b) (Report.bmoc_str b)
+
+let trad_diag ~pass (t : Report.trad_bug) : D.t =
+  D.v ~pass ~severity:D.Error ~loc:t.Report.tloc ~payload:(Trad_bug t)
+    (Report.trad_str t)
+
+let nb_diag (b : Nonblocking.nb_bug) : D.t =
+  D.v ~pass:"nonblocking" ~loc:b.Nonblocking.nb_second ~payload:(Nb_bug b)
+    (Nonblocking.nb_str b)
+
+(* ------------------------------------------------- shared pre-pass --- *)
+
+(* The traditional checkers all consume the primitive/operation map.
+   Alias facts and the call graph come from the engine's cached stages;
+   [Primitives.collect] itself is memoized per artifact key so the five
+   checker passes pay for it once. *)
+let prims_cache : (string, Primitives.t) Hashtbl.t = Hashtbl.create 16
+
+let prims_for (a : E.artifacts) : Primitives.t =
+  match Hashtbl.find_opt prims_cache a.E.a_key with
+  | Some p -> p
+  | None ->
+      if Hashtbl.length prims_cache >= 256 then Hashtbl.reset prims_cache;
+      let p =
+        Primitives.collect (Lazy.force a.E.a_ir) (Lazy.force a.E.a_alias)
+      in
+      Hashtbl.add prims_cache a.E.a_key p;
+      p
+
+(* ----------------------------------------------------------- passes --- *)
+
+let bmoc_pass ?(cfg = Bmoc.default_config) () : E.pass =
+  {
+    E.p_name = "bmoc";
+    p_doc = "blocking misuse-of-channel detector (paper Algorithm 1)";
+    p_default = true;
+    p_run =
+      (fun a ->
+        let bugs, stats = Bmoc.detect ~cfg (Lazy.force a.E.a_ir) in
+        ( List.map bmoc_diag bugs,
+          [
+            ("channels_analysed", stats.Bmoc.channels_analysed);
+            ("combinations", stats.Bmoc.combinations);
+            ("groups_checked", stats.Bmoc.groups_checked);
+            ("solver_calls", stats.Bmoc.solver_calls);
+            ("path_events", stats.Bmoc.total_path_events);
+          ] ));
+  }
+
+let trad_pass name doc run : E.pass =
+  {
+    E.p_name = name;
+    p_doc = doc;
+    p_default = true;
+    p_run =
+      (fun a ->
+        let bugs = run a in
+        (List.map (trad_diag ~pass:name) bugs, [ ("reports", List.length bugs) ]));
+  }
+
+let traditional_passes () : E.pass list =
+  let ir a = Lazy.force a.E.a_ir in
+  let alias a = Lazy.force a.E.a_alias in
+  let cg a = Lazy.force a.E.a_callgraph in
+  [
+    trad_pass "trad.missing-unlock" "lock acquired but not released on some path"
+      (fun a -> Traditional.check_missing_unlock (prims_for a) (alias a) (ir a));
+    trad_pass "trad.double-lock" "same mutex acquired twice without release"
+      (fun a ->
+        Traditional.check_double_lock (prims_for a) (alias a) (cg a) (ir a));
+    trad_pass "trad.lock-order" "conflicting lock acquisition order"
+      (fun a ->
+        Traditional.check_conflicting_order (prims_for a) (alias a) (ir a));
+    trad_pass "trad.field-race" "struct field accessed without the usual lock"
+      (fun a -> Traditional.check_field_race (prims_for a) (alias a) (ir a));
+    trad_pass "trad.fatal-child" "testing.Fatal called from a child goroutine"
+      (fun a -> Traditional.check_fatal_in_child (ir a));
+  ]
+
+let nonblocking_pass ?(cfg = Bmoc.default_config) () : E.pass =
+  {
+    E.p_name = "nonblocking";
+    p_doc = "non-blocking misuse checkers (send-on-closed, double close)";
+    p_default = false;
+    p_run =
+      (fun a ->
+        let bugs = Nonblocking.detect ~cfg (Lazy.force a.E.a_ir) in
+        (List.map nb_diag bugs, [ ("reports", List.length bugs) ]));
+  }
+
+(* The full registry, in display order. *)
+let all ?cfg () : E.pass list =
+  (bmoc_pass ?cfg () :: traditional_passes ()) @ [ nonblocking_pass ?cfg () ]
+
+(* An engine pre-loaded with every GCatch pass. *)
+let engine ?cfg () : E.t = E.create ~passes:(all ?cfg ()) ()

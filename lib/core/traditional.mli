@@ -3,3 +3,27 @@
     testing.Fatal called from a child goroutine. *)
 
 val detect : Goir.Ir.program -> Report.trad_bug list
+(** Run all five checkers, computing alias facts, the call graph, and
+    the primitive map internally. *)
+
+(** The individual checkers, taking pre-computed facts so a staged
+    engine can share one alias/callgraph/primitive computation across
+    all of them (each is registered as its own engine pass). *)
+
+val check_missing_unlock :
+  Primitives.t -> Goanalysis.Alias.t -> Goir.Ir.program -> Report.trad_bug list
+
+val check_double_lock :
+  Primitives.t ->
+  Goanalysis.Alias.t ->
+  Goanalysis.Callgraph.t ->
+  Goir.Ir.program ->
+  Report.trad_bug list
+
+val check_conflicting_order :
+  Primitives.t -> Goanalysis.Alias.t -> Goir.Ir.program -> Report.trad_bug list
+
+val check_field_race :
+  Primitives.t -> Goanalysis.Alias.t -> Goir.Ir.program -> Report.trad_bug list
+
+val check_fatal_in_child : Goir.Ir.program -> Report.trad_bug list

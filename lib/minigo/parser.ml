@@ -649,8 +649,8 @@ let parse_struct_decl st : Ast.struct_decl =
   let fs = fields [] in
   { struct_name = name; fields = fs; struct_loc = loc }
 
-let parse_file ~file src : Ast.file =
-  let st = { toks = Lexer.tokenize ~file src; file } in
+let parse_tokens ~file toks : Ast.file =
+  let st = { toks; file } in
   skip_semis st;
   let package =
     if Token.equal (peek st) KW_package then begin
@@ -695,6 +695,8 @@ let parse_file ~file src : Ast.file =
              (Token.to_string t))
   in
   { package; decls = decls []; source_name = file }
+
+let parse_file ~file src : Ast.file = parse_tokens ~file (Lexer.tokenize ~file src)
 
 let parse_program ~name sources : Ast.program =
   List.mapi

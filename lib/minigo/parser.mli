@@ -6,6 +6,11 @@
 
 exception Parse_error of string * Loc.t
 
+val parse_tokens : file:string -> Lexer.token_info list -> Ast.file
+(** Parse one already-tokenized source file, so staged pipelines can
+    cache the token stream separately.  @raise Parse_error on syntax
+    errors. *)
+
 val parse_file : file:string -> string -> Ast.file
 (** Parse one source file.  @raise Parse_error on syntax errors. *)
 

@@ -92,9 +92,16 @@ let trad_kinds =
     R.Fatal_in_child;
   ]
 
-let score_app ?(cfg = Gcatch.Bmoc.default_config) (app : Gocorpus.Apps.app) :
-    app_score =
-  let a = Gcatch.Driver.analyse ~cfg ~name:app.spec.name app.sources in
+(* [engine] lets batch drivers (bench, triage) share one artifact cache
+   across apps and configurations; without it the Driver's process-wide
+   engine is used, which still compiles each app only once. *)
+let score_app ?engine ?(cfg = Gcatch.Bmoc.default_config)
+    (app : Gocorpus.Apps.app) : app_score =
+  let a =
+    match engine with
+    | Some e -> Gcatch.Driver.analyse_with e ~cfg ~name:app.spec.name app.sources
+    | None -> Gcatch.Driver.analyse ~cfg ~name:app.spec.name app.sources
+  in
   let bmoc_classes = List.map (fun b -> (b, classify_bmoc app.truth b)) a.bmoc in
   let count p = List.length (List.filter p bmoc_classes) in
   let bmoc_c_tp = count (fun (b, c) -> b.R.kind = R.Chan_only && c = TP false) in

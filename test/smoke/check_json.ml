@@ -1,0 +1,60 @@
+(* Validate gcatch --json output: structurally well-formed JSON (quotes
+   and brace/bracket nesting balance) and the fields the schema
+   promises, including at least one bmoc diagnostic for the Figure-1
+   input the dune rule feeds it. *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let balanced (s : string) : bool =
+  let depth = ref 0 and in_str = ref false and escaped = ref false in
+  let ok = ref true in
+  String.iter
+    (fun c ->
+      if !escaped then escaped := false
+      else if !in_str then (
+        match c with
+        | '\\' -> escaped := true
+        | '"' -> in_str := false
+        | _ -> ())
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_str
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let () =
+  let path = Sys.argv.(1) in
+  let j = String.trim (read_all path) in
+  if String.length j = 0 then fail "empty output";
+  if j.[0] <> '{' then fail "output is not a JSON object";
+  if not (balanced j) then fail "unbalanced JSON structure";
+  List.iter
+    (fun needle ->
+      if not (contains ~needle j) then fail "missing %s" needle)
+    [
+      {|"frontend_ok":true|};
+      {|"diagnostics":[|};
+      {|"pass":"bmoc"|};
+      {|"severity":"error"|};
+      {|"loc":{"file":|};
+      {|"passes":[|};
+      {|"solver_calls"|};
+    ];
+  print_endline "gcatch --json smoke test OK"

@@ -1,0 +1,17 @@
+package p
+
+func Exec(ctx context.Context, r string) (string, error) {
+	outDone := make(chan error)
+	go func(a string) {
+		outDone <- nil
+	}(r)
+	select {
+	case err := <-outDone:
+		if err != nil {
+			return "", err
+		}
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+	return "ok", nil
+}

@@ -12,6 +12,7 @@ let () =
       ("analysis", Suite_analysis.tests);
       ("smt", Suite_smt.tests);
       ("runtime", Suite_runtime.tests);
+      ("engine", Suite_engine.tests);
       ("detector", Suite_detector.tests);
       ("nonblocking", Suite_nonblocking.tests);
       ("differential", Suite_differential.tests);
