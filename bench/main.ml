@@ -3,6 +3,8 @@
      dune exec bench/main.exe            # all experiments E1..E8 + micro
      dune exec bench/main.exe e1 e5      # a subset
      dune exec bench/main.exe micro      # Bechamel micro-benchmarks only
+     dune exec bench/main.exe -- --jobs 4             # parallel detectors
+     dune exec bench/main.exe -- --json BENCH.json    # machine-readable out
 
    Each experiment prints the measured reproduction next to the number
    the paper reports; EXPERIMENTS.md records a snapshot of this output.
@@ -21,12 +23,17 @@ module R = Gcatch.Report
 module G = Gcatch.Gfix
 module E = Goengine.Engine
 module Clock = Goengine.Clock
+module Pool = Goengine.Pool
+module D = Goengine.Diagnostics
+
+(* --jobs N: size of the domain pool the detectors fan out on. *)
+let jobs_flag = ref 1
 
 (* One staged engine drives every experiment: E1's per-app compiles are
    reused by E5/E6/E8 and by E4's second (WaitGroup-extension) sweep, so
    each distinct source set is parsed/typechecked/lowered exactly once
    per bench run. *)
-let engine = lazy (E.create ())
+let engine = lazy (E.create ~jobs:!jobs_flag ())
 
 let analyse ?cfg ~name sources =
   Gcatch.Driver.analyse_with (Lazy.force engine) ?cfg ~name sources
@@ -38,11 +45,20 @@ let header title =
   print_endline title;
   line ()
 
+(* The per-app sweep fans out across the pool.  Apps are compiled first
+   (sequentially, filling the shared artifact cache) so the parallel part
+   is pure detection; [Pool.map] keeps results in input order and a
+   nested per-channel fan-out inside a worker degrades to sequential, so
+   the scores are identical at every jobs setting. *)
 let scores : Score.app_score list Lazy.t =
   lazy
-    (List.map
-       (fun app -> Score.score_app ~engine:(Lazy.force engine) app)
-       (Gocorpus.Apps.all ()))
+    (let e = Lazy.force engine in
+     let apps = Gocorpus.Apps.all () in
+     List.iter
+       (fun (app : Gocorpus.Apps.app) ->
+         ignore (E.artifacts e ~name:app.spec.name app.sources))
+       apps;
+     Pool.map ~pool:(E.pool e) (fun app -> Score.score_app ~engine:e app) apps)
 
 (* ------------------------------------------------------------- E1 --- *)
 
@@ -522,22 +538,168 @@ let micro () =
         results)
     tests
 
+(* ---------------------------------------------------- e2 parallel --- *)
+
+(* Scalability of the detector fan-out: the largest corpus app analysed
+   through the full pass registry at jobs=1/2/4.  Compilation happens
+   outside the timer (each engine's artifact cache is pre-filled), so the
+   measured time is detection only — the part the pool parallelises.
+   The diagnostics JSON must be byte-identical across job counts. *)
+type par_point = { pp_jobs : int; pp_seconds : float; pp_diags : string }
+
+type par_result = {
+  par_app : string;
+  par_loc : int;
+  par_points : par_point list;
+  par_identical : bool;
+}
+
+let par_result : par_result option ref = ref None
+
+let e2par () =
+  header
+    "E2p | Parallel detection: largest corpus app through the full pass
+    \    | registry at --jobs 1/2/4 (byte-identical diagnostics required)";
+  let apps = Gocorpus.Apps.all () in
+  let app =
+    List.fold_left
+      (fun (acc : Gocorpus.Apps.app) (a : Gocorpus.Apps.app) ->
+        if a.loc > acc.loc then a else acc)
+      (List.hd apps) apps
+  in
+  Printf.printf "app: %s (%d LoC); hardware threads: %d
+
+" app.spec.name
+    app.loc
+    (Domain.recommended_domain_count ());
+  Printf.printf "%6s %12s %10s
+" "jobs" "time (s)" "speedup";
+  let points =
+    List.map
+      (fun jobs ->
+        let e = E.create ~passes:(Gcatch.Passes.all ()) ~jobs () in
+        (* compile outside the timer *)
+        let a = E.artifacts e ~name:app.spec.name app.sources in
+        ignore (Lazy.force a.E.a_callgraph);
+        let t0 = Clock.now_s () in
+        let r = E.analyse e ~name:app.spec.name app.sources in
+        let dt = Clock.elapsed_since t0 in
+        { pp_jobs = jobs; pp_seconds = dt; pp_diags = D.list_to_json r.E.r_diags })
+      [ 1; 2; 4 ]
+  in
+  let base = (List.hd points).pp_seconds in
+  List.iter
+    (fun p ->
+      Printf.printf "%6d %12.3f %9.2fx
+" p.pp_jobs p.pp_seconds
+        (base /. max 1e-9 p.pp_seconds))
+    points;
+  let identical =
+    List.for_all (fun p -> p.pp_diags = (List.hd points).pp_diags) points
+  in
+  Printf.printf "
+diagnostics byte-identical across jobs: %b
+" identical;
+  if not identical then failwith "e2par: diagnostics differ across job counts";
+  par_result :=
+    Some
+      {
+        par_app = app.spec.name;
+        par_loc = app.loc;
+        par_points = points;
+        par_identical = identical;
+      }
+
+(* ------------------------------------------------------- json out --- *)
+
+let json_escape = D.json_escape
+
+let write_json path (timings : (string * float) list) =
+  let oc = open_out path in
+  let experiments =
+    String.concat ","
+      (List.map
+         (fun (n, s) ->
+           Printf.sprintf {|{"name":"%s","seconds":%.6f}|} (json_escape n) s)
+         timings)
+  in
+  let parallel =
+    match !par_result with
+    | None -> "null"
+    | Some p ->
+        let points =
+          String.concat ","
+            (List.map
+               (fun pt ->
+                 Printf.sprintf {|{"jobs":%d,"seconds":%.6f}|} pt.pp_jobs
+                   pt.pp_seconds)
+               p.par_points)
+        in
+        let seconds_at j =
+          match List.find_opt (fun pt -> pt.pp_jobs = j) p.par_points with
+          | Some pt -> pt.pp_seconds
+          | None -> nan
+        in
+        let speedup j = seconds_at 1 /. max 1e-9 (seconds_at j) in
+        Printf.sprintf
+          {|{"app":"%s","loc":%d,"hw_threads":%d,"points":[%s],"speedup_jobs2":%.3f,"speedup_jobs4":%.3f,"diags_identical":%b}|}
+          (json_escape p.par_app) p.par_loc
+          (Domain.recommended_domain_count ())
+          points (speedup 2) (speedup 4) p.par_identical
+  in
+  Printf.fprintf oc
+    {|{"schema":"gcatch-bench/1","jobs":%d,"experiments":[%s],"e2_parallel":%s}|}
+    !jobs_flag experiments parallel;
+  output_char oc '
+';
+  close_out oc;
+  Printf.printf "wrote %s
+" path
+
 (* ------------------------------------------------------------ main --- *)
 
 let all =
   [
-    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("micro", micro);
+    ("e1", e1); ("e2", e2); ("e2par", e2par); ("e3", e3); ("e4", e4);
+    ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("micro", micro);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* --jobs N and --json FILE, everything else selects experiments *)
+  let json_path = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs_flag := j
+        | _ ->
+            prerr_endline "bench: --jobs expects a positive integer";
+            exit 2);
+        parse acc rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse acc rest
+    | ("--jobs" | "--json") :: [] ->
+        prerr_endline "bench: missing argument";
+        exit 2
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let names = parse [] args in
   let chosen =
-    match args with
+    match names with
     | [] -> all
     | names -> List.filter (fun (n, _) -> List.mem n names) all
   in
-  List.iter (fun (_, f) -> f ()) chosen;
+  let timings =
+    List.map
+      (fun (n, f) ->
+        let t0 = Clock.now_s () in
+        f ();
+        (n, Clock.elapsed_since t0))
+      chosen
+  in
+  (match !json_path with None -> () | Some path -> write_json path timings);
   if Lazy.is_val engine then begin
     line ();
     print_endline ("engine " ^ E.stats_str (Lazy.force engine))

@@ -6,6 +6,7 @@
      gcatch --stats file.go               # print detector statistics
      gcatch --json file.go                # machine-readable diagnostics
      gcatch --pass bmoc file.go           # run a single pass
+     gcatch --jobs 4 file.go              # detector fan-out on 4 domains
      gcatch --list-passes
 
    Driven by the staged analysis engine: one [Engine.t] compiles the
@@ -32,15 +33,20 @@ let list_passes engine =
     (E.passes engine)
 
 let run files no_disentangle stats_flag nonblocking model_waitgroup json only
-    list_flag =
+    list_flag jobs solver_timeout_ms =
   let cfg =
     {
       Gcatch.Bmoc.default_config with
       disentangle = not no_disentangle;
-      path_cfg = { Gcatch.Pathenum.default_config with model_waitgroup };
+      path_cfg =
+        {
+          Gcatch.Pathenum.default_config with
+          model_waitgroup;
+          solver_timeout_ms;
+        };
     }
   in
-  let engine = Gcatch.Passes.engine ~cfg () in
+  let engine = Gcatch.Passes.engine ~cfg ~jobs () in
   if list_flag then (
     list_passes engine;
     exit 0);
@@ -71,10 +77,12 @@ let run files no_disentangle stats_flag nonblocking model_waitgroup json only
   else begin
     List.iter (fun d -> print_endline (D.render_human d)) r.E.r_diags;
     let count prefix =
+      (* warnings (e.g. solver-budget skips) are not bugs *)
       List.length
         (List.filter
            (fun (d : D.t) ->
-             String.length d.D.pass >= String.length prefix
+             D.is_error d
+             && String.length d.D.pass >= String.length prefix
              && String.sub d.D.pass 0 (String.length prefix) = prefix)
            r.E.r_diags)
     in
@@ -139,11 +147,31 @@ let list_passes_arg =
     value & flag
     & info [ "list-passes" ] ~doc:"List the registered detector passes")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Goengine.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan detector work out over $(docv) domains (default: the \
+           GCATCH_JOBS environment variable or the hardware's recommended \
+           domain count). Output is identical for every N.")
+
+let solver_timeout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "solver-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-channel constraint-solving budget; a channel exceeding it is \
+           skipped with a warning instead of stalling the run")
+
 let cmd =
   Cmd.v
     (Cmd.info "gcatch" ~doc:"Statically detect Go concurrency bugs")
     Term.(
       const run $ files_arg $ no_disentangle_arg $ stats_arg $ nonblocking_arg
-      $ model_waitgroup_arg $ json_arg $ pass_arg $ list_passes_arg)
+      $ model_waitgroup_arg $ json_arg $ pass_arg $ list_passes_arg $ jobs_arg
+      $ solver_timeout_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -262,6 +262,54 @@ let analyse (prog : Ir.program) : t =
     incr rounds;
     propagate st
   done;
+  (* Warm every field place the program can ever query: [pts_place]
+     materialises primitive objects for never-stored fields on first
+     lookup ([ensure_field]), and detectors query places from several
+     domains at once — after this pass those queries are read-only. *)
+  List.iter
+    (fun (f : Ir.func) ->
+      let place p = ignore (pts_place st f.name p) in
+      let operand = function Ir.Oplace p -> place p | _ -> () in
+      Ir.iter_insts
+        (fun i ->
+          match i.idesc with
+          | Isend (p, o) ->
+              place p;
+              operand o
+          | Irecv (_, p, _) | Iclose p | Ilock p | Iunlock p
+          | Iwg_done p | Iwg_wait p ->
+              place p
+          | Iwg_add (p, o) ->
+              place p;
+              operand o
+          | Icall (_, _, os) | Icall_indirect (_, _, os) | Igo (_, os)
+          | Iprint os ->
+              List.iter operand os
+          | Iassign (_, o) | Ifield_store (_, _, o) | Iunop (_, _, o)
+          | Isleep o ->
+              operand o
+          | Ibinop (_, _, o1, o2) ->
+              operand o1;
+              operand o2
+          | Imake_chan _ | Imake_struct _ | Itesting_fatal _ | Ifield_load _
+          | Inop _ ->
+              ())
+        f;
+      Array.iter
+        (fun (b : Ir.block) ->
+          match b.term with
+          | Tselect (arms, _, _) ->
+              List.iter
+                (fun (a : Ir.select_arm) ->
+                  match a.arm_op with
+                  | Arm_recv (p, _) -> place p
+                  | Arm_send (p, o) ->
+                      place p;
+                      operand o)
+                arms
+          | _ -> ())
+        f.blocks)
+    (Ir.funcs_list prog);
   st
 
 (* ------------------------------------------------------------ queries *)

@@ -1,6 +1,8 @@
 module Ir = Goir.Ir
 module Alias = Goanalysis.Alias
 module Callgraph = Goanalysis.Callgraph
+module Pool = Goengine.Pool
+module Clock = Goengine.Clock
 
 (* The BMOC detector (paper Algorithm 1).
 
@@ -36,6 +38,7 @@ type stats = {
   mutable solver_calls : int;
   mutable total_path_events : int;
   mutable constraints_hint : int; (* micro-ops considered, a proxy *)
+  mutable solver_timeouts : int;  (* channels skipped on budget exhaustion *)
 }
 
 let new_stats () =
@@ -46,7 +49,19 @@ let new_stats () =
     solver_calls = 0;
     total_path_events = 0;
     constraints_hint = 0;
+    solver_timeouts = 0;
   }
+
+(* Sum [src] into [dst]: each parallel worker accumulates into a private
+   stats record; the per-channel records are folded back in root order. *)
+let add_stats (dst : stats) (src : stats) =
+  dst.channels_analysed <- dst.channels_analysed + src.channels_analysed;
+  dst.combinations <- dst.combinations + src.combinations;
+  dst.groups_checked <- dst.groups_checked + src.groups_checked;
+  dst.solver_calls <- dst.solver_calls + src.solver_calls;
+  dst.total_path_events <- dst.total_path_events + src.total_path_events;
+  dst.constraints_hint <- dst.constraints_hint + src.constraints_hint;
+  dst.solver_timeouts <- dst.solver_timeouts + src.solver_timeouts
 
 (* Blocking-capable candidate events for suspicious groups. *)
 let candidates (pset : Alias.obj list) (gi : Pathenum.goroutine_instance) :
@@ -141,12 +156,22 @@ let suspicious_groups cfg pset (combo : Pathenum.combination) :
     List.filteri (fun i _ -> i < cfg.max_groups) all
   else all
 
-(* Detect BMOC bugs for one channel. *)
+(* Detect BMOC bugs for one channel.  Returns the bugs plus a flag saying
+   whether the channel blew its [solver_timeout_ms] budget — in which case
+   its (partial, schedule-dependent) findings are discarded so the output
+   stays deterministic, and the caller reports the channel as skipped. *)
 let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
     ~(dis : Disentangle.t) ~(cg : Callgraph.t) ~(alias : Alias.t)
-    ~(prog : Ir.program) ~(stats : stats) (c : Alias.obj) : Report.bmoc_bug list
-    =
+    ~(prog : Ir.program) ~(stats : stats) (c : Alias.obj) :
+    Report.bmoc_bug list * bool =
   stats.channels_analysed <- stats.channels_analysed + 1;
+  let should_stop =
+    match cfg.path_cfg.Pathenum.solver_timeout_ms with
+    | None -> None
+    | Some ms ->
+        let deadline = Clock.now_s () +. (float_of_int ms /. 1000.) in
+        Some (fun () -> Clock.now_s () > deadline)
+  in
   let scope, pset =
     if cfg.disentangle then (Disentangle.scope_of dis c, Disentangle.pset dis c)
     else begin
@@ -176,7 +201,8 @@ let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
   in
   let bugs = ref [] in
   let seen_groups = Hashtbl.create 16 in
-  List.iteri
+  try
+    List.iteri
     (fun combo_id combo ->
       if (not (Pathenum.has_conflicts combo)) && Pathenum.has_blocking_op combo
       then begin
@@ -209,7 +235,7 @@ let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
               stats.groups_checked <- stats.groups_checked + 1;
               let problem = { Constraints.combo; group; pset; prims } in
               stats.solver_calls <- stats.solver_calls + 1;
-              match Constraints.solve problem with
+              match Constraints.solve ?should_stop problem with
               | Constraints.Cannot_block -> ()
               | Constraints.Blocks witness ->
                   Hashtbl.add seen_groups key ();
@@ -265,21 +291,78 @@ let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
           groups
       end)
     combos;
-  List.rev !bugs
+    (List.rev !bugs, false)
+  with Gosmt.Solver.Timeout ->
+    stats.solver_timeouts <- stats.solver_timeouts + 1;
+    ([], true)
 
-(* Detect BMOC bugs across the whole program. *)
-let detect ?(cfg = default_config) (prog : Ir.program) :
-    Report.bmoc_bug list * stats =
+(* A root primitive skipped because its channel blew the per-channel
+   solver budget.  Surfaced to callers so they can emit a warning. *)
+type skipped = { sk_obj : Alias.obj; sk_loc : Minigo.Loc.t option }
+
+(* Canonical order for the final bug list: creation site of the channel,
+   then the (sorted) program points of the blocked ops, then the
+   combination id.  Everything in the key is schedule-independent, so the
+   report is byte-identical however the per-channel work was scheduled. *)
+let bug_order_key (b : Report.bmoc_bug) =
+  ( (match b.Report.chan_loc with
+    | Some l -> Minigo.Loc.to_string l
+    | None -> ""),
+    List.sort compare (List.map (fun o -> o.Report.bo_pp) b.Report.blocked),
+    b.Report.combination_id )
+
+(* Detect BMOC bugs across the whole program, fanning the per-root
+   [detect_channel] calls out over [pool].  Each worker gets a private
+   stats record (and, inside [Constraints.solve], its own scratch SAT
+   solver); results are merged in canonical root order and the final list
+   sorted by location, so jobs=1 and jobs=N produce identical output. *)
+let detect_ext ?(cfg = default_config) ?(pool = Pool.sequential)
+    (prog : Ir.program) : Report.bmoc_bug list * stats * skipped list =
   let stats = new_stats () in
   let alias = Alias.analyse prog in
   let cg = Callgraph.build ~alias prog in
   let prims = Primitives.collect prog alias in
   let dis = Disentangle.build prims cg in
+  let roots =
+    List.filter
+      (function Alias.Achan _ -> true | _ -> false)
+      (Primitives.channels prims)
+    @ (* with the §6 WaitGroup extension on, WaitGroups are analysed as
+         root primitives of their own, like channels *)
+    (if cfg.path_cfg.model_waitgroup then
+       List.filter
+         (fun obj -> not (Disentangle.rooted_external obj))
+         (Hashtbl.fold
+            (fun obj kind acc ->
+              if kind = Primitives.Pwaitgroup then obj :: acc else acc)
+            prims.kinds [])
+     else [])
+  in
+  (* canonical root order: structural compare is deterministic and
+     independent of Hashtbl iteration order (the WaitGroup fold above) *)
+  let roots = List.sort_uniq compare roots in
+  (* Warm the scope cache sequentially: [Disentangle.scope_of] memoizes on
+     miss (WaitGroup roots are not precomputed by [build]), and that table
+     must not be written to from several domains at once. *)
+  List.iter (fun c -> ignore (Disentangle.scope_of dis c)) roots;
+  let per_root =
+    Pool.map ~pool
+      (fun c ->
+        let st = new_stats () in
+        let found, timed_out =
+          detect_channel ~cfg ~prims ~dis ~cg ~alias ~prog ~stats:st c
+        in
+        (c, found, st, timed_out))
+      roots
+  in
   let bugs = ref [] in
+  let skips = ref [] in
   let seen = Hashtbl.create 16 in
   List.iter
-    (fun c ->
-      let found = detect_channel ~cfg ~prims ~dis ~cg ~alias ~prog ~stats c in
+    (fun (c, found, st, timed_out) ->
+      add_stats stats st;
+      if timed_out then
+        skips := { sk_obj = c; sk_loc = Alias.creation_loc alias c } :: !skips;
       List.iter
         (fun (b : Report.bmoc_bug) ->
           let key =
@@ -290,17 +373,15 @@ let detect ?(cfg = default_config) (prog : Ir.program) :
             bugs := b :: !bugs
           end)
         found)
-    (List.filter
-       (function Alias.Achan _ -> true | _ -> false)
-       (Primitives.channels prims)
-    @ (* with the §6 WaitGroup extension on, WaitGroups are analysed as
-         root primitives of their own, like channels *)
-    (if cfg.path_cfg.model_waitgroup then
-       List.filter
-         (fun obj -> not (Disentangle.rooted_external obj))
-         (Hashtbl.fold
-            (fun obj kind acc ->
-              if kind = Primitives.Pwaitgroup then obj :: acc else acc)
-            prims.kinds [])
-     else []));
-  (List.rev !bugs, stats)
+    per_root;
+  let bugs =
+    List.sort
+      (fun a b -> compare (bug_order_key a) (bug_order_key b))
+      (List.rev !bugs)
+  in
+  (bugs, stats, List.rev !skips)
+
+(* Detect BMOC bugs across the whole program. *)
+let detect ?cfg ?pool (prog : Ir.program) : Report.bmoc_bug list * stats =
+  let bugs, stats, _ = detect_ext ?cfg ?pool prog in
+  (bugs, stats)

@@ -129,7 +129,7 @@ let prepare (p : problem) =
     truncated;
   (truncated, List.rev !micros)
 
-let solve (p : problem) : verdict =
+let solve ?should_stop (p : problem) : verdict =
   let truncated, micros = prepare p in
   let s = Solver.create () in
   (* ---- order variables, one per event ---- *)
@@ -419,7 +419,7 @@ let solve (p : problem) : verdict =
                 p.group)
           evs)
       truncated;
-    match Solver.solve s with
+    match Solver.solve ?should_stop s with
     | Solver.Unsat -> Cannot_block
     | Solver.Sat_model m ->
         let witness =

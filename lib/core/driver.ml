@@ -31,11 +31,11 @@ let compile_sources ~name (sources : string list) :
   let a = E.artifacts (Lazy.force default_engine) ~name sources in
   (Lazy.force a.E.a_typed, Lazy.force a.E.a_ir)
 
-let analyse_ir ?(cfg = Bmoc.default_config) (source : Minigo.Ast.program)
-    (ir : Ir.program) : analysis =
+let analyse_ir ?(cfg = Bmoc.default_config) ?pool
+    (source : Minigo.Ast.program) (ir : Ir.program) : analysis =
   let t0 = Goengine.Clock.now_s () in
-  let bmoc, stats = Bmoc.detect ~cfg ir in
-  let trad = Traditional.detect ir in
+  let bmoc, stats = Bmoc.detect ~cfg ?pool ir in
+  let trad = Traditional.detect ?pool ir in
   let elapsed_s = Goengine.Clock.elapsed_since t0 in
   { source; ir; bmoc; trad; stats; elapsed_s }
 
@@ -45,10 +45,17 @@ let analyse_ir ?(cfg = Bmoc.default_config) (source : Minigo.Ast.program)
    [Engine.analyse] with the [Passes] registry instead. *)
 let analyse_with (engine : E.t) ?cfg ~name (sources : string list) : analysis =
   let a = E.artifacts engine ~name sources in
-  analyse_ir ?cfg (Lazy.force a.E.a_typed) (Lazy.force a.E.a_ir)
+  analyse_ir ?cfg ~pool:(E.pool engine) (Lazy.force a.E.a_typed)
+    (Lazy.force a.E.a_ir)
 
-let analyse ?cfg ~name (sources : string list) : analysis =
-  analyse_with (Lazy.force default_engine) ?cfg ~name sources
+let analyse ?cfg ?jobs ~name (sources : string list) : analysis =
+  match jobs with
+  | None | Some 1 -> analyse_with (Lazy.force default_engine) ?cfg ~name sources
+  | Some n ->
+      let a = E.artifacts (Lazy.force default_engine) ~name sources in
+      analyse_ir ?cfg
+        ~pool:(Goengine.Pool.get ~jobs:n)
+        (Lazy.force a.E.a_typed) (Lazy.force a.E.a_ir)
 
 let analyse_string ?cfg (src : string) : analysis =
   analyse ?cfg ~name:"input" [ src ]

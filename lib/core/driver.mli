@@ -20,7 +20,13 @@ val compile_sources :
     @raise Minigo.Parser.Parse_error and {!Minigo.Typecheck.Type_error}. *)
 
 val analyse_ir :
-  ?cfg:Bmoc.config -> Minigo.Ast.program -> Goir.Ir.program -> analysis
+  ?cfg:Bmoc.config ->
+  ?pool:Goengine.Pool.t ->
+  Minigo.Ast.program ->
+  Goir.Ir.program ->
+  analysis
+(** [pool] fans the per-channel / per-function detector work out across
+    its domains; output is identical to a sequential run. *)
 
 val analyse_with :
   Goengine.Engine.t ->
@@ -32,8 +38,10 @@ val analyse_with :
     batch driver (bench, the CLIs) controls the artifact cache
     lifetime and shares it with registry-based passes. *)
 
-val analyse : ?cfg:Bmoc.config -> name:string -> string list -> analysis
-(** Run the full pipeline over source texts. *)
+val analyse :
+  ?cfg:Bmoc.config -> ?jobs:int -> name:string -> string list -> analysis
+(** Run the full pipeline over source texts.  [jobs] (default 1) sizes
+    the shared domain pool used by the detectors. *)
 
 val analyse_string : ?cfg:Bmoc.config -> string -> analysis
 (** Convenience wrapper for a single source string. *)

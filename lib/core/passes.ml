@@ -63,19 +63,34 @@ let nb_diag (b : Nonblocking.nb_bug) : D.t =
    [Primitives.collect] itself is memoized per artifact key so the five
    checker passes pay for it once. *)
 let prims_cache : (string, Primitives.t) Hashtbl.t = Hashtbl.create 16
+let prims_mu = Mutex.create ()
 
 let prims_for (a : E.artifacts) : Primitives.t =
-  match Hashtbl.find_opt prims_cache a.E.a_key with
-  | Some p -> p
-  | None ->
-      if Hashtbl.length prims_cache >= 256 then Hashtbl.reset prims_cache;
-      let p =
-        Primitives.collect (Lazy.force a.E.a_ir) (Lazy.force a.E.a_alias)
-      in
-      Hashtbl.add prims_cache a.E.a_key p;
-      p
+  (* forced before taking the lock: forcing under [prims_mu] could hold
+     it across the whole frontend *)
+  let ir = Lazy.force a.E.a_ir in
+  let alias = Lazy.force a.E.a_alias in
+  Mutex.lock prims_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock prims_mu)
+    (fun () ->
+      match Hashtbl.find_opt prims_cache a.E.a_key with
+      | Some p -> p
+      | None ->
+          if Hashtbl.length prims_cache >= 256 then Hashtbl.reset prims_cache;
+          let p = Primitives.collect ir alias in
+          Hashtbl.add prims_cache a.E.a_key p;
+          p)
 
 (* ----------------------------------------------------------- passes --- *)
+
+(* A channel skipped on solver-budget exhaustion becomes a warning, not
+   an error: the run completed, one scope's verdict is just unknown. *)
+let skip_diag (sk : Bmoc.skipped) : D.t =
+  D.v ~pass:"bmoc" ~severity:D.Warning ?loc:sk.Bmoc.sk_loc
+    (Printf.sprintf
+       "channel %s skipped: solver budget exhausted (solver_timeout_ms)"
+       (Goanalysis.Alias.obj_str sk.Bmoc.sk_obj))
 
 let bmoc_pass ?(cfg = Bmoc.default_config) () : E.pass =
   {
@@ -83,15 +98,18 @@ let bmoc_pass ?(cfg = Bmoc.default_config) () : E.pass =
     p_doc = "blocking misuse-of-channel detector (paper Algorithm 1)";
     p_default = true;
     p_run =
-      (fun a ->
-        let bugs, stats = Bmoc.detect ~cfg (Lazy.force a.E.a_ir) in
-        ( List.map bmoc_diag bugs,
+      (fun pool a ->
+        let bugs, stats, skipped =
+          Bmoc.detect_ext ~cfg ~pool (Lazy.force a.E.a_ir)
+        in
+        ( List.map bmoc_diag bugs @ List.map skip_diag skipped,
           [
             ("channels_analysed", stats.Bmoc.channels_analysed);
             ("combinations", stats.Bmoc.combinations);
             ("groups_checked", stats.Bmoc.groups_checked);
             ("solver_calls", stats.Bmoc.solver_calls);
             ("path_events", stats.Bmoc.total_path_events);
+            ("solver_timeouts", stats.Bmoc.solver_timeouts);
           ] ));
   }
 
@@ -101,8 +119,8 @@ let trad_pass name doc run : E.pass =
     p_doc = doc;
     p_default = true;
     p_run =
-      (fun a ->
-        let bugs = run a in
+      (fun pool a ->
+        let bugs = run pool a in
         (List.map (trad_diag ~pass:name) bugs, [ ("reports", List.length bugs) ]));
   }
 
@@ -112,17 +130,19 @@ let traditional_passes () : E.pass list =
   let cg a = Lazy.force a.E.a_callgraph in
   [
     trad_pass "trad.missing-unlock" "lock acquired but not released on some path"
-      (fun a -> Traditional.check_missing_unlock (prims_for a) (alias a) (ir a));
+      (fun pool a ->
+        Traditional.check_missing_unlock ~pool (prims_for a) (alias a) (ir a));
     trad_pass "trad.double-lock" "same mutex acquired twice without release"
-      (fun a ->
-        Traditional.check_double_lock (prims_for a) (alias a) (cg a) (ir a));
+      (fun pool a ->
+        Traditional.check_double_lock ~pool (prims_for a) (alias a) (cg a) (ir a));
     trad_pass "trad.lock-order" "conflicting lock acquisition order"
-      (fun a ->
-        Traditional.check_conflicting_order (prims_for a) (alias a) (ir a));
+      (fun pool a ->
+        Traditional.check_conflicting_order ~pool (prims_for a) (alias a) (ir a));
     trad_pass "trad.field-race" "struct field accessed without the usual lock"
-      (fun a -> Traditional.check_field_race (prims_for a) (alias a) (ir a));
+      (fun pool a ->
+        Traditional.check_field_race ~pool (prims_for a) (alias a) (ir a));
     trad_pass "trad.fatal-child" "testing.Fatal called from a child goroutine"
-      (fun a -> Traditional.check_fatal_in_child (ir a));
+      (fun pool a -> Traditional.check_fatal_in_child ~pool (ir a));
   ]
 
 let nonblocking_pass ?(cfg = Bmoc.default_config) () : E.pass =
@@ -131,7 +151,7 @@ let nonblocking_pass ?(cfg = Bmoc.default_config) () : E.pass =
     p_doc = "non-blocking misuse checkers (send-on-closed, double close)";
     p_default = false;
     p_run =
-      (fun a ->
+      (fun _pool a ->
         let bugs = Nonblocking.detect ~cfg (Lazy.force a.E.a_ir) in
         (List.map nb_diag bugs, [ ("reports", List.length bugs) ]));
   }
@@ -140,5 +160,6 @@ let nonblocking_pass ?(cfg = Bmoc.default_config) () : E.pass =
 let all ?cfg () : E.pass list =
   (bmoc_pass ?cfg () :: traditional_passes ()) @ [ nonblocking_pass ?cfg () ]
 
-(* An engine pre-loaded with every GCatch pass. *)
-let engine ?cfg () : E.t = E.create ~passes:(all ?cfg ()) ()
+(* An engine pre-loaded with every GCatch pass.  [jobs] sizes the domain
+   pool the passes fan out on (1 = sequential, the default). *)
+let engine ?cfg ?(jobs = 1) () : E.t = E.create ~passes:(all ?cfg ()) ~jobs ()

@@ -53,6 +53,10 @@ type config = {
       (* the §6 extension: generate WaitGroup events so the constraint
          system can reason about Add/Done/Wait.  Off by default, like the
          paper (whose coverage study counts WaitGroup bugs as misses). *)
+  solver_timeout_ms : int option;
+      (* per-channel wall-clock budget for constraint solving; a channel
+         that exhausts it is skipped (with a warning diagnostic) rather
+         than stalling the whole run.  [None] = no budget. *)
 }
 
 let default_config =
@@ -63,6 +67,7 @@ let default_config =
     max_events = 400;
     max_walk_steps = 200_000;
     model_waitgroup = false;
+    solver_timeout_ms = None;
   }
 
 type ctx = {

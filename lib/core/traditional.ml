@@ -1,6 +1,7 @@
 module Ir = Goir.Ir
 module Alias = Goanalysis.Alias
 module Callgraph = Goanalysis.Callgraph
+module Pool = Goengine.Pool
 
 (* The five traditional checkers (paper §3.5): ideas that work in classic
    languages, ported to Go IR.
@@ -76,10 +77,15 @@ let lock_transfer prims alias fname (i : Ir.inst) (ls : lockset) : lockset =
 
 (* ------------------------------------------ 1. missing unlock ------- *)
 
-let check_missing_unlock prims alias (prog : Ir.program) : Report.trad_bug list =
-  let bugs = ref [] in
-  List.iter
+(* Each checker walks functions independently; [pool] fans the walks out
+   across domains.  Per-function results are merged back *in function
+   order*, so the bug list is identical for jobs=1 and jobs=N. *)
+let check_missing_unlock ?(pool = Pool.sequential) prims alias
+    (prog : Ir.program) : Report.trad_bug list =
+  List.concat
+  @@ Pool.map ~pool
     (fun (f : Ir.func) ->
+      let bugs = ref [] in
       let reported = Hashtbl.create 4 in
       walk_paths f
         ~transfer:(lock_transfer prims alias f.name)
@@ -104,9 +110,9 @@ let check_missing_unlock prims alias (prog : Ir.program) : Report.trad_bug list 
                       :: !bugs
                   end)
                 ls
-          | _ -> ()))
-    (Ir.funcs_list prog);
-  List.rev !bugs
+          | _ -> ());
+      List.rev !bugs)
+    (Ir.funcs_list prog)
 
 (* ------------------------------------------ 2. double lock ---------- *)
 
@@ -151,11 +157,14 @@ let locks_summary prims alias cg (prog : Ir.program) :
   done;
   summary
 
-let check_double_lock prims alias cg (prog : Ir.program) : Report.trad_bug list =
+let check_double_lock ?(pool = Pool.sequential) prims alias cg
+    (prog : Ir.program) : Report.trad_bug list =
+  (* the call summary is a shared fixpoint: computed once, sequentially *)
   let summary = locks_summary prims alias cg prog in
-  let bugs = ref [] in
-  List.iter
+  List.concat
+  @@ Pool.map ~pool
     (fun (f : Ir.func) ->
+      let bugs = ref [] in
       let reported = Hashtbl.create 4 in
       let report loc detail key =
         if not (Hashtbl.mem reported key) then begin
@@ -190,37 +199,47 @@ let check_double_lock prims alias cg (prog : Ir.program) : Report.trad_bug list 
                     glocks
               | None -> ())
           | _ -> ())
-        ~at_exit:(fun _ _ -> ()))
-    (Ir.funcs_list prog);
-  List.rev !bugs
+        ~at_exit:(fun _ _ -> ());
+      List.rev !bugs)
+    (Ir.funcs_list prog)
 
 (* --------------------------------- 3. conflicting lock order -------- *)
 
-let check_conflicting_order prims alias (prog : Ir.program) : Report.trad_bug list =
-  (* collect lock-order edges (m1 held while acquiring m2) *)
+let check_conflicting_order ?(pool = Pool.sequential) prims alias
+    (prog : Ir.program) : Report.trad_bug list =
+  (* collect lock-order edges (m1 held while acquiring m2), one list per
+     function, in walk order *)
+  let per_func =
+    Pool.map ~pool
+      (fun (f : Ir.func) ->
+        let found = ref [] in
+        walk_paths f
+          ~transfer:(lock_transfer prims alias f.name)
+          ~visit:(fun i ls ->
+            match i.idesc with
+            | Ilock p ->
+                List.iter
+                  (fun m2 ->
+                    List.iter
+                      (fun m1 ->
+                        if m1 <> m2 then
+                          found := ((m1, m2), (f.name, i.iloc)) :: !found)
+                      ls)
+                  (mutex_objs prims alias f.name p)
+            | _ -> ())
+          ~at_exit:(fun _ _ -> ());
+        List.rev !found)
+      (Ir.funcs_list prog)
+  in
+  (* merge in function order: the hash tables see the same insertion
+     sequence as a sequential walk, so the report below is identical *)
   let edges = Hashtbl.create 16 in
   let edge_loc = Hashtbl.create 16 in
   List.iter
-    (fun (f : Ir.func) ->
-      walk_paths f
-        ~transfer:(lock_transfer prims alias f.name)
-        ~visit:(fun i ls ->
-          match i.idesc with
-          | Ilock p ->
-              List.iter
-                (fun m2 ->
-                  List.iter
-                    (fun m1 ->
-                      if m1 <> m2 then begin
-                        Hashtbl.replace edges (m1, m2) ();
-                        if not (Hashtbl.mem edge_loc (m1, m2)) then
-                          Hashtbl.replace edge_loc (m1, m2) (f.name, i.iloc)
-                      end)
-                    ls)
-                (mutex_objs prims alias f.name p)
-          | _ -> ())
-        ~at_exit:(fun _ _ -> ()))
-    (Ir.funcs_list prog);
+    (List.iter (fun (e, at) ->
+         Hashtbl.replace edges e ();
+         if not (Hashtbl.mem edge_loc e) then Hashtbl.replace edge_loc e at))
+    per_func;
   (* 2-cycles (the common conflicting-order deadlock) *)
   let bugs = ref [] in
   Hashtbl.iter
@@ -253,7 +272,8 @@ type access = {
   a_is_write : bool;
 }
 
-let check_field_race prims alias (prog : Ir.program) : Report.trad_bug list =
+let check_field_race ?(pool = Pool.sequential) prims alias
+    (prog : Ir.program) : Report.trad_bug list =
   (* function allocating each struct object: accesses there are treated as
      construction/initialisation, not racy sharing *)
   let alloc_func : (Ir.pp, string) Hashtbl.t = Hashtbl.create 16 in
@@ -270,33 +290,45 @@ let check_field_race prims alias (prog : Ir.program) : Report.trad_bug list =
     | Alias.Astruct pp -> Hashtbl.find_opt alloc_func pp = Some f
     | _ -> false
   in
-  (* accesses.(struct obj, field) -> access list *)
-  let accesses : (Alias.obj * string, access list) Hashtbl.t = Hashtbl.create 32 in
-  let record f loc ls base fld is_write =
-    List.iter
-      (fun obj ->
-        match obj with
-        | Alias.Astruct _ | Alias.Aext _ when not (is_constructor_access f obj) ->
-            let key = (obj, fld) in
-            let cur = Option.value (Hashtbl.find_opt accesses key) ~default:[] in
-            Hashtbl.replace accesses key
-              ({ a_func = f; a_loc = loc; a_lockset = ls; a_is_write = is_write } :: cur)
-        | _ -> ())
-      base
+  (* per-function access lists in walk order, merged below *)
+  let per_func =
+    Pool.map ~pool
+      (fun (f : Ir.func) ->
+        let found = ref [] in
+        let record fn loc ls base fld is_write =
+          List.iter
+            (fun obj ->
+              match obj with
+              | Alias.Astruct _ | Alias.Aext _
+                when not (is_constructor_access fn obj) ->
+                  found :=
+                    ( (obj, fld),
+                      { a_func = fn; a_loc = loc; a_lockset = ls; a_is_write = is_write } )
+                    :: !found
+              | _ -> ())
+            base
+        in
+        walk_paths f
+          ~transfer:(lock_transfer prims alias f.name)
+          ~visit:(fun i ls ->
+            match i.idesc with
+            | Ifield_load (_, b, fld) when fld <> "$done" && fld <> "$elem" ->
+                record f.name i.iloc ls (place_objs alias f.name (Ir.Pvar b)) fld false
+            | Ifield_store (b, fld, _) when fld <> "$done" && fld <> "$elem" ->
+                record f.name i.iloc ls (place_objs alias f.name (Ir.Pvar b)) fld true
+            | _ -> ())
+          ~at_exit:(fun _ _ -> ());
+        List.rev !found)
+      (Ir.funcs_list prog)
   in
+  (* accesses.(struct obj, field) -> access list; merging in function
+     order reproduces the sequential insertion sequence exactly *)
+  let accesses : (Alias.obj * string, access list) Hashtbl.t = Hashtbl.create 32 in
   List.iter
-    (fun (f : Ir.func) ->
-      walk_paths f
-        ~transfer:(lock_transfer prims alias f.name)
-        ~visit:(fun i ls ->
-          match i.idesc with
-          | Ifield_load (_, b, fld) when fld <> "$done" && fld <> "$elem" ->
-              record f.name i.iloc ls (place_objs alias f.name (Ir.Pvar b)) fld false
-          | Ifield_store (b, fld, _) when fld <> "$done" && fld <> "$elem" ->
-              record f.name i.iloc ls (place_objs alias f.name (Ir.Pvar b)) fld true
-          | _ -> ())
-        ~at_exit:(fun _ _ -> ()))
-    (Ir.funcs_list prog);
+    (List.iter (fun (key, a) ->
+         let cur = Option.value (Hashtbl.find_opt accesses key) ~default:[] in
+         Hashtbl.replace accesses key (a :: cur)))
+    per_func;
   (* a field is suspicious when most accesses hold a common lock but some
      access does not, with at least one write and 2+ functions involved *)
   let bugs = ref [] in
@@ -332,10 +364,12 @@ let check_field_race prims alias (prog : Ir.program) : Report.trad_bug list =
 
 (* ------------------------------------ 5. Fatal in child ------------- *)
 
-let check_fatal_in_child (prog : Ir.program) : Report.trad_bug list =
-  let bugs = ref [] in
-  List.iter
+let check_fatal_in_child ?(pool = Pool.sequential) (prog : Ir.program) :
+    Report.trad_bug list =
+  List.concat
+  @@ Pool.map ~pool
     (fun (f : Ir.func) ->
+      let bugs = ref [] in
       if f.is_goroutine_body then
         Ir.iter_insts
           (fun i ->
@@ -350,18 +384,18 @@ let check_fatal_in_child (prog : Ir.program) : Report.trad_bug list =
                   }
                   :: !bugs
             | _ -> ())
-          f)
-    (Ir.funcs_list prog);
-  List.rev !bugs
+          f;
+      List.rev !bugs)
+    (Ir.funcs_list prog)
 
 (* --------------------------------------------------- all together --- *)
 
-let detect (prog : Ir.program) : Report.trad_bug list =
+let detect ?pool (prog : Ir.program) : Report.trad_bug list =
   let alias = Alias.analyse prog in
   let cg = Callgraph.build ~alias prog in
   let prims = Primitives.collect prog alias in
-  check_missing_unlock prims alias prog
-  @ check_double_lock prims alias cg prog
-  @ check_conflicting_order prims alias prog
-  @ check_field_race prims alias prog
-  @ check_fatal_in_child prog
+  check_missing_unlock ?pool prims alias prog
+  @ check_double_lock ?pool prims alias cg prog
+  @ check_conflicting_order ?pool prims alias prog
+  @ check_field_race ?pool prims alias prog
+  @ check_fatal_in_child ?pool prog

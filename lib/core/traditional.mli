@@ -1,8 +1,13 @@
 (** The five traditional checkers (paper §3.5): missing unlock, double
     lock, conflicting lock order, racy struct fields (lockset), and
-    testing.Fatal called from a child goroutine. *)
+    testing.Fatal called from a child goroutine.
 
-val detect : Goir.Ir.program -> Report.trad_bug list
+    Every checker walks functions independently; passing [pool] fans the
+    per-function walks out across domains.  Results are merged back in
+    function order, so output is identical for jobs=1 and jobs=N. *)
+
+val detect :
+  ?pool:Goengine.Pool.t -> Goir.Ir.program -> Report.trad_bug list
 (** Run all five checkers, computing alias facts, the call graph, and
     the primitive map internally. *)
 
@@ -11,9 +16,14 @@ val detect : Goir.Ir.program -> Report.trad_bug list
     all of them (each is registered as its own engine pass). *)
 
 val check_missing_unlock :
-  Primitives.t -> Goanalysis.Alias.t -> Goir.Ir.program -> Report.trad_bug list
+  ?pool:Goengine.Pool.t ->
+  Primitives.t ->
+  Goanalysis.Alias.t ->
+  Goir.Ir.program ->
+  Report.trad_bug list
 
 val check_double_lock :
+  ?pool:Goengine.Pool.t ->
   Primitives.t ->
   Goanalysis.Alias.t ->
   Goanalysis.Callgraph.t ->
@@ -21,9 +31,18 @@ val check_double_lock :
   Report.trad_bug list
 
 val check_conflicting_order :
-  Primitives.t -> Goanalysis.Alias.t -> Goir.Ir.program -> Report.trad_bug list
+  ?pool:Goengine.Pool.t ->
+  Primitives.t ->
+  Goanalysis.Alias.t ->
+  Goir.Ir.program ->
+  Report.trad_bug list
 
 val check_field_race :
-  Primitives.t -> Goanalysis.Alias.t -> Goir.Ir.program -> Report.trad_bug list
+  ?pool:Goengine.Pool.t ->
+  Primitives.t ->
+  Goanalysis.Alias.t ->
+  Goir.Ir.program ->
+  Report.trad_bug list
 
-val check_fatal_in_child : Goir.Ir.program -> Report.trad_bug list
+val check_fatal_in_child :
+  ?pool:Goengine.Pool.t -> Goir.Ir.program -> Report.trad_bug list

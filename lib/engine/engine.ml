@@ -55,14 +55,16 @@ type artifacts = {
 
 (* A detector pass: named, individually enable-able, produces unified
    diagnostics plus a flat list of integer metrics (solver calls, path
-   events, …) that the engine records per run. *)
+   events, …) that the engine records per run.  The pass receives the
+   engine's domain pool so it can fan its independent sub-problems
+   (channels, functions) out across workers. *)
 type metrics = (string * int) list
 
 type pass = {
   p_name : string;
   p_doc : string;
   p_default : bool;              (* runs unless explicitly deselected *)
-  p_run : artifacts -> D.t list * metrics;
+  p_run : Pool.t -> artifacts -> D.t list * metrics;
 }
 
 type pass_run = {
@@ -87,10 +89,32 @@ type t = {
   cache : (string, artifacts) Hashtbl.t;
   stats : counters;
   max_entries : int;
+  pool : Pool.t;
+  lock : Mutex.t; (* guards [cache] and [stats]: batch drivers analyse
+                     several source sets concurrently through one engine *)
 }
 
-let create ?(max_entries = 512) ?(passes = []) () =
-  { passes; cache = Hashtbl.create 32; stats = new_counters (); max_entries }
+(* [jobs] sizes the engine's domain pool (shared process-wide per size);
+   [pool] overrides it with a caller-managed pool.  The default is
+   sequential: parallelism is opt-in so that test code creating many
+   engines never spawns domains behind the caller's back. *)
+let create ?(max_entries = 512) ?(passes = []) ?(jobs = 1) ?pool () =
+  let pool = match pool with Some p -> p | None -> Pool.get ~jobs in
+  {
+    passes;
+    cache = Hashtbl.create 32;
+    stats = new_counters ();
+    max_entries;
+    pool;
+    lock = Mutex.create ();
+  }
+
+let pool t = t.pool
+let jobs t = Pool.jobs t.pool
+
+let locked (t : t) f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let register (t : t) (p : pass) =
   if List.exists (fun q -> q.p_name = p.p_name) t.passes then
@@ -113,7 +137,8 @@ let stats_str (t : t) =
 let key_of ~name sources =
   Digest.to_hex (Digest.string (String.concat "\x00" (name :: sources)))
 
-let cached (t : t) ~name sources = Hashtbl.mem t.cache (key_of ~name sources)
+let cached (t : t) ~name sources =
+  locked t (fun () -> Hashtbl.mem t.cache (key_of ~name sources))
 
 (* Build the lazy stage chain for one source set.  File naming matches
    [Parser.parse_program] so locations are byte-identical to the
@@ -122,7 +147,7 @@ let build_artifacts (t : t) ~name sources : artifacts =
   let s = t.stats in
   let a_tokens =
     lazy
-      (s.lex_runs <- s.lex_runs + 1;
+      (locked t (fun () -> s.lex_runs <- s.lex_runs + 1);
        List.mapi
          (fun i src ->
            Minigo.Lexer.tokenize ~file:(Printf.sprintf "%s/file%d.go" name i) src)
@@ -130,7 +155,7 @@ let build_artifacts (t : t) ~name sources : artifacts =
   in
   let a_ast =
     lazy
-      (s.parse_runs <- s.parse_runs + 1;
+      (locked t (fun () -> s.parse_runs <- s.parse_runs + 1);
        List.mapi
          (fun i toks ->
            Minigo.Parser.parse_tokens
@@ -140,22 +165,22 @@ let build_artifacts (t : t) ~name sources : artifacts =
   in
   let a_typed =
     lazy
-      (s.typecheck_runs <- s.typecheck_runs + 1;
+      (locked t (fun () -> s.typecheck_runs <- s.typecheck_runs + 1);
        Minigo.Typecheck.check_program (Lazy.force a_ast))
   in
   let a_ir =
     lazy
-      (s.lower_runs <- s.lower_runs + 1;
+      (locked t (fun () -> s.lower_runs <- s.lower_runs + 1);
        Goir.Lower.lower_program (Lazy.force a_typed))
   in
   let a_alias =
     lazy
-      (s.alias_runs <- s.alias_runs + 1;
+      (locked t (fun () -> s.alias_runs <- s.alias_runs + 1);
        Goanalysis.Alias.analyse (Lazy.force a_ir))
   in
   let a_callgraph =
     lazy
-      (s.callgraph_runs <- s.callgraph_runs + 1;
+      (locked t (fun () -> s.callgraph_runs <- s.callgraph_runs + 1);
        Goanalysis.Callgraph.build ~alias:(Lazy.force a_alias) (Lazy.force a_ir))
   in
   {
@@ -176,18 +201,19 @@ let build_artifacts (t : t) ~name sources : artifacts =
    exception too). *)
 let artifacts (t : t) ~name sources : artifacts =
   let key = key_of ~name sources in
-  match Hashtbl.find_opt t.cache key with
-  | Some a ->
-      t.stats.cache_hits <- t.stats.cache_hits + 1;
-      a
-  | None ->
-      t.stats.cache_misses <- t.stats.cache_misses + 1;
-      (* crude bound: a full reset is fine for our workloads, which
-         never come close to [max_entries] live source sets *)
-      if Hashtbl.length t.cache >= t.max_entries then Hashtbl.reset t.cache;
-      let a = build_artifacts t ~name sources in
-      Hashtbl.add t.cache key a;
-      a
+  locked t (fun () ->
+      match Hashtbl.find_opt t.cache key with
+      | Some a ->
+          t.stats.cache_hits <- t.stats.cache_hits + 1;
+          a
+      | None ->
+          t.stats.cache_misses <- t.stats.cache_misses + 1;
+          (* crude bound: a full reset is fine for our workloads, which
+             never come close to [max_entries] live source sets *)
+          if Hashtbl.length t.cache >= t.max_entries then Hashtbl.reset t.cache;
+          let a = build_artifacts t ~name sources in
+          Hashtbl.add t.cache key a;
+          a)
 
 (* Convert a frontend exception into a structured diagnostic.  The
    message formats mirror what the CLIs used to print by hand. *)
@@ -262,7 +288,7 @@ let analyse ?only ?extra (t : t) ~name sources : run =
         List.map
           (fun p ->
             let p0 = Clock.now_s () in
-            let diags, metrics = p.p_run a in
+            let diags, metrics = p.p_run t.pool a in
             {
               pr_pass = p.p_name;
               pr_elapsed_s = Clock.elapsed_since p0;

@@ -1,0 +1,309 @@
+(* A fixed-size domain pool with per-domain work-stealing deques.
+
+   The detectors' cost is dominated by per-scope constraint problems that
+   disentangling makes small and *independent* (paper §4.2, §5.2): every
+   channel, every traditional-checker function walk, and every bench app
+   can be analysed in isolation.  This module supplies the parallel
+   substrate they all share, built directly on OCaml 5 Domains (the build
+   has no domainslib):
+
+   - [Ws_deque]: a Chase–Lev circular work-stealing deque.  The owner
+     pushes and pops at the bottom; thieves steal from the top with a
+     compare-and-set.  OCaml's atomics are sequentially consistent, so
+     the textbook algorithm carries over without explicit fences.
+   - [t]: a pool of [jobs - 1] worker domains plus the calling domain.
+     A batch pre-distributes task indices round-robin across one deque
+     per participant; each participant drains its own deque and then
+     steals from the others, so stragglers are rebalanced automatically.
+
+   Determinism: [map] writes results into an index-addressed array, so
+   the output order equals the input order no matter which domain ran
+   which item — callers get byte-identical results for jobs=1 and
+   jobs=N provided [f] itself is deterministic per item.
+
+   Exceptions: a task's exception is captured with its backtrace and
+   re-raised in the caller *for the smallest failing index*, again
+   schedule-independent.
+
+   Nesting: a task that itself calls [map] (e.g. BMOC's per-channel fan
+   out inside a parallel per-app bench sweep) runs the inner map
+   sequentially — the outer batch already owns the workers, and a
+   domain-local flag makes the inner call degrade instead of deadlock. *)
+
+module Ws_deque = struct
+  type 'a t = {
+    top : int Atomic.t;    (* steal end; monotonically increasing *)
+    bottom : int Atomic.t; (* owner end *)
+    tab : 'a option array Atomic.t; (* circular buffer, power-of-two size *)
+  }
+
+  let create ?(capacity = 16) () =
+    let cap = ref 2 in
+    while !cap < capacity do
+      cap := !cap * 2
+    done;
+    {
+      top = Atomic.make 0;
+      bottom = Atomic.make 0;
+      tab = Atomic.make (Array.make !cap None);
+    }
+
+  (* Owner-only: double the buffer, copying the live [top, bottom) range.
+     Thieves reading the old array still see valid entries — the owner
+     never writes into a slot of a published array while its index may be
+     stolen. *)
+  let grow q top bottom =
+    let old = Atomic.get q.tab in
+    let n = Array.length old in
+    let a = Array.make (2 * n) None in
+    for i = top to bottom - 1 do
+      a.(i land ((2 * n) - 1)) <- old.(i land (n - 1))
+    done;
+    Atomic.set q.tab a
+
+  (* Owner-only. *)
+  let push q v =
+    let b = Atomic.get q.bottom in
+    let t = Atomic.get q.top in
+    if b - t >= Array.length (Atomic.get q.tab) - 1 then grow q t b;
+    let a = Atomic.get q.tab in
+    a.(b land (Array.length a - 1)) <- Some v;
+    (* SC atomic store publishes the slot write to thieves. *)
+    Atomic.set q.bottom (b + 1)
+
+  (* Owner-only. *)
+  let pop q =
+    let b = Atomic.get q.bottom - 1 in
+    Atomic.set q.bottom b;
+    let t = Atomic.get q.top in
+    if b < t then begin
+      (* deque was empty: restore *)
+      Atomic.set q.bottom (b + 1);
+      None
+    end
+    else begin
+      let a = Atomic.get q.tab in
+      let i = b land (Array.length a - 1) in
+      let v = a.(i) in
+      if b > t then begin
+        a.(i) <- None;
+        v
+      end
+      else begin
+        (* last element: race the thieves for it *)
+        let won = Atomic.compare_and_set q.top t (t + 1) in
+        Atomic.set q.bottom (b + 1);
+        if won then begin
+          a.(i) <- None;
+          v
+        end
+        else None
+      end
+    end
+
+  (* Thief-safe.  Retries while the CAS loses to a competing thief (the
+     competitor made progress, so the retry terminates). *)
+  let rec steal q =
+    let t = Atomic.get q.top in
+    let b = Atomic.get q.bottom in
+    if t >= b then None
+    else
+      let a = Atomic.get q.tab in
+      let v = a.(t land (Array.length a - 1)) in
+      if Atomic.compare_and_set q.top t (t + 1) then
+        match v with Some _ -> v | None -> steal q
+      else steal q
+end
+
+(* ------------------------------------------------------------ pool --- *)
+
+type batch = {
+  deques : int Ws_deque.t array; (* one per participant; task = item index *)
+  run : int -> unit;             (* execute item i, record its result *)
+  remaining : int Atomic.t;
+}
+
+type t = {
+  jobs : int;                       (* participants, including the caller *)
+  mutable workers : unit Domain.t array; (* the [jobs - 1] spawned domains *)
+  mu : Mutex.t;                     (* guards epoch/current/stop *)
+  cv : Condition.t;
+  mutable epoch : int;              (* bumped once per batch *)
+  mutable current : batch option;
+  mutable stop : bool;
+  batch_mu : Mutex.t;               (* serializes top-level map calls *)
+}
+
+(* True while the current domain is executing a pool task: inner [map]
+   calls fall back to sequential execution. *)
+let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let jobs t = t.jobs
+
+(* Idle waiting: spin briefly, then sleep with backoff.  On an
+   oversubscribed machine (more participants than cores) a pure spin
+   loop would steal the timeslice from the domain doing real work. *)
+let idle_pause k =
+  if k < 64 then Domain.cpu_relax ()
+  else Unix.sleepf (if k < 512 then 0.0002 else 0.001)
+
+let participate (b : batch) (slot : int) =
+  let n = Array.length b.deques in
+  let mine = b.deques.(slot) in
+  let next_task () =
+    match Ws_deque.pop mine with
+    | Some _ as t -> t
+    | None ->
+        (* own deque drained: steal round-robin from the others *)
+        let rec try_steal k =
+          if k >= n then None
+          else
+            match Ws_deque.steal b.deques.((slot + k) mod n) with
+            | Some _ as t -> t
+            | None -> try_steal (k + 1)
+        in
+        try_steal 1
+  in
+  let rec go idle =
+    if Atomic.get b.remaining > 0 then
+      match next_task () with
+      | Some i ->
+          b.run i;
+          go 0
+      | None ->
+          idle_pause idle;
+          go (idle + 1)
+  in
+  go 0
+
+let rec worker_loop t slot my_epoch =
+  Mutex.lock t.mu;
+  while t.epoch = my_epoch && not t.stop do
+    Condition.wait t.cv t.mu
+  done;
+  let epoch = t.epoch in
+  let batch = t.current in
+  let stop = t.stop in
+  Mutex.unlock t.mu;
+  if not stop then begin
+    (match batch with Some b -> participate b slot | None -> ());
+    worker_loop t slot epoch
+  end
+
+let create ?(jobs = 1) () =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      workers = [||];
+      mu = Mutex.create ();
+      cv = Condition.create ();
+      epoch = 0;
+      current = None;
+      stop = false;
+      batch_mu = Mutex.create ();
+    }
+  in
+  t.workers <-
+    Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1) 0));
+  t
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stop <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+(* ------------------------------------------------------------- map --- *)
+
+let map ~pool f xs =
+  let n = List.length xs in
+  if pool.jobs <= 1 || n <= 1 || !(Domain.DLS.get in_task) then List.map f xs
+  else begin
+    Mutex.lock pool.batch_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock pool.batch_mu)
+      (fun () ->
+        let items = Array.of_list xs in
+        let results = Array.make n None in
+        let deques =
+          Array.init pool.jobs (fun _ -> Ws_deque.create ~capacity:(n + 1) ())
+        in
+        (* Pre-distribute round-robin.  No worker can observe these deques
+           until the epoch bump below, so filling them from here does not
+           violate the owner-only push discipline. *)
+        Array.iteri (fun i _ -> Ws_deque.push deques.(i mod pool.jobs) i) items;
+        let remaining = Atomic.make n in
+        let run i =
+          let flag = Domain.DLS.get in_task in
+          flag := true;
+          let r =
+            try Ok (f items.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          flag := false;
+          results.(i) <- Some r;
+          (* the SC decrement publishes the result slot to the caller *)
+          Atomic.decr remaining
+        in
+        let batch = { deques; run; remaining } in
+        Mutex.lock pool.mu;
+        pool.current <- Some batch;
+        pool.epoch <- pool.epoch + 1;
+        Condition.broadcast pool.cv;
+        Mutex.unlock pool.mu;
+        participate batch 0;
+        let idle = ref 0 in
+        while Atomic.get batch.remaining > 0 do
+          idle_pause !idle;
+          incr idle
+        done;
+        Mutex.lock pool.mu;
+        pool.current <- None;
+        Mutex.unlock pool.mu;
+        (* deterministic exception choice: smallest failing index wins *)
+        Array.iter
+          (function
+            | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+            | _ -> ())
+          results;
+        Array.to_list
+          (Array.map
+             (function Some (Ok v) -> v | _ -> assert false)
+             results))
+  end
+
+let run ~pool thunks = map ~pool (fun th -> th ()) thunks
+
+(* --------------------------------------------------- shared pools ---- *)
+
+(* Process-wide pools, one per size: engines and CLIs asking for the same
+   [jobs] share worker domains instead of spawning new ones per engine
+   (tests create many engines; domains are a bounded resource). *)
+let pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let pools_mu = Mutex.create ()
+
+let get ~jobs =
+  let jobs = max 1 jobs in
+  Mutex.lock pools_mu;
+  let p =
+    match Hashtbl.find_opt pools jobs with
+    | Some p -> p
+    | None ->
+        let p = create ~jobs () in
+        Hashtbl.add pools jobs p;
+        p
+  in
+  Mutex.unlock pools_mu;
+  p
+
+let sequential = get ~jobs:1
+
+(* Default parallelism: the GCATCH_JOBS environment variable when set,
+   otherwise what the hardware recommends. *)
+let default_jobs () =
+  match Sys.getenv_opt "GCATCH_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+  | None -> Domain.recommended_domain_count ()

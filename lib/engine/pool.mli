@@ -1,0 +1,62 @@
+(** Fixed-size domain pool with per-domain Chase–Lev work-stealing
+    deques — the parallel substrate for per-scope BMOC detection, the
+    traditional checkers' per-function walks, and the bench's per-app
+    sweep.
+
+    Determinism: {!map} returns results in input order regardless of
+    which domain ran which item, and re-raises the exception of the
+    smallest failing index, so parallel callers produce byte-identical
+    output for [jobs = 1] and [jobs = N] (given a per-item-deterministic
+    [f]).
+
+    Nested {!map} calls from inside a pool task run sequentially instead
+    of deadlocking, so layered fan-outs (per-app over per-channel)
+    compose safely. *)
+
+(** Chase–Lev circular work-stealing deque.  [push]/[pop] are owner-only
+    (one designated domain); [steal] may be called from any domain. *)
+module Ws_deque : sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  val push : 'a t -> 'a -> unit
+
+  val pop : 'a t -> 'a option
+  (** Owner-only LIFO removal; [None] when empty. *)
+
+  val steal : 'a t -> 'a option
+  (** Thief-safe FIFO removal; [None] when empty. *)
+end
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** A pool of [jobs - 1] worker domains (the caller participates as the
+    [jobs]-th worker during {!map}).  [jobs <= 1] spawns no domains and
+    makes {!map} run sequentially. *)
+
+val get : jobs:int -> t
+(** A process-wide shared pool of the given size; repeated calls with
+    the same [jobs] return the same pool (worker domains are a bounded
+    resource — engines should share them). *)
+
+val sequential : t
+(** The shared one-participant pool: {!map} runs inline. *)
+
+val jobs : t -> int
+
+val default_jobs : unit -> int
+(** [GCATCH_JOBS] when set, else [Domain.recommended_domain_count ()]. *)
+
+val map : pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] preserving input order.  Tasks are distributed
+    round-robin across the participants' deques and rebalanced by
+    stealing.  If tasks raise, the exception of the smallest failing
+    index is re-raised in the caller with its backtrace. *)
+
+val run : pool:t -> (unit -> 'a) list -> 'a list
+(** [run ~pool thunks] = [map ~pool (fun th -> th ()) thunks]. *)
+
+val shutdown : t -> unit
+(** Join the pool's worker domains.  Only meaningful for pools from
+    {!create}; shared {!get} pools live for the process. *)

@@ -94,13 +94,27 @@ let trad_kinds =
 
 (* [engine] lets batch drivers (bench, triage) share one artifact cache
    across apps and configurations; without it the Driver's process-wide
-   engine is used, which still compiles each app only once. *)
-let score_app ?engine ?(cfg = Gcatch.Bmoc.default_config)
+   engine is used, which still compiles each app only once.  [pool]
+   overrides the engine's own domain pool for the detector fan-out
+   (e.g. bench measuring one app at several job counts through a single
+   shared artifact cache). *)
+let score_app ?engine ?pool ?(cfg = Gcatch.Bmoc.default_config)
     (app : Gocorpus.Apps.app) : app_score =
+  let module E = Goengine.Engine in
   let a =
-    match engine with
-    | Some e -> Gcatch.Driver.analyse_with e ~cfg ~name:app.spec.name app.sources
-    | None -> Gcatch.Driver.analyse ~cfg ~name:app.spec.name app.sources
+    match (engine, pool) with
+    | Some e, None ->
+        Gcatch.Driver.analyse_with e ~cfg ~name:app.spec.name app.sources
+    | Some e, Some pool ->
+        let art = E.artifacts e ~name:app.spec.name app.sources in
+        Gcatch.Driver.analyse_ir ~cfg ~pool
+          (Lazy.force art.E.a_typed) (Lazy.force art.E.a_ir)
+    | None, Some pool ->
+        let src, ir =
+          Gcatch.Driver.compile_sources ~name:app.spec.name app.sources
+        in
+        Gcatch.Driver.analyse_ir ~cfg ~pool src ir
+    | None, None -> Gcatch.Driver.analyse ~cfg ~name:app.spec.name app.sources
   in
   let bmoc_classes = List.map (fun b -> (b, classify_bmoc app.truth b)) a.bmoc in
   let count p = List.length (List.filter p bmoc_classes) in

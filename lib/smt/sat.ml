@@ -302,7 +302,11 @@ let pick_branch_var s =
 
 type result = Sat | Unsat
 
-let solve s : result =
+exception Timeout
+
+let default_should_stop () = false
+
+let solve ?(should_stop = default_should_stop) s : result =
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
@@ -317,6 +321,10 @@ let solve s : result =
       with
       | Some confl ->
           s.conflicts <- s.conflicts + 1;
+          (* poll the caller's deadline on conflicts only: conflicts are
+             where runaway instances spend their time, and checking every
+             256th keeps the cost invisible on easy instances *)
+          if s.conflicts land 255 = 0 && should_stop () then raise Timeout;
           if decision_level s = 0 then begin
             s.ok <- false;
             Unsat

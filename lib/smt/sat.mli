@@ -26,7 +26,12 @@ val add_clause : t -> int list -> bool
 (** Add a clause of literals; returns [false] if the formula became
     trivially unsatisfiable.  May be called between [solve] calls. *)
 
-val solve : t -> result
+exception Timeout
+(** Raised by {!solve} when [should_stop] returns [true]. *)
+
+val solve : ?should_stop:(unit -> bool) -> t -> result
+(** [should_stop] is polled every 256 conflicts; raising {!Timeout} from
+    [solve] leaves the solver unusable for further queries. *)
 
 val model_value : t -> int -> bool
 (** Value of a variable in the last satisfying assignment. *)

@@ -105,12 +105,15 @@ let flush_pending t =
       List.iter (Expr.assert_formula ctx) (List.rev fs);
       List.iter (fun c -> ignore (Sat.add_clause t.sat c)) (List.rev ctx.Expr.out)
 
-let solve t : result =
+exception Timeout = Sat.Timeout
+
+let solve ?(should_stop = fun () -> false) t : result =
   flush_pending t;
   let rec loop budget =
     if budget = 0 then Unsat (* safety valve; never reached in practice *)
+    else if should_stop () then raise Timeout
     else
-      match Sat.solve t.sat with
+      match Sat.solve ~should_stop t.sat with
       | Sat.Unsat -> Unsat
       | Sat.Sat -> (
           (* collect asserted difference atoms (true => atom, false =>

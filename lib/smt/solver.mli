@@ -34,7 +34,11 @@ val eq : t -> ovar -> ovar -> Expr.t
 val add : t -> Expr.t -> unit
 (** Assert a formula (deferred until [solve]). *)
 
-val solve : t -> result
+exception Timeout
+(** Raised by {!solve} when [should_stop] returns [true] (polled once
+    per DPLL(T) iteration and every 256 SAT conflicts). *)
+
+val solve : ?should_stop:(unit -> bool) -> t -> result
 
 val theory_conflicts : t -> int
 val sat_stats : t -> int * int * int
