@@ -545,7 +545,12 @@ let micro () =
    outside the timer (each engine's artifact cache is pre-filled), so the
    measured time is detection only — the part the pool parallelises.
    The diagnostics JSON must be byte-identical across job counts. *)
-type par_point = { pp_jobs : int; pp_seconds : float; pp_diags : string }
+type par_point = {
+  pp_jobs : int;
+  pp_seconds : float;
+  pp_diags : string;
+  pp_passes : (string * float) list; (* per-pass wall time, seconds *)
+}
 
 type par_result = {
   par_app : string;
@@ -584,7 +589,15 @@ let e2par () =
         let t0 = Clock.now_s () in
         let r = E.analyse e ~name:app.spec.name app.sources in
         let dt = Clock.elapsed_since t0 in
-        { pp_jobs = jobs; pp_seconds = dt; pp_diags = D.list_to_json r.E.r_diags })
+        {
+          pp_jobs = jobs;
+          pp_seconds = dt;
+          pp_diags = D.list_to_json r.E.r_diags;
+          pp_passes =
+            List.map
+              (fun (pr : E.pass_run) -> (pr.E.pr_pass, pr.E.pr_elapsed_s))
+              r.E.r_passes;
+        })
       [ 1; 2; 4 ]
   in
   let base = (List.hd points).pp_seconds in
@@ -631,8 +644,17 @@ let write_json path (timings : (string * float) list) =
           String.concat ","
             (List.map
                (fun pt ->
-                 Printf.sprintf {|{"jobs":%d,"seconds":%.6f}|} pt.pp_jobs
-                   pt.pp_seconds)
+                 let passes =
+                   String.concat ","
+                     (List.map
+                        (fun (n, s) ->
+                          Printf.sprintf {|{"name":"%s","seconds":%.6f}|}
+                            (json_escape n) s)
+                        pt.pp_passes)
+                 in
+                 Printf.sprintf
+                   {|{"jobs":%d,"seconds":%.6f,"passes":[%s]}|} pt.pp_jobs
+                   pt.pp_seconds passes)
                p.par_points)
         in
         let seconds_at j =
@@ -647,9 +669,17 @@ let write_json path (timings : (string * float) list) =
           (Domain.recommended_domain_count ())
           points (speedup 2) (speedup 4) p.par_identical
   in
+  (* the unified registry snapshot: engine stage/cache counters, pass
+     runs, bmoc/pathenum/pool/gfix counters accumulated over the run *)
+  let metrics =
+    String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf {|"%s":%d|} (json_escape k) v)
+         (Goobs.Metrics.counters_list Goobs.Metrics.default))
+  in
   Printf.fprintf oc
-    {|{"schema":"gcatch-bench/1","jobs":%d,"experiments":[%s],"e2_parallel":%s}|}
-    !jobs_flag experiments parallel;
+    {|{"schema":"gcatch-bench/2","jobs":%d,"experiments":[%s],"e2_parallel":%s,"metrics":{%s}}|}
+    !jobs_flag experiments parallel metrics;
   output_char oc '
 ';
   close_out oc;
@@ -674,14 +704,14 @@ let () =
         (match int_of_string_opt n with
         | Some j when j >= 1 -> jobs_flag := j
         | _ ->
-            prerr_endline "bench: --jobs expects a positive integer";
+            Goobs.Log.error "--jobs expects a positive integer";
             exit 2);
         parse acc rest
     | "--json" :: path :: rest ->
         json_path := Some path;
         parse acc rest
     | ("--jobs" | "--json") :: [] ->
-        prerr_endline "bench: missing argument";
+        Goobs.Log.error "missing argument";
         exit 2
     | a :: rest -> parse (a :: acc) rest
   in

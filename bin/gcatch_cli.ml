@@ -7,16 +7,25 @@
      gcatch --json file.go                # machine-readable diagnostics
      gcatch --pass bmoc file.go           # run a single pass
      gcatch --jobs 4 file.go              # detector fan-out on 4 domains
+     gcatch --trace-out trace.json file.go   # Chrome trace of the run
+     gcatch --metrics-out m.prom file.go     # metrics registry dump
+     gcatch --profile file.go             # end-of-run profile report
      gcatch --list-passes
 
    Driven by the staged analysis engine: one [Engine.t] compiles the
    source set once, the pass registry runs the selected detectors, and
    parse/type errors come back as structured diagnostics rather than
-   escaping exceptions. *)
+   escaping exceptions.
+
+   Exit codes: 0 clean, 1 bugs (or frontend errors) reported, 2 usage
+   error, 3 internal error. *)
 
 open Cmdliner
 module E = Goengine.Engine
 module D = Goengine.Diagnostics
+module M = Goobs.Metrics
+module Log = Goobs.Log
+module Trace = Goobs.Trace
 
 let read_file path =
   let ic = open_in_bin path in
@@ -32,8 +41,24 @@ let list_passes engine =
         (if p.E.p_default then "" else "  [off by default]"))
     (E.passes engine)
 
-let run files no_disentangle stats_flag nonblocking model_waitgroup json only
-    list_flag jobs solver_timeout_ms =
+let write_file path data =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc data)
+
+let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
+    json only list_flag jobs solver_timeout_ms trace_out metrics_out profile
+    log_level =
+  (match log_level with
+  | None -> ()
+  | Some s -> (
+      match Log.level_of_string s with
+      | Some l -> Log.set_level l
+      | None ->
+          Log.errorf "invalid log level %S (debug|info|warn|error|quiet)" s;
+          exit 2));
+  if trace_out <> None then Trace.enable ();
   let cfg =
     {
       Gcatch.Bmoc.default_config with
@@ -46,18 +71,26 @@ let run files no_disentangle stats_flag nonblocking model_waitgroup json only
         };
     }
   in
-  let engine = Gcatch.Passes.engine ~cfg ~jobs () in
+  (* the CLI's engine reports into the process-wide registry so one
+     --metrics-out dump covers the engine, pool, pathenum, and GFix *)
+  let registry = M.default in
+  let engine = Gcatch.Passes.engine ~cfg ~jobs ~registry () in
   if list_flag then (
     list_passes engine;
     exit 0);
   if files = [] then (
-    prerr_endline "gcatch: no input files";
+    Log.error "no input files";
     exit 2);
   let sources = List.map read_file files in
   let only = if only = [] then None else Some only in
   let extra = if nonblocking then [ "nonblocking" ] else [] in
   let r =
-    try E.analyse ?only ~extra engine ~name:"cli" sources
+    try
+      (* the root span: everything the run does nests under it, so the
+         exported trace accounts for the full wall time *)
+      Trace.with_span ~name:"gcatch.run"
+        ~args:[ ("files", String.concat "," files) ]
+        (fun () -> E.analyse ?only ~extra engine ~name:"cli" sources)
     with Invalid_argument _ ->
       let known = List.map (fun (p : E.pass) -> p.E.p_name) (E.passes engine) in
       let bad =
@@ -66,8 +99,7 @@ let run files no_disentangle stats_flag nonblocking model_waitgroup json only
           (Option.value only ~default:[])
       in
       List.iter
-        (fun n ->
-          Printf.eprintf "gcatch: unknown pass '%s' (see --list-passes)\n" n)
+        (fun n -> Log.errorf "unknown pass '%s' (see --list-passes)" n)
         bad;
       exit 2
   in
@@ -99,8 +131,41 @@ let run files no_disentangle stats_flag nonblocking model_waitgroup json only
           end)
         r.E.r_passes
   end;
-  if E.frontend_failed r then exit 2
-  else if r.E.r_diags <> [] then exit 1
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      Trace.write_chrome ~path (Trace.drain ());
+      Log.info ~kv:[ ("path", path) ] "wrote Chrome trace");
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      let data =
+        if Filename.check_suffix path ".json" then M.to_json registry
+        else M.to_prometheus registry
+      in
+      write_file path data;
+      Log.info ~kv:[ ("path", path) ] "wrote metrics");
+  if profile then begin
+    let pass_times =
+      List.map (fun pr -> (pr.E.pr_pass, pr.E.pr_elapsed_s)) r.E.r_passes
+    in
+    let report = Goobs.Profile.report ~top:10 registry pass_times in
+    (* keep stdout pure JSON under --json *)
+    if json then prerr_string report else print_string report
+  end;
+  if E.errors r <> [] then exit 1
+
+let run files no_disentangle stats_flag nonblocking model_waitgroup json only
+    list_flag jobs solver_timeout_ms trace_out metrics_out profile log_level =
+  try
+    run_checked files no_disentangle stats_flag nonblocking model_waitgroup
+      json only list_flag jobs solver_timeout_ms trace_out metrics_out profile
+      log_level
+  with e ->
+    Log.error
+      ~kv:[ ("exception", Printexc.to_string e) ]
+      "internal error";
+    exit 3
 
 let files_arg =
   Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"MiniGo source files")
@@ -166,12 +231,66 @@ let solver_timeout_arg =
           "Per-channel constraint-solving budget; a channel exceeding it is \
            skipped with a warning instead of stalling the run")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable span tracing and write a Chrome trace-event JSON to \
+           $(docv) (loadable in Perfetto or chrome://tracing; one track per \
+           domain)")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the metrics registry to $(docv) in Prometheus text format \
+           (JSON when $(docv) ends in .json)")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print an end-of-run profile: per-pass and per-stage wall times, \
+           the slowest channels with their solver statistics, and histogram \
+           p50/p95/max summaries")
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Log verbosity: debug, info, warn, error, or quiet (default: the \
+           GCATCH_LOG environment variable, else warn)")
+
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"no bugs found.";
+    Cmd.Exit.info 1 ~doc:"bugs were found (or the frontend reported errors).";
+    Cmd.Exit.info 2
+      ~doc:"usage error: bad command line, no input files, or unknown pass.";
+    Cmd.Exit.info 3 ~doc:"internal error.";
+  ]
+
 let cmd =
   Cmd.v
-    (Cmd.info "gcatch" ~doc:"Statically detect Go concurrency bugs")
+    (Cmd.info "gcatch" ~doc:"Statically detect Go concurrency bugs" ~exits)
     Term.(
       const run $ files_arg $ no_disentangle_arg $ stats_arg $ nonblocking_arg
       $ model_waitgroup_arg $ json_arg $ pass_arg $ list_passes_arg $ jobs_arg
-      $ solver_timeout_arg)
+      $ solver_timeout_arg $ trace_out_arg $ metrics_out_arg $ profile_arg
+      $ log_level_arg)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  let code = Cmd.eval cmd in
+  (* cmdliner's own conventions (124 cli error, 125 internal) mapped onto
+     the documented 2/3 *)
+  exit
+    (if code = Cmd.Exit.cli_error then 2
+     else if code = Cmd.Exit.internal_error then 3
+     else code)

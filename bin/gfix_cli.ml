@@ -13,6 +13,7 @@
 open Cmdliner
 module E = Goengine.Engine
 module D = Goengine.Diagnostics
+module Log = Goobs.Log
 
 let read_file path =
   let ic = open_in_bin path in
@@ -22,8 +23,11 @@ let read_file path =
   s
 
 let run files validate =
+  (* gfix narrates its per-bug outcomes by design: default to info-level
+     logging unless the user set GCATCH_LOG themselves *)
+  if Sys.getenv_opt "GCATCH_LOG" = None then Log.set_level Log.Info;
   if files = [] then (
-    prerr_endline "gfix: no input files";
+    Log.error "no input files";
     exit 2);
   let sources = List.map read_file files in
   let engine = Gcatch.Passes.engine () in
@@ -40,10 +44,15 @@ let run files validate =
     (fun (_bug, outcome) ->
       match outcome with
       | Gcatch.Gfix.Fixed f ->
-          Printf.eprintf "fixed: %s [%s, %d changed line(s)]\n" f.description
-            (Gcatch.Gfix.strategy_str f.strategy)
-            f.changed_lines
-      | Gcatch.Gfix.Not_fixed reason -> Printf.eprintf "not fixed: %s\n" reason)
+          Log.info
+            ~kv:
+              [
+                ("strategy", Gcatch.Gfix.strategy_str f.strategy);
+                ("changed_lines", string_of_int f.changed_lines);
+              ]
+            (Printf.sprintf "fixed: %s" f.description)
+      | Gcatch.Gfix.Not_fixed reason ->
+          Log.info (Printf.sprintf "not fixed: %s" reason))
     fixes;
   (* Multiple bugs in one file compose: re-analyse and fix to a fixpoint. *)
   let final = Gcatch.Gfix.fix_to_fixpoint source fixes in
@@ -52,8 +61,13 @@ let run files validate =
     let seeds = 30 in
     let _, leaks_before, _, _ = Goruntime.Interp.run_schedules ~seeds source in
     let _, leaks_after, _, _ = Goruntime.Interp.run_schedules ~seeds final in
-    Printf.eprintf "validation: %d/%d schedules leaked before, %d/%d after\n"
-      leaks_before seeds leaks_after seeds
+    Log.info
+      ~kv:
+        [
+          ("leaked_before", Printf.sprintf "%d/%d" leaks_before seeds);
+          ("leaked_after", Printf.sprintf "%d/%d" leaks_after seeds);
+        ]
+      "schedule validation"
   end
 
 let files_arg =

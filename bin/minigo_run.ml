@@ -15,7 +15,7 @@ let read_file path =
 
 let run files seeds entry =
   if files = [] then (
-    prerr_endline "minigo-run: no input files";
+    Goobs.Log.error "no input files";
     exit 2);
   let sources = List.map read_file files in
   let prog =

@@ -10,9 +10,16 @@ let () =
   let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "etcd" in
   match Gocorpus.Apps.find name with
   | None ->
-      Printf.eprintf "unknown application %s; available: %s\n" name
-        (String.concat ", "
-           (List.map (fun (s : Gocorpus.Apps.spec) -> s.name) Gocorpus.Apps.specs));
+      Goobs.Log.error
+        ~kv:
+          [
+            ( "available",
+              String.concat ", "
+                (List.map
+                   (fun (s : Gocorpus.Apps.spec) -> s.name)
+                   Gocorpus.Apps.specs) );
+          ]
+        (Printf.sprintf "unknown application %s" name);
       exit 2
   | Some app ->
       Printf.printf "== %s: %d lines of MiniGo, %d seeded labels ==\n\n"

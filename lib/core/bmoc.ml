@@ -3,6 +3,8 @@ module Alias = Goanalysis.Alias
 module Callgraph = Goanalysis.Callgraph
 module Pool = Goengine.Pool
 module Clock = Goengine.Clock
+module M = Goobs.Metrics
+module Trace = Goobs.Trace
 
 (* The BMOC detector (paper Algorithm 1).
 
@@ -31,6 +33,10 @@ let default_config =
     disentangle = true;
   }
 
+(* Detector statistics, served from the metrics registry: [detect_ext]
+   accumulates per-channel counts into "bmoc.*" counters and returns
+   this record as a read-only snapshot of that run (the field names are
+   the registry names minus the "bmoc." prefix). *)
 type stats = {
   mutable channels_analysed : int;
   mutable combinations : int;
@@ -41,27 +47,33 @@ type stats = {
   mutable solver_timeouts : int;  (* channels skipped on budget exhaustion *)
 }
 
-let new_stats () =
-  {
-    channels_analysed = 0;
-    combinations = 0;
-    groups_checked = 0;
-    solver_calls = 0;
-    total_path_events = 0;
-    constraints_hint = 0;
-    solver_timeouts = 0;
-  }
+(* Per-channel working counters: owned by the single domain analysing
+   that channel, so plain mutable ints — the registry is only touched
+   once per channel, keeping the solver loop free of atomics. *)
+type chan_stats = {
+  mutable c_combinations : int;
+  mutable c_groups_checked : int;
+  mutable c_solver_calls : int;
+  mutable c_path_events : int;
+  mutable c_constraints_hint : int;
+  mutable c_sat_conflicts : int;
+  mutable c_sat_decisions : int;
+  mutable c_sat_propagations : int;
+  mutable c_theory_conflicts : int;
+}
 
-(* Sum [src] into [dst]: each parallel worker accumulates into a private
-   stats record; the per-channel records are folded back in root order. *)
-let add_stats (dst : stats) (src : stats) =
-  dst.channels_analysed <- dst.channels_analysed + src.channels_analysed;
-  dst.combinations <- dst.combinations + src.combinations;
-  dst.groups_checked <- dst.groups_checked + src.groups_checked;
-  dst.solver_calls <- dst.solver_calls + src.solver_calls;
-  dst.total_path_events <- dst.total_path_events + src.total_path_events;
-  dst.constraints_hint <- dst.constraints_hint + src.constraints_hint;
-  dst.solver_timeouts <- dst.solver_timeouts + src.solver_timeouts
+let new_chan_stats () =
+  {
+    c_combinations = 0;
+    c_groups_checked = 0;
+    c_solver_calls = 0;
+    c_path_events = 0;
+    c_constraints_hint = 0;
+    c_sat_conflicts = 0;
+    c_sat_decisions = 0;
+    c_sat_propagations = 0;
+    c_theory_conflicts = 0;
+  }
 
 (* Blocking-capable candidate events for suspicious groups. *)
 let candidates (pset : Alias.obj list) (gi : Pathenum.goroutine_instance) :
@@ -162,9 +174,14 @@ let suspicious_groups cfg pset (combo : Pathenum.combination) :
    stays deterministic, and the caller reports the channel as skipped. *)
 let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
     ~(dis : Disentangle.t) ~(cg : Callgraph.t) ~(alias : Alias.t)
-    ~(prog : Ir.program) ~(stats : stats) (c : Alias.obj) :
+    ~(prog : Ir.program) ~(cst : chan_stats) (c : Alias.obj) :
     Report.bmoc_bug list * bool =
-  stats.channels_analysed <- stats.channels_analysed + 1;
+  let on_stats ~conflicts ~decisions ~propagations ~theory_conflicts =
+    cst.c_sat_conflicts <- cst.c_sat_conflicts + conflicts;
+    cst.c_sat_decisions <- cst.c_sat_decisions + decisions;
+    cst.c_sat_propagations <- cst.c_sat_propagations + propagations;
+    cst.c_theory_conflicts <- cst.c_theory_conflicts + theory_conflicts
+  in
   let should_stop =
     match cfg.path_cfg.Pathenum.solver_timeout_ms with
     | None -> None
@@ -206,12 +223,11 @@ let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
     (fun combo_id combo ->
       if (not (Pathenum.has_conflicts combo)) && Pathenum.has_blocking_op combo
       then begin
-        stats.combinations <- stats.combinations + 1;
+        cst.c_combinations <- cst.c_combinations + 1;
         List.iter
           (fun gi ->
-            stats.total_path_events <-
-              stats.total_path_events
-              + List.length gi.Pathenum.gi_path.p_events)
+            cst.c_path_events <-
+              cst.c_path_events + List.length gi.Pathenum.gi_path.p_events)
           combo;
         let groups = suspicious_groups cfg pset combo in
         List.iter
@@ -232,10 +248,10 @@ let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
                    group)
             in
             if not (Hashtbl.mem seen_groups key) then begin
-              stats.groups_checked <- stats.groups_checked + 1;
+              cst.c_groups_checked <- cst.c_groups_checked + 1;
               let problem = { Constraints.combo; group; pset; prims } in
-              stats.solver_calls <- stats.solver_calls + 1;
-              match Constraints.solve ?should_stop problem with
+              cst.c_solver_calls <- cst.c_solver_calls + 1;
+              match Constraints.solve ?should_stop ~on_stats problem with
               | Constraints.Cannot_block -> ()
               | Constraints.Blocks witness ->
                   Hashtbl.add seen_groups key ();
@@ -292,13 +308,20 @@ let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
       end)
     combos;
     (List.rev !bugs, false)
-  with Gosmt.Solver.Timeout ->
-    stats.solver_timeouts <- stats.solver_timeouts + 1;
-    ([], true)
+  with Gosmt.Solver.Timeout -> ([], true)
 
 (* A root primitive skipped because its channel blew the per-channel
-   solver budget.  Surfaced to callers so they can emit a warning. *)
-type skipped = { sk_obj : Alias.obj; sk_loc : Minigo.Loc.t option }
+   solver budget.  Surfaced to callers so they can emit a warning; the
+   extra fields feed the skip diagnostic: how long the channel actually
+   ran, what the budget was, and how many path events were enumerated
+   before it was cut off. *)
+type skipped = {
+  sk_obj : Alias.obj;
+  sk_loc : Minigo.Loc.t option;
+  sk_elapsed_ms : float;
+  sk_budget_ms : int option;
+  sk_ops : int; (* path events enumerated for the channel *)
+}
 
 (* Canonical order for the final bug list: creation site of the channel,
    then the (sorted) program points of the blocked ops, then the
@@ -311,14 +334,33 @@ let bug_order_key (b : Report.bmoc_bug) =
     List.sort compare (List.map (fun o -> o.Report.bo_pp) b.Report.blocked),
     b.Report.combination_id )
 
+(* Snapshot the "bmoc.*" counters of a run-local registry into the
+   legacy [stats] record shape. *)
+let stats_of (reg : M.t) : stats =
+  let c name = M.value (M.counter reg ("bmoc." ^ name)) in
+  {
+    channels_analysed = c "channels_analysed";
+    combinations = c "combinations";
+    groups_checked = c "groups_checked";
+    solver_calls = c "solver_calls";
+    total_path_events = c "total_path_events";
+    constraints_hint = c "constraints_hint";
+    solver_timeouts = c "solver_timeouts";
+  }
+
 (* Detect BMOC bugs across the whole program, fanning the per-root
-   [detect_channel] calls out over [pool].  Each worker gets a private
-   stats record (and, inside [Constraints.solve], its own scratch SAT
-   solver); results are merged in canonical root order and the final list
-   sorted by location, so jobs=1 and jobs=N produce identical output. *)
+   [detect_channel] calls out over [pool].  Each worker accumulates into
+   a private per-channel record (and, inside [Constraints.solve], its
+   own scratch SAT solver); the per-channel counts are folded into a
+   run-local metrics registry in canonical root order — sums commute, so
+   jobs=1 and jobs=N produce identical metrics — and the final bug list
+   is sorted by location, so the output is schedule-independent too.
+   The run registry is merged into [metrics] (default: the process-wide
+   registry) and snapshotted as the returned [stats]. *)
 let detect_ext ?(cfg = default_config) ?(pool = Pool.sequential)
-    (prog : Ir.program) : Report.bmoc_bug list * stats * skipped list =
-  let stats = new_stats () in
+    ?(metrics = M.default) (prog : Ir.program) :
+    Report.bmoc_bug list * stats * skipped list =
+  let reg = M.create () in
   let alias = Alias.analyse prog in
   let cg = Callgraph.build ~alias prog in
   let prims = Primitives.collect prog alias in
@@ -348,21 +390,67 @@ let detect_ext ?(cfg = default_config) ?(pool = Pool.sequential)
   let per_root =
     Pool.map ~pool
       (fun c ->
-        let st = new_stats () in
-        let found, timed_out =
-          detect_channel ~cfg ~prims ~dis ~cg ~alias ~prog ~stats:st c
-        in
-        (c, found, st, timed_out))
+        Trace.with_span ~name:"bmoc.channel"
+          ~args:[ ("channel", Alias.obj_str c) ]
+          (fun () ->
+            let cst = new_chan_stats () in
+            let t0 = Clock.now_s () in
+            let found, timed_out =
+              detect_channel ~cfg ~prims ~dis ~cg ~alias ~prog ~cst c
+            in
+            let elapsed_ms = 1000.0 *. Clock.elapsed_since t0 in
+            Trace.set_args
+              [
+                ("solver_calls", string_of_int cst.c_solver_calls);
+                ("sat_conflicts", string_of_int cst.c_sat_conflicts);
+                ("sat_decisions", string_of_int cst.c_sat_decisions);
+                ("path_events", string_of_int cst.c_path_events);
+                ("elapsed_ms", Printf.sprintf "%.1f" elapsed_ms);
+                ("timed_out", string_of_bool timed_out);
+              ];
+            (c, found, cst, timed_out, elapsed_ms)))
       roots
   in
   let bugs = ref [] in
   let skips = ref [] in
   let seen = Hashtbl.create 16 in
+  let bump name n = if n <> 0 then M.add (M.counter reg ("bmoc." ^ name)) n in
+  let chan_ms = M.histogram reg "bmoc.channel_solve_ms" in
   List.iter
-    (fun (c, found, st, timed_out) ->
-      add_stats stats st;
+    (fun (c, found, cst, timed_out, elapsed_ms) ->
+      bump "channels_analysed" 1;
+      bump "combinations" cst.c_combinations;
+      bump "groups_checked" cst.c_groups_checked;
+      bump "solver_calls" cst.c_solver_calls;
+      bump "total_path_events" cst.c_path_events;
+      bump "constraints_hint" cst.c_constraints_hint;
+      bump "sat_conflicts" cst.c_sat_conflicts;
+      bump "sat_decisions" cst.c_sat_decisions;
+      bump "sat_propagations" cst.c_sat_propagations;
+      bump "theory_conflicts" cst.c_theory_conflicts;
+      if timed_out then bump "solver_timeouts" 1;
+      M.observe chan_ms elapsed_ms;
+      Goobs.Profile.note_channel
+        {
+          Goobs.Profile.cs_channel = Alias.obj_str c;
+          cs_elapsed_ms = elapsed_ms;
+          cs_solver_calls = cst.c_solver_calls;
+          cs_sat_conflicts = cst.c_sat_conflicts;
+          cs_sat_decisions = cst.c_sat_decisions;
+          cs_sat_propagations = cst.c_sat_propagations;
+          cs_path_events = cst.c_path_events;
+          cs_timed_out = timed_out;
+        };
       if timed_out then
-        skips := { sk_obj = c; sk_loc = Alias.creation_loc alias c } :: !skips;
+        skips :=
+          {
+            sk_obj = c;
+            sk_loc = Alias.creation_loc alias c;
+            sk_elapsed_ms = elapsed_ms;
+            sk_budget_ms = cfg.path_cfg.Pathenum.solver_timeout_ms;
+            sk_ops = cst.c_path_events;
+          }
+          :: !skips;
       List.iter
         (fun (b : Report.bmoc_bug) ->
           let key =
@@ -379,6 +467,8 @@ let detect_ext ?(cfg = default_config) ?(pool = Pool.sequential)
       (fun a b -> compare (bug_order_key a) (bug_order_key b))
       (List.rev !bugs)
   in
+  let stats = stats_of reg in
+  M.merge_into ~dst:metrics reg;
   (bugs, stats, List.rev !skips)
 
 (* Detect BMOC bugs across the whole program. *)

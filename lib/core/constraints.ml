@@ -129,9 +129,22 @@ let prepare (p : problem) =
     truncated;
   (truncated, List.rev !micros)
 
-let solve ?should_stop (p : problem) : verdict =
+(* [on_stats] reports the scratch solver's work (SAT conflicts /
+   decisions / propagations plus theory conflicts) exactly once per
+   call, on every exit path including [Solver.Timeout] — observability
+   callers fold it into per-channel metrics. *)
+let solve ?should_stop ?on_stats (p : problem) : verdict =
   let truncated, micros = prepare p in
   let s = Solver.create () in
+  let report_stats () =
+    match on_stats with
+    | None -> ()
+    | Some f ->
+        let conflicts, decisions, propagations = Solver.sat_stats s in
+        f ~conflicts ~decisions ~propagations
+          ~theory_conflicts:(Solver.theory_conflicts s)
+  in
+  Fun.protect ~finally:report_stats @@ fun () ->
   (* ---- order variables, one per event ---- *)
   let ovar : (int * int, Solver.ovar) Hashtbl.t = Hashtbl.create 64 in
   let ovar_of gid uid =

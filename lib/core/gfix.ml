@@ -433,10 +433,22 @@ let dispatch (prog : A.program) (bug : Report.bmoc_bug) : outcome =
 (* Fix every fixable bug of an analysis; returns per-bug outcomes. *)
 let fix_all (prog : A.program) (bugs : Report.bmoc_bug list) :
     (Report.bmoc_bug * outcome) list =
+  let module M = Goobs.Metrics in
   List.map
     (fun bug ->
-      let o = if bug.Report.kind = Report.Chan_only then dispatch prog bug
-              else Not_fixed "bug involves a mutex; out of GFix's scope" in
+      Goobs.Trace.with_span ~name:"gfix.attempt" @@ fun () ->
+      let o =
+        if bug.Report.kind = Report.Chan_only then dispatch prog bug
+        else Not_fixed "bug involves a mutex; out of GFix's scope"
+      in
+      M.incr (M.counter M.default "gfix.attempts");
+      (match o with
+      | Fixed f ->
+          M.incr (M.counter M.default "gfix.fixed");
+          Goobs.Trace.set_args [ ("strategy", strategy_str f.strategy) ]
+      | Not_fixed reason ->
+          M.incr (M.counter M.default "gfix.not_fixed");
+          Goobs.Trace.set_args [ ("not_fixed", reason) ]);
       (bug, o))
     bugs
 

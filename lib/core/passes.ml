@@ -1,5 +1,6 @@
 module E = Goengine.Engine
 module D = Goengine.Diagnostics
+module M = Goobs.Metrics
 
 (* GCatch's detectors packaged as named engine passes.
 
@@ -89,8 +90,14 @@ let prims_for (a : E.artifacts) : Primitives.t =
 let skip_diag (sk : Bmoc.skipped) : D.t =
   D.v ~pass:"bmoc" ~severity:D.Warning ?loc:sk.Bmoc.sk_loc
     (Printf.sprintf
-       "channel %s skipped: solver budget exhausted (solver_timeout_ms)"
-       (Goanalysis.Alias.obj_str sk.Bmoc.sk_obj))
+       "channel %s skipped: solver budget exhausted after %.0f ms (budget %s \
+        ms, %d path event(s) enumerated)"
+       (Goanalysis.Alias.obj_str sk.Bmoc.sk_obj)
+       sk.Bmoc.sk_elapsed_ms
+       (match sk.Bmoc.sk_budget_ms with
+       | Some b -> string_of_int b
+       | None -> "none")
+       sk.Bmoc.sk_ops)
 
 let bmoc_pass ?(cfg = Bmoc.default_config) () : E.pass =
   {
@@ -98,19 +105,11 @@ let bmoc_pass ?(cfg = Bmoc.default_config) () : E.pass =
     p_doc = "blocking misuse-of-channel detector (paper Algorithm 1)";
     p_default = true;
     p_run =
-      (fun pool a ->
-        let bugs, stats, skipped =
-          Bmoc.detect_ext ~cfg ~pool (Lazy.force a.E.a_ir)
+      (fun pool metrics a ->
+        let bugs, _stats, skipped =
+          Bmoc.detect_ext ~cfg ~pool ~metrics (Lazy.force a.E.a_ir)
         in
-        ( List.map bmoc_diag bugs @ List.map skip_diag skipped,
-          [
-            ("channels_analysed", stats.Bmoc.channels_analysed);
-            ("combinations", stats.Bmoc.combinations);
-            ("groups_checked", stats.Bmoc.groups_checked);
-            ("solver_calls", stats.Bmoc.solver_calls);
-            ("path_events", stats.Bmoc.total_path_events);
-            ("solver_timeouts", stats.Bmoc.solver_timeouts);
-          ] ));
+        List.map bmoc_diag bugs @ List.map skip_diag skipped);
   }
 
 let trad_pass name doc run : E.pass =
@@ -119,9 +118,10 @@ let trad_pass name doc run : E.pass =
     p_doc = doc;
     p_default = true;
     p_run =
-      (fun pool a ->
-        let bugs = run pool a in
-        (List.map (trad_diag ~pass:name) bugs, [ ("reports", List.length bugs) ]));
+      (fun pool metrics a ->
+        let bugs = Goobs.Trace.with_span ~name (fun () -> run pool a) in
+        M.add (M.counter metrics (name ^ ".reports")) (List.length bugs);
+        List.map (trad_diag ~pass:name) bugs);
   }
 
 let traditional_passes () : E.pass list =
@@ -151,9 +151,10 @@ let nonblocking_pass ?(cfg = Bmoc.default_config) () : E.pass =
     p_doc = "non-blocking misuse checkers (send-on-closed, double close)";
     p_default = false;
     p_run =
-      (fun _pool a ->
+      (fun _pool metrics a ->
         let bugs = Nonblocking.detect ~cfg (Lazy.force a.E.a_ir) in
-        (List.map nb_diag bugs, [ ("reports", List.length bugs) ]));
+        M.add (M.counter metrics "nonblocking.reports") (List.length bugs);
+        List.map nb_diag bugs);
   }
 
 (* The full registry, in display order. *)
@@ -161,5 +162,8 @@ let all ?cfg () : E.pass list =
   (bmoc_pass ?cfg () :: traditional_passes ()) @ [ nonblocking_pass ?cfg () ]
 
 (* An engine pre-loaded with every GCatch pass.  [jobs] sizes the domain
-   pool the passes fan out on (1 = sequential, the default). *)
-let engine ?cfg ?(jobs = 1) () : E.t = E.create ~passes:(all ?cfg ()) ~jobs ()
+   pool the passes fan out on (1 = sequential, the default); [registry]
+   unifies the engine's metrics with a caller-wide registry (the CLI
+   passes [Goobs.Metrics.default]). *)
+let engine ?cfg ?(jobs = 1) ?registry () : E.t =
+  E.create ~passes:(all ?cfg ()) ~jobs ?registry ()

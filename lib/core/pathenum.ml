@@ -398,12 +398,20 @@ type combination = goroutine_instance list
    then recursively choose paths for every goroutine it spawns. *)
 let combinations ctx ~(root : string) ~(max_combos : int) ~(max_goroutines : int) :
     combination list =
+  Goobs.Trace.with_span ~name:"pathenum.combinations"
+    ~args:[ ("root", root) ]
+  @@ fun () ->
+  let m = Goobs.Metrics.default in
+  Goobs.Metrics.incr (Goobs.Metrics.counter m "pathenum.runs");
   let path_memo : (string, path list) Hashtbl.t = Hashtbl.create 8 in
   let paths_of f =
     match Hashtbl.find_opt path_memo f with
     | Some ps -> ps
     | None ->
         let ps = enumerate ctx f in
+        Goobs.Metrics.add
+          (Goobs.Metrics.counter m "pathenum.paths")
+          (List.length ps);
         Hashtbl.replace path_memo f ps;
         ps
   in
@@ -450,6 +458,9 @@ let combinations ctx ~(root : string) ~(max_combos : int) ~(max_goroutines : int
             ps
   in
   (try expand [ (None, None, root) ] [] 0 with Done -> ());
+  Goobs.Metrics.add
+    (Goobs.Metrics.counter m "pathenum.combinations")
+    (List.length !results);
   List.rev !results
 
 (* Does a combination contain conflicting interpreted branch conditions?

@@ -14,30 +14,10 @@ module D = Diagnostics
    the IR never pays for the call graph; the alias/callgraph stages are
    shared by every pass that forces them. *)
 
+module M = Goobs.Metrics
+module Trace = Goobs.Trace
+
 (* ------------------------------------------------------- artifacts --- *)
-
-type counters = {
-  mutable lex_runs : int;
-  mutable parse_runs : int;
-  mutable typecheck_runs : int;
-  mutable lower_runs : int;
-  mutable alias_runs : int;
-  mutable callgraph_runs : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-}
-
-let new_counters () =
-  {
-    lex_runs = 0;
-    parse_runs = 0;
-    typecheck_runs = 0;
-    lower_runs = 0;
-    alias_runs = 0;
-    callgraph_runs = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-  }
 
 type artifacts = {
   a_key : string;                 (* content hash of (name, sources) *)
@@ -54,17 +34,20 @@ type artifacts = {
 (* ---------------------------------------------------------- passes --- *)
 
 (* A detector pass: named, individually enable-able, produces unified
-   diagnostics plus a flat list of integer metrics (solver calls, path
-   events, …) that the engine records per run.  The pass receives the
-   engine's domain pool so it can fan its independent sub-problems
-   (channels, functions) out across workers. *)
+   diagnostics and reports its integer metrics (solver calls, path
+   events, …) into the [Goobs.Metrics.t] registry it is handed.  The
+   engine gives each pass run a fresh registry, snapshots it as the
+   run's metrics, then folds it into the engine-wide registry — one
+   source of truth for the CLI, bench --json, and tests.  The pass also
+   receives the engine's domain pool so it can fan its independent
+   sub-problems (channels, functions) out across workers. *)
 type metrics = (string * int) list
 
 type pass = {
   p_name : string;
   p_doc : string;
   p_default : bool;              (* runs unless explicitly deselected *)
-  p_run : Pool.t -> artifacts -> D.t list * metrics;
+  p_run : Pool.t -> M.t -> artifacts -> D.t list;
 }
 
 type pass_run = {
@@ -87,23 +70,27 @@ type run = {
 type t = {
   mutable passes : pass list;
   cache : (string, artifacts) Hashtbl.t;
-  stats : counters;
+  registry : M.t; (* stage/cache counters, pass timings, pass metrics *)
   max_entries : int;
   pool : Pool.t;
-  lock : Mutex.t; (* guards [cache] and [stats]: batch drivers analyse
-                     several source sets concurrently through one engine *)
+  lock : Mutex.t; (* guards [cache]: batch drivers analyse several
+                     source sets concurrently through one engine *)
 }
 
 (* [jobs] sizes the engine's domain pool (shared process-wide per size);
    [pool] overrides it with a caller-managed pool.  The default is
    sequential: parallelism is opt-in so that test code creating many
-   engines never spawns domains behind the caller's back. *)
-let create ?(max_entries = 512) ?(passes = []) ?(jobs = 1) ?pool () =
+   engines never spawns domains behind the caller's back.  [registry]
+   lets the caller unify engine metrics with a wider scope (the CLI
+   passes [Goobs.Metrics.default]); the default is a private registry
+   per engine so concurrent test engines never share counters. *)
+let create ?(max_entries = 512) ?(passes = []) ?(jobs = 1) ?pool ?registry () =
   let pool = match pool with Some p -> p | None -> Pool.get ~jobs in
+  let registry = match registry with Some r -> r | None -> M.create () in
   {
     passes;
     cache = Hashtbl.create 32;
-    stats = new_counters ();
+    registry;
     max_entries;
     pool;
     lock = Mutex.create ();
@@ -122,15 +109,21 @@ let register (t : t) (p : pass) =
   t.passes <- t.passes @ [ p ]
 
 let passes t = t.passes
-let stats t = t.stats
+let registry t = t.registry
+
+(* Read one engine counter by registry name (e.g. "stage.parse.runs",
+   "engine.cache_hits"); unknown names read as 0. *)
+let counter_value (t : t) name = M.value (M.counter t.registry name)
 
 let stats_str (t : t) =
-  let s = t.stats in
+  let c = counter_value t in
   Printf.sprintf
     "cache: %d hit(s), %d miss(es); stage runs: %d lex, %d parse, %d \
      typecheck, %d lower, %d alias, %d callgraph"
-    s.cache_hits s.cache_misses s.lex_runs s.parse_runs s.typecheck_runs
-    s.lower_runs s.alias_runs s.callgraph_runs
+    (c "engine.cache_hits") (c "engine.cache_misses") (c "stage.lex.runs")
+    (c "stage.parse.runs")
+    (c "stage.typecheck.runs")
+    (c "stage.lower.runs") (c "stage.alias.runs") (c "stage.callgraph.runs")
 
 (* ------------------------------------------------- frontend stages --- *)
 
@@ -140,48 +133,65 @@ let key_of ~name sources =
 let cached (t : t) ~name sources =
   locked t (fun () -> Hashtbl.mem t.cache (key_of ~name sources))
 
+(* Wrap one frontend stage: bump its run counter (before running, so a
+   failing stage still counts as one attempted run), trace a
+   "stage.<name>" span, and record its wall time in the
+   "stage.<name>.ms" histogram on success. *)
+let stage (t : t) name f =
+  Trace.with_span ~name:("stage." ^ name) (fun () ->
+      M.incr (M.counter t.registry ("stage." ^ name ^ ".runs"));
+      let t0 = Clock.now_s () in
+      let r = f () in
+      M.observe
+        (M.histogram t.registry ("stage." ^ name ^ ".ms"))
+        (1000.0 *. Clock.elapsed_since t0);
+      r)
+
 (* Build the lazy stage chain for one source set.  File naming matches
    [Parser.parse_program] so locations are byte-identical to the
    pre-engine pipeline. *)
 let build_artifacts (t : t) ~name sources : artifacts =
-  let s = t.stats in
   let a_tokens =
     lazy
-      (locked t (fun () -> s.lex_runs <- s.lex_runs + 1);
-       List.mapi
-         (fun i src ->
-           Minigo.Lexer.tokenize ~file:(Printf.sprintf "%s/file%d.go" name i) src)
-         sources)
+      (stage t "lex" (fun () ->
+           List.mapi
+             (fun i src ->
+               Minigo.Lexer.tokenize
+                 ~file:(Printf.sprintf "%s/file%d.go" name i)
+                 src)
+             sources))
   in
   let a_ast =
     lazy
-      (locked t (fun () -> s.parse_runs <- s.parse_runs + 1);
-       List.mapi
-         (fun i toks ->
-           Minigo.Parser.parse_tokens
-             ~file:(Printf.sprintf "%s/file%d.go" name i)
-             toks)
-         (Lazy.force a_tokens))
+      (stage t "parse" (fun () ->
+           List.mapi
+             (fun i toks ->
+               Minigo.Parser.parse_tokens
+                 ~file:(Printf.sprintf "%s/file%d.go" name i)
+                 toks)
+             (Lazy.force a_tokens)))
   in
   let a_typed =
     lazy
-      (locked t (fun () -> s.typecheck_runs <- s.typecheck_runs + 1);
-       Minigo.Typecheck.check_program (Lazy.force a_ast))
+      (stage t "typecheck" (fun () ->
+           Minigo.Typecheck.check_program (Lazy.force a_ast)))
   in
   let a_ir =
     lazy
-      (locked t (fun () -> s.lower_runs <- s.lower_runs + 1);
-       Goir.Lower.lower_program (Lazy.force a_typed))
+      (stage t "lower" (fun () ->
+           Goir.Lower.lower_program (Lazy.force a_typed)))
   in
   let a_alias =
     lazy
-      (locked t (fun () -> s.alias_runs <- s.alias_runs + 1);
-       Goanalysis.Alias.analyse (Lazy.force a_ir))
+      (stage t "alias" (fun () ->
+           Goanalysis.Alias.analyse (Lazy.force a_ir)))
   in
   let a_callgraph =
     lazy
-      (locked t (fun () -> s.callgraph_runs <- s.callgraph_runs + 1);
-       Goanalysis.Callgraph.build ~alias:(Lazy.force a_alias) (Lazy.force a_ir))
+      (stage t "callgraph" (fun () ->
+           Goanalysis.Callgraph.build
+             ~alias:(Lazy.force a_alias)
+             (Lazy.force a_ir)))
   in
   {
     a_key = key_of ~name sources;
@@ -204,10 +214,10 @@ let artifacts (t : t) ~name sources : artifacts =
   locked t (fun () ->
       match Hashtbl.find_opt t.cache key with
       | Some a ->
-          t.stats.cache_hits <- t.stats.cache_hits + 1;
+          M.incr (M.counter t.registry "engine.cache_hits");
           a
       | None ->
-          t.stats.cache_misses <- t.stats.cache_misses + 1;
+          M.incr (M.counter t.registry "engine.cache_misses");
           (* crude bound: a full reset is fine for our workloads, which
              never come close to [max_entries] live source sets *)
           if Hashtbl.length t.cache >= t.max_entries then Hashtbl.reset t.cache;
@@ -288,10 +298,25 @@ let analyse ?only ?extra (t : t) ~name sources : run =
         List.map
           (fun p ->
             let p0 = Clock.now_s () in
-            let diags, metrics = p.p_run t.pool a in
+            (* A fresh registry per pass run keeps the run's metric
+               snapshot exact even when several analyses share the
+               engine concurrently; it is folded into the engine-wide
+               registry afterwards. *)
+            let preg = M.create () in
+            let diags =
+              Trace.with_span ~name:("pass." ^ p.p_name) (fun () ->
+                  p.p_run t.pool preg a)
+            in
+            let elapsed = Clock.elapsed_since p0 in
+            M.incr (M.counter t.registry ("pass." ^ p.p_name ^ ".runs"));
+            M.observe
+              (M.histogram t.registry ("pass." ^ p.p_name ^ ".ms"))
+              (1000.0 *. elapsed);
+            let metrics = M.counters_list preg in
+            M.merge_into ~dst:t.registry preg;
             {
               pr_pass = p.p_name;
-              pr_elapsed_s = Clock.elapsed_since p0;
+              pr_elapsed_s = elapsed;
               pr_diags = diags;
               pr_metrics = metrics;
             })

@@ -140,6 +140,16 @@ let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
 let jobs t = t.jobs
 
+(* Scheduler metrics go to the process-wide registry; values depend on
+   the schedule (steals especially), so determinism checks must ignore
+   the "pool." namespace. *)
+module M = Goobs.Metrics
+
+let m_tasks = lazy (M.counter M.default "pool.tasks")
+let m_steals = lazy (M.counter M.default "pool.steals")
+let m_batches = lazy (M.counter M.default "pool.batches")
+let m_items = lazy (M.counter M.default "pool.items")
+
 (* Idle waiting: spin briefly, then sleep with backoff.  On an
    oversubscribed machine (more participants than cores) a pure spin
    loop would steal the timeslice from the domain doing real work. *)
@@ -159,7 +169,9 @@ let participate (b : batch) (slot : int) =
           if k >= n then None
           else
             match Ws_deque.steal b.deques.((slot + k) mod n) with
-            | Some _ as t -> t
+            | Some _ as t ->
+                M.incr (Lazy.force m_steals);
+                t
             | None -> try_steal (k + 1)
         in
         try_steal 1
@@ -235,12 +247,18 @@ let map ~pool f xs =
            until the epoch bump below, so filling them from here does not
            violate the owner-only push discipline. *)
         Array.iteri (fun i _ -> Ws_deque.push deques.(i mod pool.jobs) i) items;
+        M.incr (Lazy.force m_batches);
+        M.add (Lazy.force m_items) n;
         let remaining = Atomic.make n in
         let run i =
           let flag = Domain.DLS.get in_task in
           flag := true;
+          M.incr (Lazy.force m_tasks);
           let r =
-            try Ok (f items.(i))
+            try
+              Ok
+                (Goobs.Trace.with_span ~name:"pool.task" (fun () ->
+                     f items.(i)))
             with e -> Error (e, Printexc.get_raw_backtrace ())
           in
           flag := false;

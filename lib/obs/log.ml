@@ -1,0 +1,120 @@
+(* Leveled structured logger.
+
+   One line per event on stderr, shaped as
+
+     gcatch[warn] message key=value other="quoted value"
+
+   so the output greps and splits cleanly.  The level comes from the
+   GCATCH_LOG environment variable (debug|info|warn|error|quiet) and can
+   be overridden programmatically (the CLI's --log-level does this).
+   Writes are serialised under a mutex so lines from pool domains never
+   interleave; the sink is swappable for tests. *)
+
+type level = Debug | Info | Warn | Error | Quiet
+
+let severity = function
+  | Debug -> 0
+  | Info -> 1
+  | Warn -> 2
+  | Error -> 3
+  | Quiet -> 4
+
+let level_str = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+  | Quiet -> "quiet"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | "quiet" | "off" | "none" -> Some Quiet
+  | _ -> None
+
+let initial_level =
+  match Sys.getenv_opt "GCATCH_LOG" with
+  | Some s -> Option.value (level_of_string s) ~default:Warn
+  | None -> Warn
+
+let current : level Atomic.t = Atomic.make initial_level
+let set_level l = Atomic.set current l
+let level () = Atomic.get current
+
+let enabled l =
+  let cur = Atomic.get current in
+  cur <> Quiet && severity l >= severity cur
+
+(* Sink ----------------------------------------------------------------- *)
+
+let mu = Mutex.create ()
+let default_sink line = prerr_endline line
+let sink : (string -> unit) ref = ref default_sink
+
+let set_sink f =
+  Mutex.lock mu;
+  sink := f;
+  Mutex.unlock mu
+
+let reset_sink () = set_sink default_sink
+
+(* Formatting ----------------------------------------------------------- *)
+
+let needs_quoting v =
+  v = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '"' || c = '=' || c = '\n' || c = '\t')
+       v
+
+let quote_value v =
+  if not (needs_quoting v) then v
+  else begin
+    let b = Buffer.create (String.length v + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+
+let format_line lvl msg kv =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "gcatch[";
+  Buffer.add_string b (level_str lvl);
+  Buffer.add_string b "] ";
+  Buffer.add_string b msg;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b (quote_value v))
+    kv;
+  Buffer.contents b
+
+let log lvl ?(kv = []) msg =
+  if enabled lvl then begin
+    let line = format_line lvl msg kv in
+    Mutex.lock mu;
+    (try !sink line with _ -> ());
+    Mutex.unlock mu
+  end
+
+let debug ?kv msg = log Debug ?kv msg
+let info ?kv msg = log Info ?kv msg
+let warn ?kv msg = log Warn ?kv msg
+let error ?kv msg = log Error ?kv msg
+let debugf ?kv fmt = Printf.ksprintf (fun m -> log Debug ?kv m) fmt
+let infof ?kv fmt = Printf.ksprintf (fun m -> log Info ?kv m) fmt
+let warnf ?kv fmt = Printf.ksprintf (fun m -> log Warn ?kv m) fmt
+let errorf ?kv fmt = Printf.ksprintf (fun m -> log Error ?kv m) fmt

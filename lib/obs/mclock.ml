@@ -1,0 +1,10 @@
+(* Monotonic time for the observability layer.
+
+   Goscope sits *below* [Goengine] in the library graph (the engine and
+   pool are themselves instrumented), so it cannot reuse
+   [Goengine.Clock]; both are thin veneers over bechamel's
+   [Monotonic_clock]. *)
+
+let now_ns () : int64 = Monotonic_clock.now ()
+let now_us () : float = Int64.to_float (now_ns ()) /. 1e3
+let now_s () : float = Int64.to_float (now_ns ()) /. 1e9

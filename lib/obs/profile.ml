@@ -1,0 +1,101 @@
+(* End-of-run profile report (--profile).
+
+   The BMOC detector records one [channel_sample] per analysed root via
+   [note_channel]; the report combines those with per-pass wall times
+   (from the engine's pass runs) and the registry's stage counters and
+   histograms into a plain-text summary: per-pass and per-stage times,
+   the top-N slowest channels with their solver statistics, and
+   p50/p95/max for every histogram. *)
+
+type channel_sample = {
+  cs_channel : string;
+  cs_elapsed_ms : float;
+  cs_solver_calls : int;
+  cs_sat_conflicts : int;
+  cs_sat_decisions : int;
+  cs_sat_propagations : int;
+  cs_path_events : int;
+  cs_timed_out : bool;
+}
+
+let mu = Mutex.create ()
+let samples : channel_sample list ref = ref []
+
+let note_channel s =
+  Mutex.lock mu;
+  samples := s :: !samples;
+  Mutex.unlock mu
+
+let channels () =
+  Mutex.lock mu;
+  let r = List.rev !samples in
+  Mutex.unlock mu;
+  r
+
+let reset () =
+  Mutex.lock mu;
+  samples := [];
+  Mutex.unlock mu
+
+let report ?(top = 10) (reg : Metrics.t) (pass_times : (string * float) list) :
+    string =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "== gcatch profile ==";
+  if pass_times <> [] then begin
+    line "per-pass wall time:";
+    List.iter
+      (fun (name, s) -> line "  %-24s %8.1f ms" name (1000.0 *. s))
+      pass_times
+  end;
+  let stage_hists =
+    List.filter
+      (fun n -> String.length n > 6 && String.sub n 0 6 = "stage.")
+      (Metrics.histogram_names reg)
+  in
+  if stage_hists <> [] then begin
+    line "per-stage wall time:";
+    List.iter
+      (fun n ->
+        let h = Metrics.histogram reg n in
+        line "  %-24s %8.1f ms  (%d run(s))" n (Metrics.h_sum h)
+          (Metrics.h_count h))
+      stage_hists
+  end;
+  let cs = channels () in
+  if cs <> [] then begin
+    let slowest =
+      List.sort
+        (fun a b ->
+          compare (b.cs_elapsed_ms, a.cs_channel) (a.cs_elapsed_ms, b.cs_channel))
+        cs
+    in
+    let n = List.length slowest in
+    let shown = if n < top then n else top in
+    line "top %d slowest channels (of %d):" shown n;
+    List.iteri
+      (fun i c ->
+        if i < top then
+          line
+            "  %8.1f ms  %-32s solver_calls=%d conflicts=%d decisions=%d \
+             propagations=%d path_events=%d%s"
+            c.cs_elapsed_ms c.cs_channel c.cs_solver_calls c.cs_sat_conflicts
+            c.cs_sat_decisions c.cs_sat_propagations c.cs_path_events
+            (if c.cs_timed_out then "  [timed out]" else ""))
+      slowest
+  end
+  else line "top 0 slowest channels (of 0):";
+  let hists = Metrics.histogram_names reg in
+  if hists <> [] then begin
+    line "histograms (p50 / p95 / max):";
+    List.iter
+      (fun n ->
+        let h = Metrics.histogram reg n in
+        if Metrics.h_count h > 0 then
+          line "  %-28s %10.1f %10.1f %10.1f  (n=%d)" n
+            (Metrics.percentile h 0.5)
+            (Metrics.percentile h 0.95)
+            (Metrics.h_max h) (Metrics.h_count h))
+      hists
+  end;
+  Buffer.contents b

@@ -55,6 +55,6 @@ let () =
       {|"severity":"error"|};
       {|"loc":{"file":|};
       {|"passes":[|};
-      {|"solver_calls"|};
+      {|"bmoc.solver_calls"|};
     ];
   print_endline "gcatch --json smoke test OK"

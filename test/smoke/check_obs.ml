@@ -1,0 +1,246 @@
+(* Validate the observability outputs of a real gcatch run (the dune rule
+   feeds it the Figure-1 bug with --trace-out/--metrics-out/--profile):
+
+   - the Chrome trace JSON is balanced, contains "X" duration events for
+     the engine stages, passes, and per-channel BMOC work, one
+     thread_name metadata record per domain track, and a "gcatch.run"
+     root span covering >= 95% of the trace extent;
+   - the Prometheus exposition parses line by line: sane metric names,
+     numeric samples, # TYPE lines, cumulative histogram buckets with
+     "+Inf" equal to the _count sample;
+   - the profile report printed the per-pass table and the slowest-
+     channel section. *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let balanced (s : string) : bool =
+  let depth = ref 0 and in_str = ref false and escaped = ref false in
+  let ok = ref true in
+  String.iter
+    (fun c ->
+      if !escaped then escaped := false
+      else if !in_str then (
+        match c with
+        | '\\' -> escaped := true
+        | '"' -> in_str := false
+        | _ -> ())
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_str
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+(* Pull a float out of [s] right after position [i] (stops at ',' or '}'). *)
+let float_at s i =
+  let j = ref i in
+  let n = String.length s in
+  while !j < n && s.[!j] <> ',' && s.[!j] <> '}' do
+    incr j
+  done;
+  float_of_string (String.trim (String.sub s i (!j - i)))
+
+(* Every "ts":T,"dur":D pair in emission order (only "X" events carry
+   them in our exporter). *)
+let ts_dur_pairs s =
+  let needle = "\"ts\":" in
+  let out = ref [] in
+  let i = ref 0 in
+  let n = String.length s in
+  (try
+     while !i < n do
+       let found = ref false in
+       let k = ref !i in
+       while (not !found) && !k + String.length needle <= n do
+         if String.sub s !k (String.length needle) = needle then found := true
+         else incr k
+       done;
+       if not !found then raise Exit;
+       let ts_pos = !k + String.length needle in
+       let ts = float_at s ts_pos in
+       let dneedle = "\"dur\":" in
+       let dpos = ts_pos + 1 in
+       let k2 = ref dpos in
+       while String.sub s !k2 (String.length dneedle) <> dneedle do
+         incr k2
+       done;
+       let dur = float_at s (!k2 + String.length dneedle) in
+       out := (ts, dur) :: !out;
+       i := !k2
+     done
+   with Exit -> ());
+  List.rev !out
+
+let check_trace path =
+  let j = String.trim (read_all path) in
+  if String.length j = 0 then fail "empty trace file";
+  if not (balanced j) then fail "unbalanced trace JSON";
+  List.iter
+    (fun needle ->
+      if not (contains ~needle j) then fail "trace missing %s" needle)
+    [
+      {|"traceEvents":[|};
+      {|"ph":"X"|};
+      {|"ph":"M"|};
+      {|"thread_name"|};
+      {|"name":"gcatch.run"|};
+      {|"name":"stage.parse"|};
+      {|"name":"pass.bmoc"|};
+      {|"name":"bmoc.channel"|};
+      {|"solver_calls"|};
+    ];
+  (* the root span must cover (almost) the whole trace extent *)
+  let pairs = ts_dur_pairs j in
+  if pairs = [] then fail "no timed events in trace";
+  let extent =
+    List.fold_left (fun acc (ts, d) -> Float.max acc (ts +. d)) 0.0 pairs
+  in
+  let run_pos =
+    let needle = {|"name":"gcatch.run"|} in
+    let n = String.length j in
+    let k = ref 0 in
+    while
+      !k + String.length needle <= n
+      && String.sub j !k (String.length needle) <> needle
+    do
+      incr k
+    done;
+    !k
+  in
+  let after = String.sub j run_pos (String.length j - run_pos) in
+  (match ts_dur_pairs after with
+  | (ts, dur) :: _ ->
+      if extent > 0.0 && (dur -. ts) /. extent < 0.95 then
+        fail "gcatch.run span covers %.1f%% of the trace (< 95%%)"
+          (100.0 *. (dur -. ts) /. extent)
+  | [] -> fail "gcatch.run event has no ts/dur");
+  Printf.printf "trace OK: %d timed events, extent %.1f us\n"
+    (List.length pairs) extent
+
+let check_prometheus path =
+  let p = read_all path in
+  if String.trim p = "" then fail "empty metrics file";
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' p)
+  in
+  let n_type = ref 0 and n_sample = ref 0 in
+  (* histogram bookkeeping: name -> (last cumulative bucket, inf, count) *)
+  let buckets : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let infs : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] = '#' then begin
+        if not (contains ~needle:"# TYPE gcatch_" line) then
+          fail "bad comment line: %s" line;
+        incr n_type
+      end
+      else begin
+        let sp =
+          match String.rindex_opt line ' ' with
+          | Some i -> i
+          | None -> fail "sample line without value: %s" line
+        in
+        let name = String.sub line 0 sp in
+        let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+        (match float_of_string_opt value with
+        | Some _ -> ()
+        | None -> fail "non-numeric sample %s in: %s" value line);
+        let base =
+          match String.index_opt name '{' with
+          | Some i -> String.sub name 0 i
+          | None -> name
+        in
+        if not (String.length base > 7 && String.sub base 0 7 = "gcatch_")
+        then fail "metric name without gcatch_ prefix: %s" line;
+        String.iter
+          (fun c ->
+            match c with
+            | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+            | _ -> fail "bad character in metric name: %s" base)
+          base;
+        incr n_sample;
+        (* histogram structure *)
+        if contains ~needle:"_bucket{le=" name then begin
+          let v = int_of_string value in
+          let key = String.sub base 0 (String.length base - 7) in
+          if contains ~needle:{|le="+Inf"|} name then
+            Hashtbl.replace infs key v
+          else begin
+            let prev =
+              Option.value (Hashtbl.find_opt buckets key) ~default:0
+            in
+            if v < prev then
+              fail "non-cumulative buckets for %s: %d after %d" key v prev;
+            Hashtbl.replace buckets key v
+          end
+        end
+        else if
+          String.length base > 6
+          && String.sub base (String.length base - 6) 6 = "_count"
+        then
+          Hashtbl.replace counts
+            (String.sub base 0 (String.length base - 6))
+            (int_of_string value)
+      end)
+    lines;
+  Hashtbl.iter
+    (fun key inf ->
+      (match Hashtbl.find_opt counts key with
+      | Some c when c = inf -> ()
+      | Some c -> fail "histogram %s: +Inf %d <> _count %d" key inf c
+      | None -> fail "histogram %s has buckets but no _count" key);
+      match Hashtbl.find_opt buckets key with
+      | Some last when last > inf ->
+          fail "histogram %s: last bucket %d > +Inf %d" key last inf
+      | _ -> ())
+    infs;
+  List.iter
+    (fun needle ->
+      if not (contains ~needle p) then fail "metrics missing %s" needle)
+    [
+      "gcatch_bmoc_solver_calls";
+      "gcatch_bmoc_channels_analysed";
+      "gcatch_stage_parse_runs";
+      "gcatch_engine_cache_misses";
+      "# TYPE gcatch_bmoc_channel_solve_ms histogram";
+    ];
+  Printf.printf "metrics OK: %d TYPE lines, %d samples, %d histograms\n"
+    !n_type !n_sample (Hashtbl.length infs)
+
+let check_profile path =
+  let p = read_all path in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle p) then fail "profile missing %s" needle)
+    [
+      "== gcatch profile ==";
+      "per-pass wall time:";
+      "per-stage wall time:";
+      "slowest channels";
+      "solver_calls=";
+      "histograms (p50 / p95 / max):";
+    ];
+  print_endline "profile OK"
+
+let () =
+  check_trace Sys.argv.(1);
+  check_prometheus Sys.argv.(2);
+  check_profile Sys.argv.(3);
+  print_endline "gcatch observability smoke test OK"

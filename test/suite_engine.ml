@@ -70,14 +70,15 @@ let test_cache_hit_on_repeat () =
   let engine = Gcatch.Passes.engine () in
   let r1 = analyse engine fig1 in
   let r2 = analyse engine fig1 in
-  let s = E.stats engine in
-  (* the acceptance criterion: two analyses, exactly one frontend run *)
-  Alcotest.(check int) "one lex" 1 s.E.lex_runs;
-  Alcotest.(check int) "one parse" 1 s.E.parse_runs;
-  Alcotest.(check int) "one typecheck" 1 s.E.typecheck_runs;
-  Alcotest.(check int) "one lower" 1 s.E.lower_runs;
-  Alcotest.(check int) "one cache hit" 1 s.E.cache_hits;
-  Alcotest.(check int) "one cache miss" 1 s.E.cache_misses;
+  let c = E.counter_value engine in
+  (* the acceptance criterion: two analyses, exactly one frontend run;
+     stage/cache counters are served from the engine's metrics registry *)
+  Alcotest.(check int) "one lex" 1 (c "stage.lex.runs");
+  Alcotest.(check int) "one parse" 1 (c "stage.parse.runs");
+  Alcotest.(check int) "one typecheck" 1 (c "stage.typecheck.runs");
+  Alcotest.(check int) "one lower" 1 (c "stage.lower.runs");
+  Alcotest.(check int) "one cache hit" 1 (c "engine.cache_hits");
+  Alcotest.(check int) "one cache miss" 1 (c "engine.cache_misses");
   Alcotest.(check bool) "first run was cold" false r1.E.r_from_cache;
   Alcotest.(check bool) "second run was cached" true r2.E.r_from_cache;
   (* detector results are unaffected by caching *)
@@ -85,16 +86,16 @@ let test_cache_hit_on_repeat () =
     (List.length r2.E.r_diags);
   (* a different source set is a fresh compile *)
   let _ = analyse engine clean in
-  Alcotest.(check int) "second miss" 2 (E.stats engine).E.cache_misses
+  Alcotest.(check int) "second miss" 2 (E.counter_value engine "engine.cache_misses")
 
 let test_cache_memoizes_errors () =
   let engine = Gcatch.Passes.engine () in
   let r1 = analyse engine parse_error_src in
   let r2 = analyse engine parse_error_src in
-  let s = E.stats engine in
   (* the failing parse also runs exactly once; the memoized exception is
      re-rendered as the same diagnostic *)
-  Alcotest.(check int) "one parse attempt" 1 s.E.parse_runs;
+  Alcotest.(check int) "one parse attempt" 1
+    (E.counter_value engine "stage.parse.runs");
   Alcotest.(check int) "same message" 0
     (compare
        (List.map (fun (d : D.t) -> d.D.message) r1.E.r_diags)
@@ -106,7 +107,8 @@ let test_driver_shim_shares_compile () =
   let engine = E.create () in
   let a1 = Gcatch.Driver.analyse_with engine ~name:"d" [ fig1 ] in
   let a2 = Gcatch.Driver.analyse_with engine ~name:"d" [ fig1 ] in
-  Alcotest.(check int) "one parse" 1 (E.stats engine).E.parse_runs;
+  Alcotest.(check int) "one parse" 1
+    (E.counter_value engine "stage.parse.runs");
   Alcotest.(check bool) "same compiled IR shared" true (a1.ir == a2.ir);
   Alcotest.(check int) "same findings" (List.length a1.bmoc)
     (List.length a2.bmoc)
@@ -158,7 +160,7 @@ let test_json_output () =
       {|"frontend_ok":true|};
       {|"pass":"bmoc"|};
       {|"severity":"error"|};
-      {|"solver_calls"|};
+      {|"bmoc.solver_calls"|};
       {|"line":3|};
     ];
   let rerr = analyse engine parse_error_src in

@@ -1,0 +1,385 @@
+(* Goscope (lib/obs) tests: logger formatting and levels, histogram
+   bucket/percentile math, registry merge, Prometheus and JSON export
+   shape, span nesting and parenting (single-domain and across pool
+   domains), exactly-once drain, no-op behaviour when tracing is
+   disabled, metrics determinism at jobs=1 vs jobs=4, and the enriched
+   solver-budget skip diagnostic. *)
+
+module Log = Goobs.Log
+module M = Goobs.Metrics
+module Trace = Goobs.Trace
+module Profile = Goobs.Profile
+module Pool = Goengine.Pool
+module E = Goengine.Engine
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------ logger --- *)
+
+let with_sink f =
+  let lines = ref [] in
+  Log.set_sink (fun l -> lines := l :: !lines);
+  let saved = Log.level () in
+  Fun.protect
+    ~finally:(fun () ->
+      Log.reset_sink ();
+      Log.set_level saved)
+    (fun () -> f lines)
+
+let test_log_format () =
+  with_sink (fun lines ->
+      Log.set_level Log.Debug;
+      Log.warn ~kv:[ ("channel", "ch1"); ("ms", "12") ] "budget exhausted";
+      Log.info ~kv:[ ("path", "a file.json") ] "wrote";
+      match List.rev !lines with
+      | [ l1; l2 ] ->
+          Alcotest.(check string)
+            "plain key=value line"
+            "gcatch[warn] budget exhausted channel=ch1 ms=12" l1;
+          (* values with spaces are quoted *)
+          Alcotest.(check string)
+            "quoted value" "gcatch[info] wrote path=\"a file.json\"" l2
+      | ls -> Alcotest.failf "expected 2 lines, got %d" (List.length ls))
+
+let test_log_levels () =
+  with_sink (fun lines ->
+      Log.set_level Log.Warn;
+      Log.debug "hidden";
+      Log.info "hidden";
+      Log.warn "shown";
+      Log.error "shown";
+      Alcotest.(check int) "warn level keeps 2 of 4" 2 (List.length !lines);
+      Log.set_level Log.Quiet;
+      Log.error "dropped";
+      Alcotest.(check int) "quiet drops everything" 2 (List.length !lines));
+  (* parsing *)
+  Alcotest.(check bool) "parse debug" true (Log.level_of_string "debug" = Some Log.Debug);
+  Alcotest.(check bool) "parse WARNING" true (Log.level_of_string "WARNING" = Some Log.Warn);
+  Alcotest.(check bool) "parse off" true (Log.level_of_string "off" = Some Log.Quiet);
+  Alcotest.(check bool) "reject junk" true (Log.level_of_string "loud" = None)
+
+(* ------------------------------------------------------- histograms --- *)
+
+let test_histogram_buckets () =
+  (* power-of-two buckets: 1.0 tops bucket 20, each bucket doubles *)
+  Alcotest.(check int) "1.0 -> bucket 20" 20 (M.bucket_index 1.0);
+  Alcotest.(check int) "1.5 -> bucket 21" 21 (M.bucket_index 1.5);
+  Alcotest.(check int) "2.0 -> bucket 21" 21 (M.bucket_index 2.0);
+  Alcotest.(check int) "non-positive -> bucket 0" 0 (M.bucket_index 0.0);
+  Alcotest.(check int) "huge clamps to last" (M.n_buckets - 1)
+    (M.bucket_index 1e30);
+  Alcotest.(check (float 1e-9)) "upper bound of 20 is 1.0" 1.0 (M.bucket_upper 20)
+
+let test_histogram_percentiles () =
+  let t = M.create () in
+  let h = M.histogram t "h" in
+  List.iter (M.observe h) [ 1.0; 2.0; 4.0; 8.0 ];
+  Alcotest.(check int) "count" 4 (M.h_count h);
+  Alcotest.(check (float 1e-9)) "sum" 15.0 (M.h_sum h);
+  Alcotest.(check (float 1e-9)) "max" 8.0 (M.h_max h);
+  Alcotest.(check (float 1e-9)) "p50 is the 2nd value's bucket" 2.0
+    (M.percentile h 0.5);
+  Alcotest.(check (float 1e-9)) "p95 lands in the last bucket" 8.0
+    (M.percentile h 0.95);
+  Alcotest.(check (float 1e-9)) "p100 is the exact max" 8.0
+    (M.percentile h 1.0);
+  (* the estimate is capped at the observed max, not the bucket bound *)
+  let h2 = M.histogram t "h2" in
+  M.observe h2 3.0;
+  Alcotest.(check (float 1e-9)) "capped at max" 3.0 (M.percentile h2 0.5);
+  (* empty histogram *)
+  let h3 = M.histogram t "h3" in
+  Alcotest.(check (float 1e-9)) "empty -> 0" 0.0 (M.percentile h3 0.5)
+
+(* ------------------------------------------------ registry and merge --- *)
+
+let test_counters_and_merge () =
+  let a = M.create () and b = M.create () in
+  M.add (M.counter a "x") 3;
+  M.incr (M.counter a "y");
+  M.add (M.counter b "x") 4;
+  M.observe (M.histogram b "ms") 2.0;
+  M.merge_into ~dst:a b;
+  Alcotest.(check (list (pair string int)))
+    "sorted, summed counters"
+    [ ("x", 7); ("y", 1) ]
+    (M.counters_list a);
+  Alcotest.(check int) "histogram merged" 1 (M.h_count (M.histogram a "ms"));
+  M.reset a;
+  Alcotest.(check (list (pair string int)))
+    "reset zeroes values"
+    [ ("x", 0); ("y", 0) ]
+    (M.counters_list a)
+
+let test_prometheus_export () =
+  let t = M.create () in
+  M.add (M.counter t "bmoc.solver_calls") 5;
+  M.set_gauge (M.gauge t "engine.jobs") 4.0;
+  let h = M.histogram t "bmoc.channel_solve_ms" in
+  List.iter (M.observe h) [ 0.7; 1.8; 120.0 ];
+  let p = M.to_prometheus t in
+  Alcotest.(check bool) "counter TYPE line" true
+    (contains ~needle:"# TYPE gcatch_bmoc_solver_calls counter" p);
+  Alcotest.(check bool) "counter sample" true
+    (contains ~needle:"gcatch_bmoc_solver_calls 5" p);
+  Alcotest.(check bool) "gauge sample" true
+    (contains ~needle:"gcatch_engine_jobs 4" p);
+  Alcotest.(check bool) "histogram TYPE line" true
+    (contains ~needle:"# TYPE gcatch_bmoc_channel_solve_ms histogram" p);
+  Alcotest.(check bool) "+Inf bucket" true
+    (contains ~needle:{|gcatch_bmoc_channel_solve_ms_bucket{le="+Inf"} 3|} p);
+  Alcotest.(check bool) "count line" true
+    (contains ~needle:"gcatch_bmoc_channel_solve_ms_count 3" p);
+  (* buckets are cumulative: every bucket count <= the +Inf total *)
+  String.split_on_char '\n' p
+  |> List.iter (fun line ->
+         if contains ~needle:"_bucket{le=" line then
+           match String.rindex_opt line ' ' with
+           | Some i ->
+               let v =
+                 int_of_string
+                   (String.sub line (i + 1) (String.length line - i - 1))
+               in
+               Alcotest.(check bool) "cumulative bucket <= total" true (v <= 3)
+           | None -> Alcotest.fail "malformed bucket line")
+
+(* crude structural check: balanced braces/brackets outside strings *)
+let balanced s =
+  let depth = ref 0 and ok = ref true and in_str = ref false in
+  String.iteri
+    (fun i c ->
+      if !in_str then begin
+        if c = '"' && (i = 0 || s.[i - 1] <> '\\') then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0
+
+let test_metrics_json () =
+  let t = M.create () in
+  M.incr (M.counter t "a.b");
+  M.observe (M.histogram t "ms") 3.0;
+  let j = M.to_json t in
+  Alcotest.(check bool) "balanced" true (balanced j);
+  Alcotest.(check bool) "counter present" true (contains ~needle:{|"a.b":1|} j);
+  Alcotest.(check bool) "histogram summary" true (contains ~needle:{|"count":1|} j)
+
+(* ------------------------------------------------------------ spans --- *)
+
+let test_span_nesting () =
+  Trace.enable ();
+  ignore (Trace.drain ());
+  Trace.with_span ~name:"outer" (fun () ->
+      Trace.with_span ~name:"inner" (fun () -> ignore (Sys.opaque_identity 1));
+      Trace.set_args [ ("k", "v") ]);
+  Trace.disable ();
+  let spans = Trace.drain () in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  let find n = List.find (fun s -> s.Trace.sp_name = n) spans in
+  let outer = find "outer" and inner = find "inner" in
+  Alcotest.(check bool) "inner's parent is outer" true
+    (inner.Trace.sp_parent = Some "outer");
+  Alcotest.(check int) "inner depth" 1 inner.Trace.sp_depth;
+  Alcotest.(check bool) "outer is a root" true (outer.Trace.sp_parent = None);
+  Alcotest.(check bool) "inner starts after outer" true
+    (inner.Trace.sp_ts_us >= outer.Trace.sp_ts_us);
+  Alcotest.(check bool) "inner contained in outer" true
+    (inner.Trace.sp_ts_us +. inner.Trace.sp_dur_us
+    <= outer.Trace.sp_ts_us +. outer.Trace.sp_dur_us +. 1e-3);
+  Alcotest.(check bool) "set_args attached to the open span" true
+    (List.mem_assoc "k" outer.Trace.sp_args);
+  Alcotest.(check int) "exactly-once drain" 0 (List.length (Trace.drain ()))
+
+let test_spans_across_pool_domains () =
+  Trace.enable ();
+  ignore (Trace.drain ());
+  let pool = Pool.get ~jobs:4 in
+  let items = List.init 16 Fun.id in
+  let out =
+    Trace.with_span ~name:"batch" (fun () ->
+        Pool.map ~pool
+          (fun i -> Trace.with_span ~name:"work" (fun () -> i * 2))
+          items)
+  in
+  Trace.disable ();
+  Alcotest.(check (list int)) "map results in order"
+    (List.map (fun i -> i * 2) items)
+    out;
+  let spans = Trace.drain () in
+  let named n = List.filter (fun s -> s.Trace.sp_name = n) spans in
+  Alcotest.(check int) "one work span per item" 16 (List.length (named "work"));
+  Alcotest.(check int) "one pool.task span per item" 16
+    (List.length (named "pool.task"));
+  (* parenting survives the hop to worker domains: every work span nests
+     in the pool.task span that ran it *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "work parented under pool.task" true
+        (s.Trace.sp_parent = Some "pool.task"))
+    (named "work");
+  (* the trace has one track per participating domain, and everything the
+     workers recorded is tagged with their own domain id *)
+  let tids = List.sort_uniq compare (List.map (fun s -> s.Trace.sp_tid) spans) in
+  Alcotest.(check bool) "at least one track" true (List.length tids >= 1);
+  Alcotest.(check bool) "at most caller + workers tracks" true
+    (List.length tids <= 5);
+  Alcotest.(check int) "second drain is empty" 0 (List.length (Trace.drain ()))
+
+let test_disabled_tracer_noop () =
+  Trace.disable ();
+  ignore (Trace.drain ());
+  let r = Trace.with_span ~name:"ignored" (fun () -> 42) in
+  Alcotest.(check int) "value passes through" 42 r;
+  Trace.set_args [ ("k", "v") ];
+  Alcotest.check_raises "exceptions propagate" Exit (fun () ->
+      Trace.with_span ~name:"ignored" (fun () -> raise Exit));
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.drain ()))
+
+let test_chrome_export_shape () =
+  Trace.enable ();
+  ignore (Trace.drain ());
+  Trace.with_span ~name:"a" ~args:[ ("file", "x.go") ] (fun () ->
+      Trace.with_span ~name:"b" (fun () -> ()));
+  Trace.disable ();
+  let j = Trace.to_chrome_json (Trace.drain ()) in
+  Alcotest.(check bool) "balanced" true (balanced j);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains ~needle j))
+    [
+      {|"traceEvents":[|};
+      {|"ph":"X"|};
+      {|"ph":"M"|};
+      {|"thread_name"|};
+      {|"name":"a"|};
+      {|"args":{"file":"x.go"}|};
+      {|"displayTimeUnit":"ms"|};
+    ]
+
+(* ----------------------------------------------------------- profile --- *)
+
+let test_profile_report () =
+  Profile.reset ();
+  Profile.note_channel
+    {
+      Profile.cs_channel = "chan@1";
+      cs_elapsed_ms = 12.5;
+      cs_solver_calls = 3;
+      cs_sat_conflicts = 7;
+      cs_sat_decisions = 20;
+      cs_sat_propagations = 90;
+      cs_path_events = 11;
+      cs_timed_out = false;
+    };
+  let reg = M.create () in
+  M.observe (M.histogram reg "stage.parse.ms") 1.5;
+  let rep = Profile.report ~top:10 reg [ ("bmoc", 0.012) ] in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("report mentions " ^ needle) true
+        (contains ~needle rep))
+    [ "slowest channels"; "chan@1"; "solver_calls=3"; "bmoc"; "stage.parse.ms" ];
+  Profile.reset ();
+  Alcotest.(check int) "reset clears samples" 0 (List.length (Profile.channels ()))
+
+(* ------------------------------------------------------ determinism --- *)
+
+(* several independent channels so jobs=4 genuinely fans out *)
+let multi_chan =
+  "package p\n\
+   func f1() {\n\tc := make(chan int)\n\tgo func() {\n\t\tc <- 1\n\t}()\n}\n\
+   func f2() {\n\td := make(chan int)\n\tgo func() {\n\t\td <- 2\n\t}()\n\
+   \t<-d\n}\n\
+   func f3() {\n\te := make(chan int)\n\tgo func() {\n\t\te <- 3\n\t}()\n}\n"
+
+let test_metrics_determinism_across_jobs () =
+  let counters jobs =
+    let reg = M.create () in
+    let e = Gcatch.Passes.engine ~registry:reg ~jobs () in
+    ignore (E.analyse e ~name:"det" [ multi_chan ]);
+    (* scheduler counters ("pool.*") and timing histograms are excluded
+       by construction: pool metrics go to the process registry and
+       counters_list lists counters only *)
+    M.counters_list reg
+  in
+  let c1 = counters 1 and c4 = counters 4 in
+  Alcotest.(check (list (pair string int))) "jobs=1 = jobs=4" c1 c4;
+  Alcotest.(check bool) "bmoc counters present" true
+    (List.mem_assoc "bmoc.solver_calls" c1)
+
+(* ------------------------------------------- skip diagnostic detail --- *)
+
+let test_skip_diag_enriched () =
+  let cfg =
+    {
+      Gcatch.Bmoc.default_config with
+      path_cfg =
+        { Gcatch.Pathenum.default_config with solver_timeout_ms = Some 0 };
+    }
+  in
+  let _, ir = Gcatch.Driver.compile_sources ~name:"skip" [ multi_chan ] in
+  let _, _, skipped = Gcatch.Bmoc.detect_ext ~cfg ir in
+  Alcotest.(check bool) "something skipped" true (skipped <> []);
+  let sk = List.hd skipped in
+  Alcotest.(check bool) "budget recorded" true
+    (sk.Gcatch.Bmoc.sk_budget_ms = Some 0);
+  Alcotest.(check bool) "elapsed is non-negative" true
+    (sk.Gcatch.Bmoc.sk_elapsed_ms >= 0.0);
+  let d = Gcatch.Passes.skip_diag sk in
+  let msg = d.Goengine.Diagnostics.message in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("skip message mentions " ^ needle) true
+        (contains ~needle msg))
+    [ "solver budget exhausted after"; "budget 0 ms"; "path event(s)" ]
+
+(* -------------------------------------------- engine registry unity --- *)
+
+let test_engine_counters_from_registry () =
+  let reg = M.create () in
+  let e = Gcatch.Passes.engine ~registry:reg () in
+  ignore (E.analyse e ~name:"u" [ multi_chan ]);
+  ignore (E.analyse e ~name:"u" [ multi_chan ]);
+  Alcotest.(check int) "stage counter via engine accessor" 1
+    (E.counter_value e "stage.parse.runs");
+  Alcotest.(check int) "cache hit via shared registry" 1
+    (M.value (M.counter reg "engine.cache_hits"));
+  Alcotest.(check bool) "pass metrics folded into the same registry" true
+    (M.value (M.counter reg "bmoc.channels_analysed") > 0);
+  Alcotest.(check bool) "stats_str served from the registry" true
+    (contains ~needle:"1 hit(s)" (E.stats_str e))
+
+let tests =
+  [
+    Alcotest.test_case "log line format" `Quick test_log_format;
+    Alcotest.test_case "log levels" `Quick test_log_levels;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "histogram percentiles" `Quick
+      test_histogram_percentiles;
+    Alcotest.test_case "counters and merge" `Quick test_counters_and_merge;
+    Alcotest.test_case "prometheus export" `Quick test_prometheus_export;
+    Alcotest.test_case "metrics json" `Quick test_metrics_json;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "spans across pool domains" `Quick
+      test_spans_across_pool_domains;
+    Alcotest.test_case "disabled tracer is a no-op" `Quick
+      test_disabled_tracer_noop;
+    Alcotest.test_case "chrome export shape" `Quick test_chrome_export_shape;
+    Alcotest.test_case "profile report" `Quick test_profile_report;
+    Alcotest.test_case "metrics determinism across jobs" `Quick
+      test_metrics_determinism_across_jobs;
+    Alcotest.test_case "skip diagnostic enriched" `Quick
+      test_skip_diag_enriched;
+    Alcotest.test_case "engine counters from registry" `Quick
+      test_engine_counters_from_registry;
+  ]
