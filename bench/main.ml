@@ -281,7 +281,9 @@ let e5 () =
     apps;
   Printf.printf
     "\nmean slowdown: %.1fx  (paper: >=115x; our ablation keeps the safety\n\
-     caps on combinations, which bounds the blowup the paper ran into)\n"
+     caps on combinations, which bounds the blowup the paper ran into,\n\
+     and the per-channel solve cache collapses the ablated scope's many\n\
+     identical canonical problems onto single solves)\n"
     (!total_ratio /. float_of_int (List.length apps))
 
 (* ------------------------------------------------------------- E6 --- *)
@@ -515,6 +517,10 @@ let micro () =
     ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
+  (* Compact before sampling: per-sample GC stabilization costs are
+     proportional to the live heap, so any garbage left by previously
+     run experiments would be billed to every sample here. *)
+  Gc.compact ();
   let cfg =
     Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) ~kde:None ()
   in
@@ -523,17 +529,20 @@ let micro () =
   in
   List.iter
     (fun test ->
+      let t0 = Clock.now_s () in
       let raw = Benchmark.all cfg [ instance ] test in
+      let wall = Clock.elapsed_since t0 in
       let results = Analyze.all ols instance raw in
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
           | Some [ ns_per_run ] ->
-              Printf.printf "%-38s %12.3f ms/run  (r² %s)\n" name
+              Printf.printf "%-38s %12.3f ms/run  (r² %s, %4.1fs)\n" name
                 (ns_per_run /. 1e6)
                 (match Analyze.OLS.r_square result with
                 | Some r -> Printf.sprintf "%.3f" r
                 | None -> "-")
+                wall
           | _ -> Printf.printf "%-38s (no estimate)\n" name)
         results)
     tests
@@ -623,6 +632,106 @@ diagnostics byte-identical across jobs: %b
         par_identical = identical;
       }
 
+(* ------------------------------------------------------- E-incr --- *)
+
+(* The PR-4 incremental tier: per-channel verdicts are content-addressed
+   and cached (memory tier always; disk tier under a cache dir), so a
+   warm re-run of an unchanged program resolves every channel without
+   touching the solver.  Measured per app: a cold run (empty cache), a
+   warm run (memory tier), and a warm-from-disk run (memory tier
+   dropped, simulating a fresh process). *)
+type incr_point = {
+  ip_app : string;
+  ip_cold_s : float;
+  ip_warm_s : float;
+  ip_disk_s : float;
+  ip_hits : int;   (* cache hits during the warm (memory) run *)
+  ip_misses : int; (* misses during the cold run = distinct problems *)
+}
+
+let incr_results : incr_point list ref = ref []
+
+let counter_now name =
+  match
+    List.assoc_opt name (Goobs.Metrics.counters_list Goobs.Metrics.default)
+  with
+  | Some v -> v
+  | None -> 0
+
+let eincr () =
+  header
+    "E-incr | Incremental solving and the solve cache: cold vs warm\n\
+    \       | detection, memory tier and warm-from-disk (PR 4)";
+  let apps = [ "bbolt"; "grpc"; "go-ethereum" ] in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcatch-bench-cache-%d" (Unix.getpid ()))
+  in
+  let clear_dir () =
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir)
+  in
+  clear_dir ();
+  Printf.printf "%-14s %10s %10s %10s %9s %7s %7s\n" "app" "cold (s)"
+    "warm (s)" "disk (s)" "speedup" "miss" "hit";
+  let results =
+    List.map
+      (fun name ->
+        let app = Option.get (Gocorpus.Apps.find name) in
+        let a = E.artifacts (Lazy.force engine) ~name app.sources in
+        let ir = Lazy.force a.E.a_ir in
+        let cfg = { Gcatch.Bmoc.default_config with cache_dir = Some dir } in
+        Gcatch.Solve_cache.reset_memory ();
+        let m0 = counter_now "bmoc.solve_cache_miss" in
+        let t0 = Clock.now_s () in
+        let bugs_cold, _ = Gcatch.Bmoc.detect ~cfg ir in
+        let cold = Clock.elapsed_since t0 in
+        let misses = counter_now "bmoc.solve_cache_miss" - m0 in
+        let h0 = counter_now "bmoc.solve_cache_hit" in
+        let t0 = Clock.now_s () in
+        let bugs_warm, _ = Gcatch.Bmoc.detect ~cfg ir in
+        let warm = Clock.elapsed_since t0 in
+        let hits = counter_now "bmoc.solve_cache_hit" - h0 in
+        (* drop the memory tier: the next run is served from disk *)
+        Gcatch.Solve_cache.reset_memory ();
+        let t0 = Clock.now_s () in
+        let bugs_disk, _ = Gcatch.Bmoc.detect ~cfg ir in
+        let disk = Clock.elapsed_since t0 in
+        let same bugs =
+          List.map R.bmoc_str bugs = List.map R.bmoc_str bugs_cold
+        in
+        if not (same bugs_warm && same bugs_disk) then
+          failwith ("e-incr: warm verdicts differ from cold on " ^ name);
+        Printf.printf "%-14s %10.3f %10.3f %10.3f %8.1fx %7d %7d\n" name cold
+          warm disk
+          (cold /. max 1e-6 warm)
+          misses hits;
+        {
+          ip_app = name;
+          ip_cold_s = cold;
+          ip_warm_s = warm;
+          ip_disk_s = disk;
+          ip_hits = hits;
+          ip_misses = misses;
+        })
+      apps
+  in
+  clear_dir ();
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  incr_results := results;
+  let tot f = List.fold_left (fun acc p -> acc +. f p) 0. results in
+  Printf.printf
+    "\ntotal: cold %.3fs, warm %.3fs (%.0fx), warm-from-disk %.3fs (%.0fx)\n\
+     (verdicts checked identical across all three runs)\n"
+    (tot (fun p -> p.ip_cold_s))
+    (tot (fun p -> p.ip_warm_s))
+    (tot (fun p -> p.ip_cold_s) /. max 1e-6 (tot (fun p -> p.ip_warm_s)))
+    (tot (fun p -> p.ip_disk_s))
+    (tot (fun p -> p.ip_cold_s) /. max 1e-6 (tot (fun p -> p.ip_disk_s)))
+
 (* ------------------------------------------------------- json out --- *)
 
 let json_escape = D.json_escape
@@ -669,6 +778,20 @@ let write_json path (timings : (string * float) list) =
           (Domain.recommended_domain_count ())
           points (speedup 2) (speedup 4) p.par_identical
   in
+  let e_incr =
+    match !incr_results with
+    | [] -> "null"
+    | points ->
+        Printf.sprintf {|[%s]|}
+          (String.concat ","
+             (List.map
+                (fun p ->
+                  Printf.sprintf
+                    {|{"app":"%s","cold_s":%.6f,"warm_s":%.6f,"disk_s":%.6f,"hits":%d,"misses":%d}|}
+                    (json_escape p.ip_app) p.ip_cold_s p.ip_warm_s p.ip_disk_s
+                    p.ip_hits p.ip_misses)
+                points))
+  in
   (* the unified registry snapshot: engine stage/cache counters, pass
      runs, bmoc/pathenum/pool/gfix counters accumulated over the run *)
   let metrics =
@@ -678,8 +801,8 @@ let write_json path (timings : (string * float) list) =
          (Goobs.Metrics.counters_list Goobs.Metrics.default))
   in
   Printf.fprintf oc
-    {|{"schema":"gcatch-bench/2","jobs":%d,"experiments":[%s],"e2_parallel":%s,"metrics":{%s}}|}
-    !jobs_flag experiments parallel metrics;
+    {|{"schema":"gcatch-bench/3","jobs":%d,"experiments":[%s],"e2_parallel":%s,"e_incr":%s,"metrics":{%s}}|}
+    !jobs_flag experiments parallel e_incr metrics;
   output_char oc '
 ';
   close_out oc;
@@ -688,10 +811,15 @@ let write_json path (timings : (string * float) list) =
 
 (* ------------------------------------------------------------ main --- *)
 
+(* micro runs first: its per-stage timings stabilize the GC before every
+   sample, and that stabilization is priced by the live heap — run last,
+   it would measure the macro experiments' artifact caches instead of
+   the stages under test (3x slower and noisier estimates). *)
 let all =
   [
-    ("e1", e1); ("e2", e2); ("e2par", e2par); ("e3", e3); ("e4", e4);
-    ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("micro", micro);
+    ("micro", micro); ("e1", e1); ("e2", e2); ("e2par", e2par); ("e3", e3);
+    ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
+    ("e-incr", eincr);
   ]
 
 let () =
@@ -724,6 +852,9 @@ let () =
   let timings =
     List.map
       (fun (n, f) ->
+        (* every experiment starts with an empty solve-cache memory tier,
+           so its numbers do not depend on which experiments ran before *)
+        Gcatch.Solve_cache.reset_memory ();
         let t0 = Clock.now_s () in
         f ();
         (n, Clock.elapsed_since t0))

@@ -48,8 +48,8 @@ let write_file path data =
     (fun () -> output_string oc data)
 
 let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
-    json only list_flag jobs solver_timeout_ms trace_out metrics_out profile
-    log_level =
+    json only list_flag jobs solver_timeout_ms cache_dir no_cache trace_out
+    metrics_out profile log_level =
   (match log_level with
   | None -> ()
   | Some s -> (
@@ -63,6 +63,8 @@ let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
     {
       Gcatch.Bmoc.default_config with
       disentangle = not no_disentangle;
+      solve_cache = not no_cache;
+      cache_dir;
       path_cfg =
         {
           Gcatch.Pathenum.default_config with
@@ -156,11 +158,12 @@ let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
   if E.errors r <> [] then exit 1
 
 let run files no_disentangle stats_flag nonblocking model_waitgroup json only
-    list_flag jobs solver_timeout_ms trace_out metrics_out profile log_level =
+    list_flag jobs solver_timeout_ms cache_dir no_cache trace_out metrics_out
+    profile log_level =
   try
     run_checked files no_disentangle stats_flag nonblocking model_waitgroup
-      json only list_flag jobs solver_timeout_ms trace_out metrics_out profile
-      log_level
+      json only list_flag jobs solver_timeout_ms cache_dir no_cache trace_out
+      metrics_out profile log_level
   with e ->
     Log.error
       ~kv:[ ("exception", Printexc.to_string e) ]
@@ -231,6 +234,24 @@ let solver_timeout_arg =
           "Per-channel constraint-solving budget; a channel exceeding it is \
            skipped with a warning instead of stalling the run")
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) (Sys.getenv_opt "GCATCH_CACHE_DIR")
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist the per-channel solve cache in $(docv) across runs \
+           (default: the GCATCH_CACHE_DIR environment variable). Entries are \
+           content-addressed by the canonical per-channel problem, so a warm \
+           run reproduces the cold run's diagnostics byte for byte; \
+           corrupted or stale entries are dropped and recomputed.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-solve-cache" ]
+        ~doc:"Disable the per-channel solve cache (memory and disk tiers)")
+
 let trace_out_arg =
   Arg.(
     value
@@ -283,8 +304,8 @@ let cmd =
     Term.(
       const run $ files_arg $ no_disentangle_arg $ stats_arg $ nonblocking_arg
       $ model_waitgroup_arg $ json_arg $ pass_arg $ list_passes_arg $ jobs_arg
-      $ solver_timeout_arg $ trace_out_arg $ metrics_out_arg $ profile_arg
-      $ log_level_arg)
+      $ solver_timeout_arg $ cache_dir_arg $ no_cache_arg $ trace_out_arg
+      $ metrics_out_arg $ profile_arg $ log_level_arg)
 
 let () =
   let code = Cmd.eval cmd in

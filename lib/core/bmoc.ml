@@ -21,6 +21,8 @@ type config = {
   max_groups : int;          (* per combination *)
   max_group_size : int;
   disentangle : bool;        (* E5 ablation knob *)
+  solve_cache : bool;        (* per-channel verdict cache (memory tier) *)
+  cache_dir : string option; (* optional persistent tier for the cache *)
 }
 
 let default_config =
@@ -31,6 +33,10 @@ let default_config =
     max_groups = 64;
     max_group_size = 2;
     disentangle = true;
+    solve_cache = true;
+    (* the CLI re-reads the variable itself for --cache-dir's default;
+       this binding is evaluated once at module initialisation *)
+    cache_dir = Sys.getenv_opt "GCATCH_CACHE_DIR";
   }
 
 (* Detector statistics, served from the metrics registry: [detect_ext]
@@ -60,6 +66,10 @@ type chan_stats = {
   mutable c_sat_decisions : int;
   mutable c_sat_propagations : int;
   mutable c_theory_conflicts : int;
+  mutable c_sat_learnts : int;
+  mutable c_sat_restarts : int;
+  mutable c_sat_db_reductions : int;
+  mutable c_paths_deduped : int;
 }
 
 let new_chan_stats () =
@@ -73,7 +83,47 @@ let new_chan_stats () =
     c_sat_decisions = 0;
     c_sat_propagations = 0;
     c_theory_conflicts = 0;
+    c_sat_learnts = 0;
+    c_sat_restarts = 0;
+    c_sat_db_reductions = 0;
+    c_paths_deduped = 0;
   }
+
+(* The per-channel counter snapshot as stored in (and replayed from) the
+   solve cache.  Replaying the original run's counters on a hit keeps
+   the run-registry metrics byte-identical between warm and cold runs. *)
+let stats_snapshot (cst : chan_stats) : (string * int) list =
+  [
+    ("combinations", cst.c_combinations);
+    ("groups_checked", cst.c_groups_checked);
+    ("solver_calls", cst.c_solver_calls);
+    ("path_events", cst.c_path_events);
+    ("constraints_hint", cst.c_constraints_hint);
+    ("sat_conflicts", cst.c_sat_conflicts);
+    ("sat_decisions", cst.c_sat_decisions);
+    ("sat_propagations", cst.c_sat_propagations);
+    ("theory_conflicts", cst.c_theory_conflicts);
+    ("sat_learnts", cst.c_sat_learnts);
+    ("sat_restarts", cst.c_sat_restarts);
+    ("sat_db_reductions", cst.c_sat_db_reductions);
+    ("paths_deduped", cst.c_paths_deduped);
+  ]
+
+let stats_restore (cst : chan_stats) (l : (string * int) list) =
+  let g k = Option.value (List.assoc_opt k l) ~default:0 in
+  cst.c_combinations <- g "combinations";
+  cst.c_groups_checked <- g "groups_checked";
+  cst.c_solver_calls <- g "solver_calls";
+  cst.c_path_events <- g "path_events";
+  cst.c_constraints_hint <- g "constraints_hint";
+  cst.c_sat_conflicts <- g "sat_conflicts";
+  cst.c_sat_decisions <- g "sat_decisions";
+  cst.c_sat_propagations <- g "sat_propagations";
+  cst.c_theory_conflicts <- g "theory_conflicts";
+  cst.c_sat_learnts <- g "sat_learnts";
+  cst.c_sat_restarts <- g "sat_restarts";
+  cst.c_sat_db_reductions <- g "sat_db_reductions";
+  cst.c_paths_deduped <- g "paths_deduped"
 
 (* Blocking-capable candidate events for suspicious groups. *)
 let candidates (pset : Alias.obj list) (gi : Pathenum.goroutine_instance) :
@@ -171,16 +221,29 @@ let suspicious_groups cfg pset (combo : Pathenum.combination) :
 (* Detect BMOC bugs for one channel.  Returns the bugs plus a flag saying
    whether the channel blew its [solver_timeout_ms] budget — in which case
    its (partial, schedule-dependent) findings are discarded so the output
-   stays deterministic, and the caller reports the channel as skipped. *)
+   stays deterministic, and the caller reports the channel as skipped.
+
+   The per-run [enum_memo] shares path enumerations between channels
+   whose (root, scope, Pset, config) coincide — under the E5 ablation
+   every channel of an app walks the same whole-program scope, so the
+   CFG walk happens once instead of once per channel.  With the solve
+   cache on, the canonical problem is fingerprinted after enumeration
+   and feasibility filtering; a hit replays the stored bug list and
+   counter snapshot without touching the solver. *)
 let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
     ~(dis : Disentangle.t) ~(cg : Callgraph.t) ~(alias : Alias.t)
-    ~(prog : Ir.program) ~(cst : chan_stats) (c : Alias.obj) :
+    ~(prog : Ir.program) ~(cst : chan_stats)
+    ~(enum_memo : Pathenum.combination list Goengine.Memo.t) (c : Alias.obj) :
     Report.bmoc_bug list * bool =
-  let on_stats ~conflicts ~decisions ~propagations ~theory_conflicts =
+  let on_stats ~conflicts ~decisions ~propagations ~theory_conflicts ~learnts
+      ~restarts ~reductions =
     cst.c_sat_conflicts <- cst.c_sat_conflicts + conflicts;
     cst.c_sat_decisions <- cst.c_sat_decisions + decisions;
     cst.c_sat_propagations <- cst.c_sat_propagations + propagations;
-    cst.c_theory_conflicts <- cst.c_theory_conflicts + theory_conflicts
+    cst.c_theory_conflicts <- cst.c_theory_conflicts + theory_conflicts;
+    cst.c_sat_learnts <- cst.c_sat_learnts + learnts;
+    cst.c_sat_restarts <- cst.c_sat_restarts + restarts;
+    cst.c_sat_db_reductions <- cst.c_sat_db_reductions + reductions
   in
   let should_stop =
     match cfg.path_cfg.Pathenum.solver_timeout_ms with
@@ -201,28 +264,110 @@ let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
         Primitives.channels prims @ Primitives.mutexes prims )
     end
   in
-  let ctx =
-    {
-      Pathenum.prog;
-      alias;
-      cg;
-      pset;
-      scope_funcs = scope.funcs;
-      cfg = cfg.path_cfg;
-      touch_memo = Hashtbl.create 16;
-    }
-  in
   let combos =
-    Pathenum.combinations ctx ~root:scope.root ~max_combos:cfg.max_combos
-      ~max_goroutines:cfg.max_goroutines
+    let key =
+      Solve_cache.fingerprint
+        ( scope.root,
+          scope.funcs,
+          List.sort_uniq compare pset,
+          cfg.path_cfg,
+          cfg.max_combos,
+          cfg.max_goroutines )
+    in
+    match
+      Goengine.Memo.find_or_compute enum_memo key (fun () ->
+          let ctx =
+            {
+              Pathenum.prog;
+              alias;
+              cg;
+              pset;
+              scope_funcs = scope.funcs;
+              cfg = cfg.path_cfg;
+              touch_memo = Hashtbl.create 16;
+            }
+          in
+          ( Pathenum.combinations ctx ~root:scope.root
+              ~max_combos:cfg.max_combos ~max_goroutines:cfg.max_goroutines,
+            true ))
+    with
+    | `Hit cs | `Computed cs -> cs
   in
+  (* feasibility filter, then (optionally) canonical projection dedup —
+     in that order: dedup may keep an infeasible twin only when the twin
+     set contains no feasible member worth solving *)
+  let live =
+    List.mapi (fun i cb -> (i, cb)) combos
+    |> List.filter (fun (_, cb) ->
+           (not (Pathenum.has_conflicts cb)) && Pathenum.has_blocking_op cb)
+  in
+  let live, ndeduped =
+    if cfg.path_cfg.Pathenum.dedup_paths then Pathenum.dedup_combinations live
+    else (live, 0)
+  in
+  cst.c_paths_deduped <- ndeduped;
+  (* Fingerprint of the canonical per-channel problem: the scope, the
+     surviving combinations, the kind/buffer/Pset facts of every
+     primitive they mention, and every knob that can change a verdict
+     (the path config includes the solver budget and the dedup switch).
+     The root channel's *identity* is deliberately absent: the problem
+     the solver sees is fully determined by scope + Pset + combinations,
+     so two channels with the same disentangled scope — every channel of
+     an app under the E5 ablation — share one cache entry.  The only
+     channel-dependent parts of a bug report (the [channel]/[chan_loc]
+     tags) are rewritten on replay below. *)
+  let fp =
+    if not cfg.solve_cache then None
+    else
+      let all_objs =
+        let tbl = Hashtbl.create 64 in
+        let note o = Hashtbl.replace tbl o () in
+        List.iter
+          (fun (_, combo) ->
+            List.iter
+              (fun (gi : Pathenum.goroutine_instance) ->
+                List.iter
+                  (fun (e : Pathenum.event) ->
+                    match e.e_desc with
+                    | Sync (Sop (_, objs)) | Sync (Swg_add (objs, _)) ->
+                        List.iter note objs
+                    | Sync (Sselect { arms; _ }) ->
+                        List.iter (fun (_, objs) -> List.iter note objs) arms
+                    | Spawn _ | Branch _ -> ())
+                  gi.gi_path.p_events)
+              combo)
+          live;
+        List.iter note pset;
+        List.sort compare (Hashtbl.fold (fun o () acc -> o :: acc) tbl [])
+      in
+      let obj_info =
+        List.map
+          (fun o ->
+            ( o,
+              Primitives.kind_of prims o,
+              Primitives.buffer_size prims o,
+              List.mem o pset ))
+          all_objs
+      in
+      Some
+        (Solve_cache.fingerprint
+           ( "bmoc/1",
+             scope.root,
+             scope.funcs,
+             obj_info,
+             live,
+             cfg.path_cfg,
+             (cfg.max_combos, cfg.max_goroutines, cfg.max_groups,
+              cfg.max_group_size) ))
+  in
+  let run_solve () : Report.bmoc_bug list * bool =
+  let session = Constraints.create_session () in
   let bugs = ref [] in
   let seen_groups = Hashtbl.create 16 in
   try
-    List.iteri
-    (fun combo_id combo ->
-      if (not (Pathenum.has_conflicts combo)) && Pathenum.has_blocking_op combo
-      then begin
+    List.iter
+    (fun (combo_id, combo) ->
+      begin
         cst.c_combinations <- cst.c_combinations + 1;
         List.iter
           (fun gi ->
@@ -251,7 +396,7 @@ let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
               cst.c_groups_checked <- cst.c_groups_checked + 1;
               let problem = { Constraints.combo; group; pset; prims } in
               cst.c_solver_calls <- cst.c_solver_calls + 1;
-              match Constraints.solve ?should_stop ~on_stats problem with
+              match Constraints.solve_incr session ?should_stop ~on_stats problem with
               | Constraints.Cannot_block -> ()
               | Constraints.Blocks witness ->
                   Hashtbl.add seen_groups key ();
@@ -306,9 +451,41 @@ let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
             end)
           groups
       end)
-    combos;
+    live;
     (List.rev !bugs, false)
   with Gosmt.Solver.Timeout -> ([], true)
+  in
+  match fp with
+  | None -> run_solve ()
+  | Some fp ->
+      let timed_out = ref false in
+      let e, _cached =
+        Solve_cache.find_or_compute ?dir:cfg.cache_dir fp (fun () ->
+            let found, timed = run_solve () in
+            timed_out := timed;
+            (* never cache a budget-truncated channel: its (empty)
+               verdict embeds a wall-clock accident, not a property of
+               the program *)
+            ( { Solve_cache.e_bugs = found; e_stats = stats_snapshot cst },
+              not timed ))
+      in
+      if !timed_out then ([], true)
+      else begin
+        (* On a replay [cst] was untouched, so restore the original
+           solve's counters; after a fresh compute this restores the
+           snapshot just taken — an identity.  Rewrite the only
+           channel-dependent fields of each bug to this channel. *)
+        stats_restore cst e.Solve_cache.e_stats;
+        ( List.map
+            (fun (b : Report.bmoc_bug) ->
+              {
+                b with
+                Report.channel = c;
+                chan_loc = Alias.creation_loc alias c;
+              })
+            e.Solve_cache.e_bugs,
+          false )
+      end
 
 (* A root primitive skipped because its channel blew the per-channel
    solver budget.  Surfaced to callers so they can emit a warning; the
@@ -387,6 +564,9 @@ let detect_ext ?(cfg = default_config) ?(pool = Pool.sequential)
      miss (WaitGroup roots are not precomputed by [build]), and that table
      must not be written to from several domains at once. *)
   List.iter (fun c -> ignore (Disentangle.scope_of dis c)) roots;
+  (* one enumeration memo per run: channels sharing a (root, scope, Pset)
+     — always the case under the ablation scope — walk the CFG once *)
+  let enum_memo = Goengine.Memo.create () in
   let per_root =
     Pool.map ~pool
       (fun c ->
@@ -396,7 +576,8 @@ let detect_ext ?(cfg = default_config) ?(pool = Pool.sequential)
             let cst = new_chan_stats () in
             let t0 = Clock.now_s () in
             let found, timed_out =
-              detect_channel ~cfg ~prims ~dis ~cg ~alias ~prog ~cst c
+              detect_channel ~cfg ~prims ~dis ~cg ~alias ~prog ~cst ~enum_memo
+                c
             in
             let elapsed_ms = 1000.0 *. Clock.elapsed_since t0 in
             Trace.set_args
@@ -428,6 +609,12 @@ let detect_ext ?(cfg = default_config) ?(pool = Pool.sequential)
       bump "sat_decisions" cst.c_sat_decisions;
       bump "sat_propagations" cst.c_sat_propagations;
       bump "theory_conflicts" cst.c_theory_conflicts;
+      bump "paths_deduped" cst.c_paths_deduped;
+      (* SAT-engine counters live under their own prefix *)
+      let bump_raw name n = if n <> 0 then M.add (M.counter reg name) n in
+      bump_raw "sat.learnt_clauses" cst.c_sat_learnts;
+      bump_raw "sat.restarts" cst.c_sat_restarts;
+      bump_raw "sat.db_reductions" cst.c_sat_db_reductions;
       if timed_out then bump "solver_timeouts" 1;
       M.observe chan_ms elapsed_ms;
       Goobs.Profile.note_channel

@@ -129,24 +129,111 @@ let prepare (p : problem) =
     truncated;
   (truncated, List.rev !micros)
 
-(* [on_stats] reports the scratch solver's work (SAT conflicts /
-   decisions / propagations plus theory conflicts) exactly once per
-   call, on every exit path including [Solver.Timeout] — observability
-   callers fold it into per-channel metrics. *)
-let solve ?should_stop ?on_stats (p : problem) : verdict =
+(* An incremental solver session (the PR-4 tentpole).  One [Smt.Solver]
+   instance is shared by every group problem of a *combination*: each
+   problem's constraints are asserted under a fresh selector guard,
+   solved with that guard assumed, and the guard retired immediately
+   afterwards.  What persists across a combination's groups — and is
+   the point of the exercise — is the interned atom table, the theory
+   lemmas (blocking clauses, which are tautologies over their atoms),
+   the learnt clauses (self-guarding: they inherit the ¬selector
+   literals of every group they were derived from), and the VSIDS
+   branching activity.
+
+   The solver is renewed at each combination boundary rather than kept
+   for the whole channel: a combination's groups truly overlap (same
+   paths, same events, same difference atoms), whereas across
+   combinations the atoms are disjoint — carrying the instance over
+   only accumulates retired groups' clauses in the shared watch lists
+   and turns every later query into a scan of the channel's history
+   (measured as a 4.5x slowdown on the ablated-scope bench before the
+   renewal was introduced).
+
+   Order variables are memoized per (gid, uid) while the combination is
+   unchanged, so the many suspicious groups of one combination intern the
+   same difference atoms and share each other's theory lemmas.  The table
+   is reset when the combination changes because path uids are dense
+   per-path and would otherwise alias distinct events.
+
+   Program-order chains are deliberately NOT shared across groups: each
+   group truncates the paths at a different cutoff, and a chain through a
+   post-cutoff spawn event could manufacture a spurious cycle for another
+   group.  Everything a problem asserts lives and dies with its guard. *)
+type session = {
+  mutable ss : Solver.t;
+  mutable s_combo : Pathenum.combination option; (* phys-eq tracked *)
+  s_ovar : (int * int, Solver.ovar) Hashtbl.t;
+  mutable s_problems : int;
+  mutable s_last_sat : int * int * int;
+  mutable s_last_ext : int * int * int;
+  mutable s_last_theory : int;
+}
+
+let create_session () =
+  {
+    ss = Solver.create ();
+    s_combo = None;
+    s_ovar = Hashtbl.create 64;
+    s_problems = 0;
+    s_last_sat = (0, 0, 0);
+    s_last_ext = (0, 0, 0);
+    s_last_theory = 0;
+  }
+
+(* [on_stats] reports the solver work attributable to this problem (the
+   delta of the session counters: SAT conflicts / decisions /
+   propagations, theory conflicts, learnt clauses, restarts, learnt-DB
+   reductions) exactly once per call, on every exit path including
+   [Solver.Timeout] — observability callers fold it into per-channel
+   metrics. *)
+let solve_incr (session : session) ?should_stop ?on_stats (p : problem) :
+    verdict =
   let truncated, micros = prepare p in
-  let s = Solver.create () in
-  let report_stats () =
+  (* Sharing is per combination: the groups of one combination intern the
+     same order variables and difference atoms, so their theory lemmas
+     and learnt clauses transfer.  When the combination changes the atom
+     vocabulary changes wholesale (path uids are dense per-path and would
+     alias), so nothing useful survives — and what *does* survive in the
+     solver (retired groups' clauses in shared watch lists, the growing
+     trail and variable arrays) only taxes every later query.  Renewing
+     the solver at each combination boundary keeps the per-query cost
+     proportional to the live problem.  The cadence is a pure function of
+     the problem stream, so it is deterministic. *)
+  (match session.s_combo with
+  | Some c when c == p.combo -> ()
+  | _ ->
+      session.ss <- Solver.create ();
+      session.s_combo <- Some p.combo;
+      Hashtbl.reset session.s_ovar;
+      session.s_last_sat <- (0, 0, 0);
+      session.s_last_ext <- (0, 0, 0);
+      session.s_last_theory <- 0);
+  let s = session.ss in
+  session.s_problems <- session.s_problems + 1;
+  let g = Solver.new_guard s in
+  let finish () =
+    Solver.retire_guard s g;
+    (* periodically reclaim the clauses of retired groups *)
+    if session.s_problems land 7 = 0 then Solver.simplify s;
     match on_stats with
     | None -> ()
     | Some f ->
-        let conflicts, decisions, propagations = Solver.sat_stats s in
-        f ~conflicts ~decisions ~propagations
-          ~theory_conflicts:(Solver.theory_conflicts s)
+        let (c, d, pr) = Solver.sat_stats s in
+        let (lc, ld, lp) = session.s_last_sat in
+        let (le, re, rd) = Solver.sat_ext_stats s in
+        let (lle, lre, lrd) = session.s_last_ext in
+        let tc = Solver.theory_conflicts s in
+        let ltc = session.s_last_theory in
+        session.s_last_sat <- (c, d, pr);
+        session.s_last_ext <- (le, re, rd);
+        session.s_last_theory <- tc;
+        f ~conflicts:(c - lc) ~decisions:(d - ld) ~propagations:(pr - lp)
+          ~theory_conflicts:(tc - ltc) ~learnts:(le - lle)
+          ~restarts:(re - lre) ~reductions:(rd - lrd)
   in
-  Fun.protect ~finally:report_stats @@ fun () ->
+  Fun.protect ~finally:finish @@ fun () ->
   (* ---- order variables, one per event ---- *)
-  let ovar : (int * int, Solver.ovar) Hashtbl.t = Hashtbl.create 64 in
+  let ovar = session.s_ovar in
   let ovar_of gid uid =
     match Hashtbl.find_opt ovar (gid, uid) with
     | Some v -> v
@@ -160,7 +247,7 @@ let solve ?should_stop ?on_stats (p : problem) : verdict =
     (fun ((gi : Pathenum.goroutine_instance), evs) ->
       let rec chain = function
         | (a : Pathenum.event) :: (b :: _ as rest) ->
-            Solver.add s
+            Solver.add ~guard:g s
               (Solver.lt s (ovar_of gi.gi_id a.e_uid) (ovar_of gi.gi_id b.e_uid));
             chain rest
         | _ -> ()
@@ -172,7 +259,7 @@ let solve ?should_stop ?on_stats (p : problem) : verdict =
     (fun ((gi : Pathenum.goroutine_instance), evs) ->
       match (gi.gi_parent, gi.gi_spawn_uid, evs) with
       | Some parent, Some spawn_uid, first :: _ ->
-          Solver.add s
+          Solver.add ~guard:g s
             (Solver.lt s (ovar_of parent spawn_uid) (ovar_of gi.gi_id first.Pathenum.e_uid))
       | _ -> ())
     truncated;
@@ -211,7 +298,7 @@ let solve ?should_stop ?on_stats (p : problem) : verdict =
   (* global invariants *)
   List.iter
     (fun (a, b) ->
-      Solver.add s (E.implies (pvar a b) (Solver.eq s (m_ovar a) (m_ovar b))))
+      Solver.add ~guard:g s (E.implies (pvar a b) (Solver.eq s (m_ovar a) (m_ovar b))))
     pairs;
   let partners_of_send m =
     List.filter_map (fun (a, b) -> if a == m then Some b else None) pairs
@@ -223,13 +310,13 @@ let solve ?should_stop ?on_stats (p : problem) : verdict =
     (fun m ->
       match partners_of_send m with
       | [] | [ _ ] -> ()
-      | ps -> Solver.add s (E.AtMost (1, List.map (fun r -> pvar m r) ps)))
+      | ps -> Solver.add ~guard:g s (E.AtMost (1, List.map (fun r -> pvar m r) ps)))
     sends;
   List.iter
     (fun m ->
       match partners_of_recv m with
       | [] | [ _ ] -> ()
-      | ps -> Solver.add s (E.AtMost (1, List.map (fun a -> pvar a m) ps)))
+      | ps -> Solver.add ~guard:g s (E.AtMost (1, List.map (fun a -> pvar a m) ps)))
     recvs;
   (* ---- channel-state cardinalities ---- *)
   (* Φsync only considers operations on primitives within Pset (§3.4);
@@ -377,7 +464,7 @@ let solve ?should_stop ?on_stats (p : problem) : verdict =
         E.True
     | (Report.Kselect | Report.Klock), _ -> E.True
   in
-  List.iter (fun m -> if not m.m_in_group then Solver.add s (proceed m)) micros;
+  List.iter (fun m -> if not m.m_in_group then Solver.add ~guard:g s (proceed m)) micros;
   (* ---- ΦB ---- *)
   let group_micros = List.filter (fun m -> m.m_in_group) micros in
   if group_micros = [] then Cannot_block
@@ -415,7 +502,7 @@ let solve ?should_stop ?on_stats (p : problem) : verdict =
     in
     (* all micro-ops of one group event must block together (a select
        blocks iff every arm blocks) *)
-    List.iter (fun m -> Solver.add s (blocks m)) group_micros;
+    List.iter (fun m -> Solver.add ~guard:g s (blocks m)) group_micros;
     (* ΦB's Φorder: every non-group event precedes every group op *)
     List.iter
       (fun ((gi : Pathenum.goroutine_instance), evs) ->
@@ -426,13 +513,14 @@ let solve ?should_stop ?on_stats (p : problem) : verdict =
             in
             if not e_in_group then
               List.iter
-                (fun g ->
-                  Solver.add s
-                    (Solver.lt s (ovar_of gi.gi_id e.e_uid) (ovar_of g.g_gid g.g_uid)))
+                (fun (gm : group_member) ->
+                  Solver.add ~guard:g s
+                    (Solver.lt s (ovar_of gi.gi_id e.e_uid)
+                       (ovar_of gm.g_gid gm.g_uid)))
                 p.group)
           evs)
       truncated;
-    match Solver.solve ?should_stop s with
+    match Solver.solve ?should_stop ~assumptions:[ g ] s with
     | Solver.Unsat -> Cannot_block
     | Solver.Sat_model m ->
         let witness =
@@ -446,3 +534,7 @@ let solve ?should_stop ?on_stats (p : problem) : verdict =
         in
         Blocks witness
   end
+
+(* One-shot compatibility wrapper: a fresh session per problem. *)
+let solve ?should_stop ?on_stats (p : problem) : verdict =
+  solve_incr (create_session ()) ?should_stop ?on_stats p

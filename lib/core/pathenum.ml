@@ -57,6 +57,10 @@ type config = {
       (* per-channel wall-clock budget for constraint solving; a channel
          that exhausts it is skipped (with a warning diagnostic) rather
          than stalling the whole run.  [None] = no budget. *)
+  dedup_paths : bool;
+      (* drop combinations whose sync-relevant projection duplicates an
+         earlier (feasible) combination before they reach the encoder;
+         see [dedup_combinations] for why this cannot lose a verdict *)
 }
 
 let default_config =
@@ -68,6 +72,7 @@ let default_config =
     max_walk_steps = 200_000;
     model_waitgroup = false;
     solver_timeout_ms = None;
+    dedup_paths = true;
   }
 
 type ctx = {
@@ -205,6 +210,7 @@ exception Too_many_paths
    events.  Inlined callees contribute their events in place. *)
 let enumerate ctx (fname : string) : path list =
   let paths = ref [] in
+  let npaths = ref 0 in
   let uid = ref 0 in
   let multi_memo : (string, (Ir.var, unit) Hashtbl.t) Hashtbl.t =
     Hashtbl.create 8
@@ -221,38 +227,44 @@ let enumerate ctx (fname : string) : path list =
     incr uid;
     !uid
   in
-  let emit_path evs =
+  (* the path count and the per-path event count are threaded through the
+     walk incrementally — recomputing [List.length] at every emit/step
+     made deep enumerations quadratic *)
+  let emit_path evs _nevs =
     paths := { p_func = fname; p_events = List.rev evs } :: !paths;
-    if List.length !paths > ctx.cfg.max_paths then raise Too_many_paths
+    incr npaths;
+    if !npaths > ctx.cfg.max_paths then raise Too_many_paths
   in
   let walk_steps = ref 0 in
   let tick () =
     incr walk_steps;
     if !walk_steps > ctx.cfg.max_walk_steps then raise Too_many_paths
   in
-  (* walk blocks of [f]; [visits] caps loop iterations *)
-  let rec walk_func f depth (acc : event list) (k : event list -> unit) : unit =
+  (* walk blocks of [f]; [visits] caps loop iterations; [nacc] is the
+     incrementally-maintained length of [acc] *)
+  let rec walk_func f depth (acc : event list) (nacc : int)
+      (k : event list -> int -> unit) : unit =
     match Ir.find_func ctx.prog f with
-    | None -> k acc
+    | None -> k acc nacc
     | Some fn ->
         let visits = Hashtbl.create 8 in
-        walk_block fn f depth fn.entry visits acc k
-  and walk_block fn f depth bid visits acc k =
+        walk_block fn f depth fn.entry visits acc nacc k
+  and walk_block fn f depth bid visits acc nacc k =
     let count = Option.value (Hashtbl.find_opt visits bid) ~default:0 in
     if count >= ctx.cfg.loop_bound + 1 then () (* prune over-unrolled path *)
     else begin
       Hashtbl.replace visits bid (count + 1);
       let b = Ir.block fn bid in
-      walk_insts fn f depth b.insts visits acc (fun acc ->
-          walk_term fn f depth b visits acc k);
+      walk_insts fn f depth b.insts visits acc nacc (fun acc nacc ->
+          walk_term fn f depth b visits acc nacc k);
       Hashtbl.replace visits bid count
     end
-  and walk_insts fn f depth insts visits acc k =
+  and walk_insts fn f depth insts visits acc nacc k =
     tick ();
     match insts with
-    | [] -> k acc
+    | [] -> k acc nacc
     | i :: rest ->
-        let continue_with acc = walk_insts fn f depth rest visits acc k in
+        let continue_with acc nacc = walk_insts fn f depth rest visits acc nacc k in
         let ev desc =
           {
             e_uid = fresh_uid ();
@@ -262,49 +274,70 @@ let enumerate ctx (fname : string) : path list =
             e_desc = desc;
           }
         in
-        if List.length acc > ctx.cfg.max_events then () (* prune *)
+        if nacc > ctx.cfg.max_events then () (* prune *)
         else begin
           match i.Ir.idesc with
           | Isend (p, _) -> (
               match relevant_objs ctx f p with
-              | [] -> continue_with acc
-              | objs -> continue_with (ev (Sync (Sop (Report.Ksend, objs))) :: acc))
+              | [] -> continue_with acc nacc
+              | objs ->
+                  continue_with
+                    (ev (Sync (Sop (Report.Ksend, objs))) :: acc)
+                    (nacc + 1))
           | Irecv (_, p, _) -> (
               match relevant_objs ctx f p with
-              | [] -> continue_with acc
-              | objs -> continue_with (ev (Sync (Sop (Report.Krecv, objs))) :: acc))
+              | [] -> continue_with acc nacc
+              | objs ->
+                  continue_with
+                    (ev (Sync (Sop (Report.Krecv, objs))) :: acc)
+                    (nacc + 1))
           | Iclose p -> (
               match relevant_objs ctx f p with
-              | [] -> continue_with acc
-              | objs -> continue_with (ev (Sync (Sop (Report.Kclose, objs))) :: acc))
+              | [] -> continue_with acc nacc
+              | objs ->
+                  continue_with
+                    (ev (Sync (Sop (Report.Kclose, objs))) :: acc)
+                    (nacc + 1))
           | Ilock p -> (
               match relevant_objs ctx f p with
-              | [] -> continue_with acc
-              | objs -> continue_with (ev (Sync (Sop (Report.Klock, objs))) :: acc))
+              | [] -> continue_with acc nacc
+              | objs ->
+                  continue_with
+                    (ev (Sync (Sop (Report.Klock, objs))) :: acc)
+                    (nacc + 1))
           | Iunlock p -> (
               match relevant_objs ctx f p with
-              | [] -> continue_with acc
+              | [] -> continue_with acc nacc
               | objs ->
-                  continue_with (ev (Sync (Sop (Report.Kunlock, objs))) :: acc))
+                  continue_with
+                    (ev (Sync (Sop (Report.Kunlock, objs))) :: acc)
+                    (nacc + 1))
           | Iwg_add (p, delta) when ctx.cfg.model_waitgroup -> (
               match relevant_objs ctx f p with
-              | [] -> continue_with acc
+              | [] -> continue_with acc nacc
               | objs ->
                   let w =
                     match delta with Ir.Oconst_int n -> Some n | _ -> None
                   in
-                  continue_with (ev (Sync (Swg_add (objs, w))) :: acc))
+                  continue_with
+                    (ev (Sync (Swg_add (objs, w))) :: acc)
+                    (nacc + 1))
           | Iwg_done p when ctx.cfg.model_waitgroup -> (
               match relevant_objs ctx f p with
-              | [] -> continue_with acc
+              | [] -> continue_with acc nacc
               | objs ->
-                  continue_with (ev (Sync (Sop (Report.Kwg_done, objs))) :: acc))
+                  continue_with
+                    (ev (Sync (Sop (Report.Kwg_done, objs))) :: acc)
+                    (nacc + 1))
           | Iwg_wait p when ctx.cfg.model_waitgroup -> (
               match relevant_objs ctx f p with
-              | [] -> continue_with acc
+              | [] -> continue_with acc nacc
               | objs ->
-                  continue_with (ev (Sync (Sop (Report.Kwg_wait, objs))) :: acc))
-          | Igo (g, args) -> continue_with (ev (Spawn (g, args)) :: acc)
+                  continue_with
+                    (ev (Sync (Sop (Report.Kwg_wait, objs))) :: acc)
+                    (nacc + 1))
+          | Igo (g, args) ->
+              continue_with (ev (Spawn (g, args)) :: acc) (nacc + 1)
           | Icall (_, g, _) ->
               if
                 depth < ctx.cfg.max_call_depth
@@ -312,31 +345,32 @@ let enumerate ctx (fname : string) : path list =
                 && touches_pset ctx g
               then
                 (* inline the callee's paths *)
-                walk_func g (depth + 1) acc continue_with
-              else continue_with acc
-          | Icall_indirect _ -> continue_with acc
-          | _ -> continue_with acc
+                walk_func g (depth + 1) acc nacc continue_with
+              else continue_with acc nacc
+          | Icall_indirect _ -> continue_with acc nacc
+          | _ -> continue_with acc nacc
         end
-  and walk_term fn f depth (b : Ir.block) visits acc k =
+  and walk_term fn f depth (b : Ir.block) visits acc nacc k =
     let ev ~pp ~loc desc =
       { e_uid = fresh_uid (); e_pp = pp; e_loc = loc; e_func = f; e_desc = desc }
     in
     match b.term with
-    | Tjump t -> walk_block fn f depth t visits acc k
+    | Tjump t -> walk_block fn f depth t visits acc nacc k
     | Tbranch (c, bt, bf) -> (
         match cond_const_value c with
-        | Some true -> walk_block fn f depth bt visits acc k
-        | Some false -> walk_block fn f depth bf visits acc k
+        | Some true -> walk_block fn f depth bt visits acc nacc k
+        | Some false -> walk_block fn f depth bf visits acc nacc k
         | None ->
             let txt = cond_text (multi_of fn) c in
             let goto polarity target =
-              let acc =
+              let acc, nacc =
                 match txt with
                 | Some t ->
-                    ev ~pp:0 ~loc:b.term_loc (Branch (t, polarity)) :: acc
-                | None -> acc
+                    (ev ~pp:0 ~loc:b.term_loc (Branch (t, polarity)) :: acc,
+                     nacc + 1)
+                | None -> (acc, nacc)
               in
-              walk_block fn f depth target visits acc k
+              walk_block fn f depth target visits acc nacc k
             in
             goto true bt;
             goto false bf)
@@ -361,7 +395,7 @@ let enumerate ctx (fname : string) : path list =
                       { arms = arm_infos; chosen = Some idx; has_default = dflt <> None }))
               :: acc
             in
-            walk_block fn f depth a.arm_target visits acc' k)
+            walk_block fn f depth a.arm_target visits acc' (nacc + 1) k)
           arms;
         (match dflt with
         | Some d ->
@@ -370,11 +404,11 @@ let enumerate ctx (fname : string) : path list =
                 (Sync (Sselect { arms = arm_infos; chosen = None; has_default = true }))
               :: acc
             in
-            walk_block fn f depth d visits acc' k
+            walk_block fn f depth d visits acc' (nacc + 1) k
         | None -> ())
-    | Treturn _ | Tpanic | Texit | Tunreachable -> k acc
+    | Treturn _ | Tpanic | Texit | Tunreachable -> k acc nacc
   in
-  (try walk_func fname 0 [] emit_path with Too_many_paths -> ());
+  (try walk_func fname 0 [] 0 emit_path with Too_many_paths -> ());
   (* renumber uids per path so they are dense and deterministic *)
   List.rev_map
     (fun p ->
@@ -501,3 +535,88 @@ let has_blocking_op (combo : combination) : bool =
           | _ -> false)
         gi.gi_path.p_events)
     combo
+
+(* ------------------------------------------------------------ dedup --- *)
+
+(* Drop combinations whose *sync-relevant projection* duplicates an
+   earlier combination in the list.
+
+   The projection keeps every event except [Branch]: sends/recvs/closes,
+   locks, WaitGroup ops, selects and spawns, keyed by (program point,
+   descriptor), plus the spawn structure (which parent, which projected
+   spawn event each goroutine hangs off).  Branch events exist only to
+   let [has_conflicts] reject infeasible combinations — the constraint
+   system never looks at them, and a branch event contributes nothing
+   but an interpolatable link in its goroutine's program-order chain.
+   Two combinations with equal projections therefore yield the same set
+   of suspicious groups and the same verdict for each, so — provided the
+   caller has ALREADY filtered with [has_conflicts] (dropping a feasible
+   combination because an infeasible twin came first would lose bugs) —
+   keeping the first of each equivalence class preserves every verdict.
+
+   Events are hash-consed into small integer ids so comparing two
+   combinations costs an int-list compare, not a deep structural walk.
+   Returns the survivors (original order, original indices) and the
+   number of combinations dropped. *)
+let dedup_combinations (combos : (int * combination) list) :
+    (int * combination) list * int =
+  let intern : (Ir.pp * edesc, int) Hashtbl.t = Hashtbl.create 256 in
+  let next = ref 0 in
+  let id_of pp desc =
+    let k = (pp, desc) in
+    match Hashtbl.find_opt intern k with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.add intern k i;
+        i
+  in
+  let key_of (combo : combination) =
+    (* per goroutine: projected event ids, plus where its spawn event
+       sits in the parent's projected sequence *)
+    let projected =
+      List.map
+        (fun gi ->
+          List.filter
+            (fun e -> match e.e_desc with Branch _ -> false | _ -> true)
+            gi.gi_path.p_events)
+        combo
+    in
+    let proj_arr = Array.of_list projected in
+    List.map2
+      (fun gi evs ->
+        let spawn_idx =
+          match (gi.gi_parent, gi.gi_spawn_uid) with
+          | Some p, Some u when p < Array.length proj_arr ->
+              let rec find i = function
+                | [] -> -1
+                | e :: _ when e.e_uid = u -> i
+                | _ :: rest -> find (i + 1) rest
+              in
+              Some (find 0 proj_arr.(p))
+          | _ -> None
+        in
+        ( gi.gi_func,
+          gi.gi_parent,
+          spawn_idx,
+          List.map (fun e -> id_of e.e_pp e.e_desc) evs ))
+      combo projected
+  in
+  let seen = Hashtbl.create 64 in
+  let dropped = ref 0 in
+  let kept =
+    List.filter
+      (fun (_, combo) ->
+        let k = key_of combo in
+        if Hashtbl.mem seen k then begin
+          incr dropped;
+          false
+        end
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      combos
+  in
+  (kept, !dropped)

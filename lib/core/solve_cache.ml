@@ -1,0 +1,165 @@
+module M = Goobs.Metrics
+module Trace = Goobs.Trace
+
+(* Content-addressed cache of per-channel BMOC verdicts (the PR-4 engine
+   tier).
+
+   The key is a fingerprint — a digest of the *canonical per-channel
+   problem*: the channel's identity and configuration, the scope, the
+   feasibility-filtered (and, when enabled, deduplicated) path
+   combinations, the kind/buffer/Pset facts of every primitive those
+   combinations mention, and every detector knob that can change a
+   verdict.  Anything that could alter the bug list is folded into the
+   key, so invalidation is automatic: change the source, the config, or
+   the detector version and the fingerprint changes with them.  Stale
+   entries are never *wrong*, merely unreachable.
+
+   Two tiers:
+   - an in-process table, shared by every run in the process (bench
+     loops, repeated [analyse] calls, the jobs=1-then-jobs=4 test);
+   - an optional on-disk tier ([GCATCH_CACHE_DIR] / [--cache-dir]), one
+     file per fingerprint, written atomically (temp file + rename) and
+     integrity-checked on read — a corrupted or truncated entry is
+     treated as a miss and unlinked, never an error.
+
+   The entry stores the channel's bug list *and* its per-channel counter
+   snapshot, so a hit replays the exact metrics of the original solve:
+   warm and cold runs produce byte-identical diagnostics and identical
+   run-registry counters.  Channels whose solve was cut short by the
+   per-channel budget must never be stored (their result embeds a
+   wall-clock accident); callers pass those with [store = false].
+
+   Hit/miss counters live in the process-wide registry (deliberately not
+   the run registry: a warm run's counters differ from a cold run's, and
+   run-level metrics must stay byte-identical). *)
+
+type entry = {
+  e_bugs : Report.bmoc_bug list;
+  e_stats : (string * int) list; (* per-channel counter snapshot *)
+}
+
+let format_version = "gcatch-solve-cache/1"
+
+(* Canonical fingerprint of any marshalable value: MD5 of its
+   [No_sharing] representation.  [No_sharing] makes the bytes depend
+   only on the structural value, not on how much physical sharing the
+   builder happened to create. *)
+let fingerprint (v : 'a) : string =
+  Digest.to_hex (Digest.string (Marshal.to_string v [ Marshal.No_sharing ]))
+
+(* ------------------------------------------------- in-memory tier --- *)
+
+(* The memory tier is a promise-keyed memo rather than a plain table:
+   when several domains race on the same fingerprint, the first claims it
+   and the rest *wait* instead of solving the same problem twice.  Beyond
+   the wasted work, this is what keeps the hit/miss counters
+   schedule-independent — a fixed problem set produces exactly one miss
+   per distinct fingerprint at any [--jobs] setting. *)
+let mem : entry Goengine.Memo.t = Goengine.Memo.create ()
+let reset_memory () = Goengine.Memo.reset mem
+
+(* ---------------------------------------------------- on-disk tier --- *)
+
+let disk_file dir fp = Filename.concat dir ("gcatch-" ^ fp ^ ".solve")
+
+(* payload = digest(body) ^ body, body = Marshal(version, fp, entry) *)
+let disk_read dir fp : entry option =
+  let path = disk_file dir fp in
+  match open_in_bin path with
+  | exception Sys_error _ -> None (* no entry *)
+  | ic ->
+      let r =
+        match
+          let n = in_channel_length ic in
+          if n < 16 then None
+          else begin
+            let digest = really_input_string ic 16 in
+            let body = really_input_string ic (n - 16) in
+            if Digest.string body <> digest then None
+            else
+              let v, fp', e =
+                (Marshal.from_string body 0 : string * string * entry)
+              in
+              if v = format_version && fp' = fp then Some e else None
+          end
+        with
+        | r -> r
+        | exception _ -> None
+      in
+      close_in_noerr ic;
+      (match r with
+      | Some _ -> ()
+      | None ->
+          (* corrupted, truncated, or stale format: drop the file so it
+             is rebuilt on the next store; the lookup is a plain miss *)
+          (try Sys.remove path with Sys_error _ -> ()));
+      r
+
+let disk_write dir fp (e : entry) : unit =
+  match
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let body = Marshal.to_string (format_version, fp, e) [ Marshal.No_sharing ] in
+    let tmp =
+      Filename.concat dir
+        (Printf.sprintf ".gcatch-%s.%d.tmp" fp (Unix.getpid ()))
+    in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Digest.string body);
+        output_string oc body);
+    Sys.rename tmp (disk_file dir fp)
+  with
+  | () -> ()
+  | exception _ -> () (* a cache store never fails the analysis *)
+
+(* -------------------------------------------------------- frontend --- *)
+
+let c_hit = lazy (M.counter M.default "bmoc.solve_cache_hit")
+let c_miss = lazy (M.counter M.default "bmoc.solve_cache_miss")
+let c_disk_hit = lazy (M.counter M.default "bmoc.solve_cache_disk_hit")
+let c_store = lazy (M.counter M.default "bmoc.solve_cache_store")
+
+(* Serve [fp] from the memory tier, then the disk tier, then by running
+   [compute].  [compute] returns [(entry, store)]; [store = false] marks
+   a result that must not be cached (a budget-truncated solve) — it is
+   returned to this caller but the slot is released.  Returns the entry
+   plus [true] when it came from a cache tier. *)
+let find_or_compute ?dir (fp : string) (compute : unit -> entry * bool) :
+    entry * bool =
+  let from_disk = ref false in
+  match
+    Goengine.Memo.find_or_compute mem fp (fun () ->
+        match
+          match dir with
+          | None -> None
+          | Some d ->
+              Trace.with_span ~name:"bmoc.cache.lookup" (fun () ->
+                  disk_read d fp)
+        with
+        | Some e ->
+            from_disk := true;
+            (e, true)
+        | None ->
+            let e, store = compute () in
+            if store then begin
+              M.incr (Lazy.force c_store);
+              match dir with
+              | None -> ()
+              | Some d ->
+                  Trace.with_span ~name:"bmoc.cache.store" (fun () ->
+                      disk_write d fp e)
+            end;
+            (e, store))
+  with
+  | `Hit e ->
+      M.incr (Lazy.force c_hit);
+      (e, true)
+  | `Computed e when !from_disk ->
+      M.incr (Lazy.force c_hit);
+      M.incr (Lazy.force c_disk_hit);
+      (e, true)
+  | `Computed e ->
+      M.incr (Lazy.force c_miss);
+      (e, false)

@@ -1,0 +1,81 @@
+(* A promise-keyed concurrent memo table.
+
+   [find_or_compute] gives at-most-once computation per key across
+   domains: the first caller claims the key and computes; concurrent
+   callers with the same key *wait* on the promise instead of computing
+   redundantly.  This matters beyond wasted work — memoized computations
+   often bump metrics counters internally, and running one twice under
+   jobs=N but once under jobs=1 would make those counters
+   schedule-dependent.  With the promise discipline, a fixed key set
+   produces exactly one computation per key whatever the schedule.
+
+   The compute function returns [(value, store)]; [store = false] marks
+   a result that must not be cached (e.g. a verdict cut short by a
+   timeout): the slot is released and any waiter recomputes.  An
+   exception likewise releases the slot and re-raises in the claimant
+   only. *)
+
+type 'v slot = Computing | Done of 'v
+
+type 'v t = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  tbl : (string, 'v slot) Hashtbl.t;
+}
+
+let create () =
+  { mu = Mutex.create (); cv = Condition.create (); tbl = Hashtbl.create 64 }
+
+let reset t =
+  Mutex.lock t.mu;
+  (* never discard an in-flight computation's slot: the claimant would
+     later mark Done on a table the waiters no longer watch — keep
+     Computing slots, drop completed ones *)
+  let live =
+    Hashtbl.fold
+      (fun k s acc -> match s with Computing -> (k, s) :: acc | Done _ -> acc)
+      t.tbl []
+  in
+  Hashtbl.reset t.tbl;
+  List.iter (fun (k, s) -> Hashtbl.replace t.tbl k s) live;
+  Mutex.unlock t.mu
+
+let size t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.mu;
+  n
+
+let find_or_compute (t : 'v t) (key : string) (f : unit -> 'v * bool) :
+    [ `Hit of 'v | `Computed of 'v ] =
+  Mutex.lock t.mu;
+  let rec claim () =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (Done v) -> `Hit v
+    | Some Computing ->
+        Condition.wait t.cv t.mu;
+        claim ()
+    | None ->
+        Hashtbl.replace t.tbl key Computing;
+        `Claimed
+  in
+  match claim () with
+  | `Hit v ->
+      Mutex.unlock t.mu;
+      `Hit v
+  | `Claimed -> (
+      Mutex.unlock t.mu;
+      match f () with
+      | v, store ->
+          Mutex.lock t.mu;
+          if store then Hashtbl.replace t.tbl key (Done v)
+          else Hashtbl.remove t.tbl key;
+          Condition.broadcast t.cv;
+          Mutex.unlock t.mu;
+          `Computed v
+      | exception e ->
+          Mutex.lock t.mu;
+          Hashtbl.remove t.tbl key;
+          Condition.broadcast t.cv;
+          Mutex.unlock t.mu;
+          raise e)

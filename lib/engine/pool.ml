@@ -230,9 +230,33 @@ let shutdown t =
 
 (* ------------------------------------------------------------- map --- *)
 
+(* What the environment recommends as the useful degree of parallelism:
+   [GCATCH_JOBS] when set, otherwise the hardware thread count.  Cached —
+   the answer is fixed for the process lifetime and [map] consults it on
+   every call. *)
+let recommended_jobs_lazy =
+  lazy
+    (match Sys.getenv_opt "GCATCH_JOBS" with
+    | Some s -> (
+        match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+    | None -> Domain.recommended_domain_count ())
+
+let recommended_jobs () = Lazy.force recommended_jobs_lazy
+
+(* Batches too small to amortise the fan-out, and any batch on a machine
+   whose environment recommends a single job, run inline: distributing
+   work across domains that share one hardware thread is a strict
+   slowdown (batch setup, idle spinning, and domain wake-ups all cost,
+   and nothing runs concurrently anyway). *)
+let inline_threshold = 2
+
 let map ~pool f xs =
   let n = List.length xs in
-  if pool.jobs <= 1 || n <= 1 || !(Domain.DLS.get in_task) then List.map f xs
+  if
+    pool.jobs <= 1 || n <= inline_threshold
+    || recommended_jobs () = 1
+    || !(Domain.DLS.get in_task)
+  then List.map f xs
   else begin
     Mutex.lock pool.batch_mu;
     Fun.protect
@@ -321,7 +345,4 @@ let sequential = get ~jobs:1
 
 (* Default parallelism: the GCATCH_JOBS environment variable when set,
    otherwise what the hardware recommends. *)
-let default_jobs () =
-  match Sys.getenv_opt "GCATCH_JOBS" with
-  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
-  | None -> Domain.recommended_domain_count ()
+let default_jobs = recommended_jobs

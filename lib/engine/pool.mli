@@ -48,11 +48,21 @@ val jobs : t -> int
 val default_jobs : unit -> int
 (** [GCATCH_JOBS] when set, else [Domain.recommended_domain_count ()]. *)
 
+val recommended_jobs : unit -> int
+(** Same answer as {!default_jobs}, cached for the process lifetime.
+    {!map} consults it on every call for its inline fast path. *)
+
 val map : pool:t -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map] preserving input order.  Tasks are distributed
     round-robin across the participants' deques and rebalanced by
     stealing.  If tasks raise, the exception of the smallest failing
-    index is re-raised in the caller with its backtrace. *)
+    index is re-raised in the caller with its backtrace.
+
+    Fast path: batches of at most two items, pools of one participant,
+    nested calls from inside a pool task, and any call when
+    {!recommended_jobs} is 1 (e.g. [GCATCH_JOBS=1] or a single hardware
+    thread) run inline with no batch setup — fanning out over domains
+    that share one hardware thread is a strict slowdown. *)
 
 val run : pool:t -> (unit -> 'a) list -> 'a list
 (** [run ~pool thunks] = [map ~pool (fun th -> th ()) thunks]. *)

@@ -85,6 +85,19 @@ let report ?(top = 10) (reg : Metrics.t) (pass_times : (string * float) list) :
       slowest
   end
   else line "top 0 slowest channels (of 0):";
+  (* solve-cache effectiveness, when the registry carries the counters
+     (they live in the process-wide registry the CLI reports from) *)
+  (let counters = Metrics.counters_list reg in
+   let c n = Option.value (List.assoc_opt n counters) ~default:0 in
+   let hits = c "bmoc.solve_cache_hit" and misses = c "bmoc.solve_cache_miss" in
+   if hits + misses > 0 then
+     line
+       "solve cache: %d hit(s) / %d miss(es) (%.0f%% hit rate, %d from disk, \
+        %d stored)"
+       hits misses
+       (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+       (c "bmoc.solve_cache_disk_hit")
+       (c "bmoc.solve_cache_store"));
   let hists = Metrics.histogram_names reg in
   if hists <> [] then begin
     line "histograms (p50 / p95 / max):";

@@ -6,16 +6,46 @@
    clause addition between [solve] calls, which the DPLL(T) driver uses to
    add theory-conflict (blocking) clauses.
 
+   Incremental extensions (MiniSat-style):
+   - [solve ~assumptions] treats a list of literals as successive pseudo
+     decisions occupying the first decision levels.  A conflict that
+     forces the negation of an assumption returns [Unsat] *without*
+     poisoning the solver ([ok] stays true), so the instance can be
+     re-solved under different assumptions.  Learnt clauses are derived by
+     resolution from the clause database only — never from the assumption
+     decisions themselves — so they remain valid across solves.
+   - [solve ~decision_vars] restricts branching to a caller-supplied
+     variable set.  The DPLL(T) driver passes the variables of the
+     currently active (selector-guarded) clause groups, which keeps each
+     solve proportional to the active problem rather than to every
+     variable ever allocated in the shared instance.
+   - learnt clauses live in their own database with clause activities;
+     [reduce_db] drops the cold half (sparing reasons and binary clauses)
+     under a growing budget, and Luby-sequence restarts keep the retained
+     VSIDS state from wedging the search.
+   - clause deletion is lazy: a [deleted] clause is dropped from a watch
+     list the next time propagation touches it, and [simplify] removes
+     clauses already satisfied at level 0 (how retired selector groups
+     are reclaimed).
+
    Literal encoding: variable [v] (1-based) has positive literal [2*v] and
    negative literal [2*v+1].  [neg l = l lxor 1]. *)
 
 type lbool = LTrue | LFalse | LUndef
 
-type clause = { lits : int array; mutable activity : float; learnt : bool }
+type clause = {
+  lits : int array;
+  mutable activity : float;
+  learnt : bool;
+  mutable deleted : bool;
+}
 
 type t = {
   mutable nvars : int;
-  mutable clauses : clause list;
+  mutable clauses : clause list;       (* problem + theory-lemma clauses *)
+  mutable learnts : clause list;       (* CDCL-learnt clauses *)
+  mutable n_clauses : int;
+  mutable n_learnts : int;
   mutable watches : clause list array; (* indexed by literal *)
   mutable assign : lbool array;        (* indexed by var *)
   mutable level : int array;
@@ -26,10 +56,15 @@ type t = {
   mutable qhead : int;
   mutable activity : float array;
   mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable max_learnts : int;
   mutable ok : bool;
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable learnt_total : int;          (* learnt clauses ever created *)
+  mutable restarts : int;
+  mutable db_reductions : int;
 }
 
 let lit_of_var v sign = (2 * v) + if sign then 0 else 1
@@ -41,6 +76,9 @@ let create () =
   {
     nvars = 0;
     clauses = [];
+    learnts = [];
+    n_clauses = 0;
+    n_learnts = 0;
     watches = Array.make 16 [];
     assign = Array.make 8 LUndef;
     level = Array.make 8 0;
@@ -51,10 +89,15 @@ let create () =
     qhead = 0;
     activity = Array.make 8 0.0;
     var_inc = 1.0;
+    cla_inc = 1.0;
+    max_learnts = 0;
     ok = true;
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    learnt_total = 0;
+    restarts = 0;
+    db_reductions = 0;
   }
 
 let ensure_capacity s n =
@@ -104,7 +147,16 @@ let bump_var s v =
     s.var_inc <- s.var_inc *. 1e-100
   end
 
-let decay_activities s = s.var_inc <- s.var_inc /. 0.95
+let bump_clause s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    List.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let decay_activities s =
+  s.var_inc <- s.var_inc /. 0.95;
+  s.cla_inc <- s.cla_inc /. 0.999
 
 (* Attach a clause to the watch lists of its first two literals. *)
 let watch_clause s c =
@@ -115,7 +167,8 @@ let watch_clause s c =
 
 exception Conflict of clause
 
-(* Boolean constraint propagation; raises [Conflict] on failure. *)
+(* Boolean constraint propagation; raises [Conflict] on failure.  Deleted
+   clauses are dropped from the watch list as they are encountered. *)
 let propagate s =
   while s.qhead < s.trail_size do
     let l = s.trail.(s.qhead) in
@@ -125,6 +178,7 @@ let propagate s =
     s.watches.(l) <- [];
     let rec process = function
       | [] -> ()
+      | c :: rest when c.deleted -> process rest
       | c :: rest -> (
           (* make sure the false literal is at position 1 *)
           if c.lits.(0) = neg l then begin
@@ -190,6 +244,7 @@ let analyze s (confl : clause) =
     (match !confl with
     | None -> ()
     | Some c ->
+        if c.learnt then bump_clause s c;
         Array.iter
           (fun q ->
             let v = var_of_lit q in
@@ -283,10 +338,83 @@ let add_clause s (lits : int list) =
              s.ok <- false;
              false)
       | _ ->
-          let c = { lits = Array.of_list lits; activity = 0.0; learnt = false } in
+          let c =
+            { lits = Array.of_list lits; activity = 0.0; learnt = false;
+              deleted = false }
+          in
           s.clauses <- c :: s.clauses;
+          s.n_clauses <- s.n_clauses + 1;
           watch_clause s c;
           true
+  end
+
+(* A clause is locked while it is the reason for its asserting literal's
+   assignment; locked clauses must survive database reduction. *)
+let locked s c =
+  match s.reason.(var_of_lit c.lits.(0)) with
+  | Some c' -> c' == c
+  | None -> false
+
+(* Drop the cold half of the learnt-clause database, sparing locked and
+   binary clauses.  Deletion is lazy: watch lists shed deleted clauses as
+   propagation touches them. *)
+let reduce_db s =
+  let arr = Array.of_list s.learnts in
+  Array.sort (fun (a : clause) (b : clause) -> compare a.activity b.activity) arr;
+  let target = Array.length arr / 2 in
+  let dropped = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if
+        i < target && (not (locked s c)) && Array.length c.lits > 2
+        && not c.deleted
+      then begin
+        c.deleted <- true;
+        incr dropped
+      end)
+    arr;
+  if !dropped > 0 then begin
+    s.learnts <- List.filter (fun c -> not c.deleted) s.learnts;
+    s.n_learnts <- s.n_learnts - !dropped
+  end;
+  s.db_reductions <- s.db_reductions + 1
+
+(* Remove clauses satisfied at level 0 from both databases.  Called by
+   the DPLL(T) driver after retiring a selector guard: the guard's unit
+   negation satisfies every clause of the retired group (including its
+   learnt descendants, which carry the selector literal), so the whole
+   group is reclaimed here. *)
+let simplify s =
+  if s.ok then begin
+    cancel_until s 0;
+    s.qhead <- 0;
+    (try propagate s
+     with Conflict _ -> s.ok <- false);
+    if s.ok then begin
+      let satisfied c =
+        Array.exists (fun l -> value_lit s l = LTrue) c.lits
+      in
+      let sweep learnt cs =
+        let kept = ref [] and n = ref 0 in
+        List.iter
+          (fun c ->
+            if c.deleted then ()
+            else if satisfied c && not (locked s c) then c.deleted <- true
+            else begin
+              kept := c :: !kept;
+              incr n
+            end)
+          cs;
+        ignore learnt;
+        (List.rev !kept, !n)
+      in
+      let cs, nc = sweep false s.clauses in
+      s.clauses <- cs;
+      s.n_clauses <- nc;
+      let ls, nl = sweep true s.learnts in
+      s.learnts <- ls;
+      s.n_learnts <- nl
+    end
   end
 
 let pick_branch_var s =
@@ -300,17 +428,57 @@ let pick_branch_var s =
   done;
   !best
 
+(* Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, ... *)
+let luby x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
 type result = Sat | Unsat
 
 exception Timeout
 
 let default_should_stop () = false
 
-let solve ?(should_stop = default_should_stop) s : result =
+let restart_first = 100
+
+let solve ?(should_stop = default_should_stop) ?(assumptions = [])
+    ?decision_vars s : result =
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
     s.qhead <- 0;
+    let assumptions = Array.of_list assumptions in
+    let n_assumps = Array.length assumptions in
+    let dvars = Option.map Array.of_list decision_vars in
+    let pick () =
+      match dvars with
+      | None -> pick_branch_var s
+      | Some vs ->
+          let best = ref 0 in
+          let best_act = ref neg_infinity in
+          Array.iter
+            (fun v ->
+              if s.assign.(v) = LUndef && s.activity.(v) > !best_act then begin
+                best := v;
+                best_act := s.activity.(v)
+              end)
+            vs;
+          !best
+    in
+    if s.max_learnts = 0 then s.max_learnts <- max 256 (s.n_clauses / 3);
+    let conflicts_since_restart = ref 0 in
+    let restart_k = ref 0 in
+    let restart_budget = ref (restart_first * luby !restart_k) in
     (* re-propagate the level-0 trail *)
     let rec loop () =
       match
@@ -321,6 +489,7 @@ let solve ?(should_stop = default_should_stop) s : result =
       with
       | Some confl ->
           s.conflicts <- s.conflicts + 1;
+          incr conflicts_since_restart;
           (* poll the caller's deadline on conflicts only: conflicts are
              where runaway instances spend their time, and checking every
              256th keeps the cost invisible on easy instances *)
@@ -335,22 +504,64 @@ let solve ?(should_stop = default_should_stop) s : result =
             (match Array.length learnt with
             | 1 -> enqueue s learnt.(0) None
             | _ ->
-                let c = { lits = learnt; activity = 0.0; learnt = true } in
-                s.clauses <- c :: s.clauses;
+                let c =
+                  { lits = learnt; activity = 0.0; learnt = true;
+                    deleted = false }
+                in
+                s.learnts <- c :: s.learnts;
+                s.n_learnts <- s.n_learnts + 1;
+                s.learnt_total <- s.learnt_total + 1;
+                bump_clause s c;
                 watch_clause s c;
                 enqueue s learnt.(0) (Some c));
             decay_activities s;
+            if s.n_learnts > s.max_learnts then begin
+              reduce_db s;
+              s.max_learnts <- s.max_learnts * 11 / 10
+            end;
+            if !conflicts_since_restart >= !restart_budget then begin
+              (* Luby restart: back to level 0; the assumption prefix is
+                 re-decided by the pick loop below *)
+              s.restarts <- s.restarts + 1;
+              incr restart_k;
+              conflicts_since_restart := 0;
+              restart_budget := restart_first * luby !restart_k;
+              cancel_until s 0
+            end;
             loop ()
           end
       | None ->
-          let v = pick_branch_var s in
-          if v = 0 then Sat
+          let dl = decision_level s in
+          if dl < n_assumps then begin
+            (* install the next assumption as a pseudo decision *)
+            let p = assumptions.(dl) in
+            match value_lit s p with
+            | LTrue ->
+                (* already implied: open an empty level so assumption
+                   indices keep matching decision levels *)
+                s.trail_lim <- s.trail_size :: s.trail_lim;
+                loop ()
+            | LFalse ->
+                (* the instance forces the negation of an assumption:
+                   unsat *under these assumptions* only — the solver
+                   stays usable ([ok] untouched) *)
+                Unsat
+            | LUndef ->
+                s.decisions <- s.decisions + 1;
+                s.trail_lim <- s.trail_size :: s.trail_lim;
+                enqueue s p None;
+                loop ()
+          end
           else begin
-            s.decisions <- s.decisions + 1;
-            s.trail_lim <- s.trail_size :: s.trail_lim;
-            (* phase saving would go here; default to false first *)
-            enqueue s (lit_of_var v false) None;
-            loop ()
+            let v = pick () in
+            if v = 0 then Sat
+            else begin
+              s.decisions <- s.decisions + 1;
+              s.trail_lim <- s.trail_size :: s.trail_lim;
+              (* phase saving would go here; default to false first *)
+              enqueue s (lit_of_var v false) None;
+              loop ()
+            end
           end
     in
     loop ()
@@ -360,3 +571,10 @@ let model_value s v =
   match s.assign.(v) with LTrue -> true | LFalse -> false | LUndef -> false
 
 let stats s = (s.conflicts, s.decisions, s.propagations)
+
+(* Incremental-machinery statistics: learnt clauses ever created, Luby
+   restarts performed, and learnt-database reductions. *)
+let stats_ext s = (s.learnt_total, s.restarts, s.db_reductions)
+
+let n_clauses s = s.n_clauses
+let n_learnts s = s.n_learnts

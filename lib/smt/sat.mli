@@ -1,5 +1,6 @@
 (** A CDCL SAT solver: two-watched-literal propagation, first-UIP clause
-    learning, non-chronological backjumping, VSIDS-style activities.
+    learning, non-chronological backjumping, VSIDS-style activities,
+    assumption literals, learnt-clause DB reduction and Luby restarts.
     Supports incremental clause addition between [solve] calls, which the
     DPLL(T) driver uses for theory-conflict (blocking) clauses.
 
@@ -29,12 +30,39 @@ val add_clause : t -> int list -> bool
 exception Timeout
 (** Raised by {!solve} when [should_stop] returns [true]. *)
 
-val solve : ?should_stop:(unit -> bool) -> t -> result
+val solve :
+  ?should_stop:(unit -> bool) ->
+  ?assumptions:int list ->
+  ?decision_vars:int list ->
+  t ->
+  result
 (** [should_stop] is polled every 256 conflicts; raising {!Timeout} from
-    [solve] leaves the solver unusable for further queries. *)
+    [solve] leaves the solver unusable for further queries.
+
+    [assumptions] are literals decided (in order) before any free
+    branching.  An [Unsat] answer under assumptions does not poison the
+    instance: dropping or changing the assumptions allows further
+    queries on the same clause database.
+
+    [decision_vars], when given, restricts free branching to that set of
+    variables; the caller asserts that the clause database is
+    effectively satisfied once those variables (plus propagation) are
+    assigned — used by incremental sessions where clauses of inactive
+    (unassumed) groups are satisfied by their selector polarity. *)
+
+val simplify : t -> unit
+(** Backtrack to level 0, propagate top-level facts, and permanently
+    delete clauses already satisfied at level 0 (e.g. the clause group
+    of a retired selector). *)
 
 val model_value : t -> int -> bool
 (** Value of a variable in the last satisfying assignment. *)
 
 val stats : t -> int * int * int
 (** (conflicts, decisions, propagations). *)
+
+val stats_ext : t -> int * int * int
+(** (learnt clauses created, restarts performed, learnt-DB reductions). *)
+
+val n_clauses : t -> int
+val n_learnts : t -> int

@@ -8,7 +8,26 @@
    The loop is offline-lazy: SAT finds a complete boolean assignment; the
    true (and negated-false) difference atoms are checked by Bellman-Ford;
    a negative cycle becomes a blocking clause; repeat.  This is sound and
-   complete for the QF_IDL + pseudo-boolean fragment GCatch generates. *)
+   complete for the QF_IDL + pseudo-boolean fragment GCatch generates.
+
+   Incremental use (the BMOC per-channel solver session):
+   - [new_guard] allocates a selector; [add ~guard] asserts a formula
+     weakened by the selector's negation, so the formula is active only
+     while the selector is assumed true;
+   - [solve ~assumptions] activates a set of guards for one query.
+     Atoms, theory lemmas (blocking clauses), learnt clauses, and VSIDS
+     activity are shared across queries.  Soundness: every clause of a
+     guarded group carries the ¬selector literal, resolution can never
+     eliminate it (selectors occur only negatively), so learnt clauses
+     inherit the selectors of every group they depend on and are
+     satisfied — hence inert — once those groups retire.  Theory lemmas
+     are tautologies over their atoms and stay valid forever;
+   - [retire_guard] asserts the selector's negation as a level-0 fact,
+     permanently deactivating the group; [simplify] then reclaims its
+     clauses.  The theory check and branching are scoped to the atoms and
+     variables of the active groups (reference counts maintained at
+     flush time), keeping each query proportional to the live problem
+     rather than to everything ever asserted in the session. *)
 
 type ovar = int (* order variable index, dense from 0 *)
 
@@ -16,16 +35,27 @@ type atom_info =
   | Abool of string
   | Adiff of Diff_logic.atom (* x - y <= c *)
 
+type guard = {
+  g_var : int; (* the selector's SAT variable *)
+  mutable g_atoms : int list; (* flushed atom references to release *)
+  mutable g_vars : int list;  (* decision variables of the group *)
+  mutable g_retired : bool;
+}
+
 type t = {
   sat : Sat.t;
   mutable atoms : atom_info array; (* atom id -> info *)
   mutable natoms : int;
   mutable atom_sat_var : int array; (* atom id -> SAT var *)
+  mutable atom_refs : int array; (* atom id -> active formula references *)
   atom_cache : (atom_info, int) Hashtbl.t;
   mutable novars : int;
   mutable ovar_names : string list; (* reverse order *)
   mutable bool_names : (string, int) Hashtbl.t;
-  mutable pending : Expr.t list;
+  mutable pending : (guard option * Expr.t) list;
+  mutable perm_vars : int list; (* decision vars of unguarded formulas *)
+  mutable perm_atoms : int list; (* atom ids of unguarded formulas *)
+  mutable used_guards : bool;
   mutable theory_conflicts : int;
 }
 
@@ -42,11 +72,15 @@ let create () =
     atoms = Array.make 16 (Abool "");
     natoms = 0;
     atom_sat_var = Array.make 16 0;
+    atom_refs = Array.make 16 0;
     atom_cache = Hashtbl.create 64;
     novars = 0;
     ovar_names = [];
     bool_names = Hashtbl.create 16;
     pending = [];
+    perm_vars = [];
+    perm_atoms = [];
+    used_guards = false;
     theory_conflicts = 0;
   }
 
@@ -65,10 +99,12 @@ let intern_atom t info : int =
       if id >= Array.length t.atoms then begin
         let grow a d = Array.append a (Array.make (Array.length a) d) in
         t.atoms <- grow t.atoms (Abool "");
-        t.atom_sat_var <- grow t.atom_sat_var 0
+        t.atom_sat_var <- grow t.atom_sat_var 0;
+        t.atom_refs <- grow t.atom_refs 0
       end;
       t.atoms.(id) <- info;
       t.atom_sat_var.(id) <- Sat.new_var t.sat;
+      t.atom_refs.(id) <- 0;
       Hashtbl.add t.atom_cache info id;
       id
 
@@ -88,43 +124,168 @@ let lt t x y = le_c t x y (-1) (* x < y *)
 let le t x y = le_c t x y 0
 let eq t x y = Expr.And [ le t x y; le t y x ]
 
-let add t (f : Expr.t) = t.pending <- f :: t.pending
+let new_guard t : guard =
+  t.used_guards <- true;
+  { g_var = Sat.new_var t.sat; g_atoms = []; g_vars = []; g_retired = false }
+
+let add ?guard t (f : Expr.t) = t.pending <- (guard, f) :: t.pending
+
+let rec collect_atoms acc (f : Expr.t) =
+  match f with
+  | Expr.True | Expr.False -> acc
+  | Expr.Atom i -> i :: acc
+  | Expr.Not g -> collect_atoms acc g
+  | Expr.And fs | Expr.Or fs -> List.fold_left collect_atoms acc fs
+  | Expr.Implies (a, b) | Expr.Iff (a, b) ->
+      collect_atoms (collect_atoms acc a) b
+  | Expr.AtMost (_, fs) | Expr.AtLeast (_, fs) | Expr.Exactly (_, fs) ->
+      List.fold_left collect_atoms acc fs
 
 let flush_pending t =
   match t.pending with
   | [] -> ()
   | fs ->
       t.pending <- [];
-      let ctx =
-        {
-          Expr.fresh = (fun () -> Sat.new_var t.sat);
-          lit_of_atom = (fun id -> Sat.lit_of_var t.atom_sat_var.(id) true);
-          out = [];
-        }
-      in
-      List.iter (Expr.assert_formula ctx) (List.rev fs);
-      List.iter (fun c -> ignore (Sat.add_clause t.sat c)) (List.rev ctx.Expr.out)
+      List.iter
+        (fun (g, f) ->
+          let atoms = collect_atoms [] f in
+          List.iter
+            (fun id ->
+              t.atom_refs.(id) <- t.atom_refs.(id) + 1;
+              match g with
+              | Some g -> g.g_atoms <- id :: g.g_atoms
+              | None -> t.perm_atoms <- id :: t.perm_atoms)
+            atoms;
+          let vars = ref (List.map (fun id -> t.atom_sat_var.(id)) atoms) in
+          let ctx =
+            {
+              Expr.fresh =
+                (fun () ->
+                  let v = Sat.new_var t.sat in
+                  vars := v :: !vars;
+                  v);
+              lit_of_atom = (fun id -> Sat.lit_of_var t.atom_sat_var.(id) true);
+              out = [];
+            }
+          in
+          Expr.assert_formula ctx f;
+          let clauses = List.rev ctx.Expr.out in
+          match g with
+          | None ->
+              t.perm_vars <- List.rev_append !vars t.perm_vars;
+              List.iter (fun c -> ignore (Sat.add_clause t.sat c)) clauses
+          | Some g ->
+              g.g_vars <- List.rev_append !vars g.g_vars;
+              let gl = Sat.neg (Sat.lit_of_var g.g_var true) in
+              List.iter
+                (fun c -> ignore (Sat.add_clause t.sat (gl :: c)))
+                clauses)
+        (List.rev fs)
+
+let retire_guard t g =
+  if not g.g_retired then begin
+    g.g_retired <- true;
+    (* anything still pending under this guard would be satisfied by the
+       unit below anyway; drop it before it is ever encoded *)
+    t.pending <-
+      List.filter
+        (fun (g', _) -> match g' with Some g' -> g' != g | None -> true)
+        t.pending;
+    List.iter
+      (fun id -> t.atom_refs.(id) <- t.atom_refs.(id) - 1)
+      g.g_atoms;
+    g.g_atoms <- [];
+    g.g_vars <- [];
+    ignore (Sat.add_clause t.sat [ Sat.neg (Sat.lit_of_var g.g_var true) ])
+  end
+
+let simplify t =
+  flush_pending t;
+  Sat.simplify t.sat
 
 exception Timeout = Sat.Timeout
 
-let solve ?(should_stop = fun () -> false) t : result =
+let solve ?(should_stop = fun () -> false) ?(assumptions = []) t : result =
   flush_pending t;
+  let asm_lits =
+    List.map (fun g -> Sat.lit_of_var g.g_var true) assumptions
+  in
+  (* Branching is restricted to the variables of the active problem; a
+     session that never used guards keeps the original whole-instance
+     behaviour. *)
+  let decision_vars =
+    if not t.used_guards then None
+    else begin
+      let seen = Hashtbl.create 256 in
+      let acc = ref [] in
+      let take v =
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          acc := v :: !acc
+        end
+      in
+      List.iter take t.perm_vars;
+      List.iter (fun g -> List.iter take g.g_vars) assumptions;
+      Some !acc
+    end
+  in
+  (* Atoms the theory must check for this query: in a guarded session,
+     the atoms of the assumed groups plus those of unguarded formulas —
+     NOT everything ever interned.  The scan (and the Bellman-Ford graph
+     below) must stay proportional to the live problem: a long session
+     interns atoms and order variables for every problem it ever saw, and
+     scanning them per query turns the whole session quadratic. *)
+  let active_ids =
+    if not t.used_guards then None
+    else begin
+      let seen = Hashtbl.create 256 in
+      let acc = ref [] in
+      let take id =
+        if t.atom_refs.(id) > 0 && not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          acc := id :: !acc
+        end
+      in
+      List.iter take t.perm_atoms;
+      List.iter (fun g -> List.iter take g.g_atoms) assumptions;
+      Some (List.sort compare !acc)
+    end
+  in
   let rec loop budget =
     if budget = 0 then Unsat (* safety valve; never reached in practice *)
     else if should_stop () then raise Timeout
     else
-      match Sat.solve ~should_stop t.sat with
+      match
+        Sat.solve ~should_stop ~assumptions:asm_lits ?decision_vars t.sat
+      with
       | Sat.Unsat -> Unsat
       | Sat.Sat -> (
           (* collect asserted difference atoms (true => atom, false =>
-             negation: ¬(x-y<=c) ≡ y-x <= -c-1) *)
+             negation: ¬(x-y<=c) ≡ y-x <= -c-1).  Order variables are
+             compressed to a dense range over just the variables the
+             active atoms mention, so the Bellman-Ford pass is sized by
+             the live problem, not by the session's lifetime total. *)
           let asserted = ref [] in
           let provenance = Hashtbl.create 16 in
-          for id = 0 to t.natoms - 1 do
+          let vmap = Hashtbl.create 64 in
+          let nv = ref 0 in
+          let mapv v =
+            match Hashtbl.find_opt vmap v with
+            | Some i -> i
+            | None ->
+                let i = !nv in
+                incr nv;
+                Hashtbl.add vmap v i;
+                i
+          in
+          let consider id =
             match t.atoms.(id) with
             | Adiff a ->
                 let v = t.atom_sat_var.(id) in
                 let truth = Sat.model_value t.sat v in
+                let a =
+                  { Diff_logic.ax = mapv a.ax; ay = mapv a.ay; ac = a.ac }
+                in
                 let a' =
                   if truth then a
                   else { Diff_logic.ax = a.ay; ay = a.ax; ac = -a.ac - 1 }
@@ -132,10 +293,17 @@ let solve ?(should_stop = fun () -> false) t : result =
                 asserted := a' :: !asserted;
                 Hashtbl.replace provenance a' (id, truth)
             | Abool _ -> ()
-          done;
-          match Diff_logic.check ~nvars:(max 1 t.novars) !asserted with
+          in
+          (match active_ids with
+          | None -> for id = 0 to t.natoms - 1 do consider id done
+          | Some ids -> List.iter consider ids);
+          match Diff_logic.check ~nvars:(max 1 !nv) !asserted with
           | Diff_logic.Consistent vals ->
-              let order_of v = if v < Array.length vals then vals.(v) else 0 in
+              let order_of v =
+                match Hashtbl.find_opt vmap v with
+                | Some i when i < Array.length vals -> vals.(i)
+                | _ -> 0
+              in
               let bool_of name =
                 match Hashtbl.find_opt t.bool_names name with
                 | Some id -> Sat.model_value t.sat t.atom_sat_var.(id)
@@ -144,7 +312,9 @@ let solve ?(should_stop = fun () -> false) t : result =
               Sat_model { order_of; bool_of }
           | Diff_logic.Inconsistent cycle ->
               t.theory_conflicts <- t.theory_conflicts + 1;
-              (* block this combination of atom truth values *)
+              (* block this combination of atom truth values; a negative
+                 cycle is inconsistent regardless of guards, so the lemma
+                 is added unguarded and stays valid for the session *)
               let clause =
                 List.filter_map
                   (fun a ->
@@ -163,3 +333,4 @@ let solve ?(should_stop = fun () -> false) t : result =
 
 let theory_conflicts t = t.theory_conflicts
 let sat_stats t = Sat.stats t.sat
+let sat_ext_stats t = Sat.stats_ext t.sat

@@ -1,0 +1,188 @@
+(* Tests for the per-channel solve cache (PR 4): warm runs must replay
+   cold verdicts and per-channel metrics byte for byte, cache on/off and
+   dedup on/off must agree on every verdict, and the disk tier must
+   survive corrupted entries. *)
+
+module M = Goobs.Metrics
+module SC = Gcatch.Solve_cache
+
+let counter name =
+  match List.assoc_opt name (M.counters_list M.default) with
+  | Some v -> v
+  | None -> 0
+
+let hits () = counter "bmoc.solve_cache_hit"
+let misses () = counter "bmoc.solve_cache_miss"
+let disk_hits () = counter "bmoc.solve_cache_disk_hit"
+let stores () = counter "bmoc.solve_cache_store"
+
+let app_sources name =
+  (Option.get (Gocorpus.Apps.find name)).Gocorpus.Apps.sources
+
+let bmoc_strs (a : Gcatch.Driver.analysis) =
+  List.map Gcatch.Report.bmoc_str a.bmoc
+
+let trad_strs (a : Gcatch.Driver.analysis) =
+  List.map Gcatch.Report.trad_str a.trad
+
+let check_same_analysis label (a : Gcatch.Driver.analysis)
+    (b : Gcatch.Driver.analysis) =
+  Alcotest.(check (list string))
+    (label ^ ": same BMOC reports")
+    (bmoc_strs a) (bmoc_strs b);
+  Alcotest.(check (list string))
+    (label ^ ": same traditional reports")
+    (trad_strs a) (trad_strs b)
+
+(* --------------------------------------------------- memory tier ---- *)
+
+let test_warm_replays_cold () =
+  SC.reset_memory ();
+  let sources = app_sources "bbolt" in
+  let h0 = hits () and m0 = misses () in
+  let cold = Gcatch.Driver.analyse ~name:"cache-bbolt" sources in
+  let h1 = hits () and m1 = misses () in
+  Alcotest.(check bool) "cold run misses" true (m1 > m0);
+  let warm = Gcatch.Driver.analyse ~name:"cache-bbolt" sources in
+  let h2 = hits () and m2 = misses () in
+  Alcotest.(check bool) "warm run hits" true (h2 - h1 >= m1 - m0);
+  Alcotest.(check int) "warm run never misses" m1 m2;
+  ignore h0;
+  check_same_analysis "warm vs cold" cold warm;
+  (* the cached per-channel counter snapshots replay exactly, so the
+     aggregated run stats are identical too *)
+  Alcotest.(check bool) "same stats" true (cold.stats = warm.stats)
+
+let test_cache_off_matches () =
+  let sources = app_sources "bbolt" in
+  let cached = Gcatch.Driver.analyse ~name:"cache-bbolt" sources in
+  let cfg = { Gcatch.Bmoc.default_config with solve_cache = false } in
+  let h0 = hits () and m0 = misses () in
+  let uncached = Gcatch.Driver.analyse ~cfg ~name:"cache-bbolt" sources in
+  Alcotest.(check int) "no hits when off" (h0) (hits ());
+  Alcotest.(check int) "no misses when off" (m0) (misses ());
+  check_same_analysis "cache off vs on" cached uncached
+
+let test_warm_jobs_identical () =
+  (* a cold jobs=1 run then a warm jobs=4 run: the promise-keyed memory
+     tier serves the same verdicts whatever the schedule *)
+  SC.reset_memory ();
+  let sources = app_sources "grpc" in
+  let a1 = Gcatch.Driver.analyse ~jobs:1 ~name:"cache-grpc" sources in
+  let a4 = Gcatch.Driver.analyse ~jobs:4 ~name:"cache-grpc" sources in
+  check_same_analysis "jobs 1 cold vs jobs 4 warm" a1 a4;
+  Alcotest.(check bool) "same stats" true (a1.stats = a4.stats)
+
+(* ----------------------------------------------------- disk tier ---- *)
+
+let with_cache_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcatch-test-cache-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f ->
+            try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    (fun () -> f dir)
+
+let solve_files dir =
+  List.filter
+    (fun f -> Filename.check_suffix f ".solve")
+    (Array.to_list (Sys.readdir dir))
+
+let test_disk_tier_roundtrip () =
+  with_cache_dir (fun dir ->
+      let cfg = { Gcatch.Bmoc.default_config with cache_dir = Some dir } in
+      let sources = app_sources "bbolt" in
+      SC.reset_memory ();
+      let s0 = stores () in
+      let cold = Gcatch.Driver.analyse ~cfg ~name:"cache-disk" sources in
+      Alcotest.(check bool) "entries stored" true (stores () > s0);
+      Alcotest.(check bool) "files written" true (solve_files dir <> []);
+      (* a fresh process is simulated by dropping the memory tier: the
+         warm verdicts must now come from disk *)
+      SC.reset_memory ();
+      let d0 = disk_hits () in
+      let warm = Gcatch.Driver.analyse ~cfg ~name:"cache-disk" sources in
+      Alcotest.(check bool) "disk hits" true (disk_hits () > d0);
+      check_same_analysis "disk warm vs cold" cold warm;
+      Alcotest.(check bool) "same stats" true (cold.stats = warm.stats))
+
+let test_disk_corrupt_entry_recovers () =
+  with_cache_dir (fun dir ->
+      let cfg = { Gcatch.Bmoc.default_config with cache_dir = Some dir } in
+      let sources = app_sources "bbolt" in
+      SC.reset_memory ();
+      let cold = Gcatch.Driver.analyse ~cfg ~name:"cache-corrupt" sources in
+      (* clobber every entry: truncated, garbage, and flipped-byte bodies
+         must all be treated as misses, unlinked, and recomputed *)
+      List.iteri
+        (fun i f ->
+          let path = Filename.concat dir f in
+          let oc = open_out_bin path in
+          (match i mod 3 with
+          | 0 -> () (* truncated to zero length *)
+          | 1 -> output_string oc "not a cache entry"
+          | _ -> output_string oc (String.make 64 '\xff'));
+          close_out oc)
+        (solve_files dir);
+      SC.reset_memory ();
+      let d0 = disk_hits () in
+      let warm = Gcatch.Driver.analyse ~cfg ~name:"cache-corrupt" sources in
+      Alcotest.(check int) "corrupt entries are misses" d0 (disk_hits ());
+      check_same_analysis "recomputed vs cold" cold warm;
+      (* the clobbered files were replaced by fresh stores *)
+      SC.reset_memory ();
+      let d1 = disk_hits () in
+      let again = Gcatch.Driver.analyse ~cfg ~name:"cache-corrupt" sources in
+      Alcotest.(check bool) "restored entries hit" true (disk_hits () > d1);
+      check_same_analysis "restored vs cold" cold again)
+
+(* ------------------------------------------- dedup soundness ---- *)
+
+let test_dedup_never_drops_verdict () =
+  (* path dedup is a projection argument, not a heuristic: over the full
+     49-bug coverage set, every verdict must be identical with the
+     deduplicator on and off *)
+  let off_cfg =
+    {
+      Gcatch.Bmoc.default_config with
+      path_cfg =
+        { Gcatch.Pathenum.default_config with dedup_paths = false };
+    }
+  in
+  List.iter
+    (fun (e : Gocorpus.Bugset.entry) ->
+      let src = [ "package b\n" ^ e.bs_src ] in
+      let on = Gcatch.Driver.analyse ~name:e.bs_name src in
+      let off = Gcatch.Driver.analyse ~cfg:off_cfg ~name:e.bs_name src in
+      Alcotest.(check (list string))
+        (e.bs_name ^ ": dedup on/off verdicts agree")
+        (bmoc_strs off) (bmoc_strs on))
+    Gocorpus.Bugset.entries
+
+let tests =
+  [
+    Alcotest.test_case "warm run replays cold run" `Quick
+      test_warm_replays_cold;
+    Alcotest.test_case "cache off matches cache on" `Quick
+      test_cache_off_matches;
+    Alcotest.test_case "warm jobs=4 matches cold jobs=1" `Quick
+      test_warm_jobs_identical;
+    Alcotest.test_case "disk tier round-trip" `Quick test_disk_tier_roundtrip;
+    Alcotest.test_case "corrupted disk entry recovers" `Quick
+      test_disk_corrupt_entry_recovers;
+    Alcotest.test_case "dedup never drops a verdict" `Slow
+      test_dedup_never_drops_verdict;
+  ]

@@ -215,6 +215,36 @@ let test_driver_jobs_matches () =
     (List.map Gcatch.Report.trad_str a1.trad
     = List.map Gcatch.Report.trad_str a4.trad)
 
+(* -------------------------------------------- inline fast path ---- *)
+
+let batches_count () =
+  match
+    List.assoc_opt "pool.batches"
+      (Goobs.Metrics.counters_list Goobs.Metrics.default)
+  with
+  | Some v -> v
+  | None -> 0
+
+let test_small_map_runs_inline () =
+  (* batches of <= 2 items skip the batch machinery entirely, even on a
+     multi-participant pool: no epoch bump, no deques, no counter *)
+  let pool = Pool.get ~jobs:4 in
+  let before = batches_count () in
+  Alcotest.(check (list int)) "pair result" [ 2; 4 ]
+    (Pool.map ~pool (fun x -> 2 * x) [ 1; 2 ]);
+  Alcotest.(check (list int)) "singleton result" [ 9 ]
+    (Pool.map ~pool (fun x -> x * x) [ 3 ]);
+  Alcotest.(check (list int)) "empty result" []
+    (Pool.map ~pool (fun x -> x) []);
+  Alcotest.(check int) "no batch recorded" before (batches_count ())
+
+let test_recommended_jobs_sane () =
+  (* the cached environment recommendation map consults on every call *)
+  let r = Pool.recommended_jobs () in
+  Alcotest.(check bool) "at least one job" true (r >= 1);
+  Alcotest.(check int) "stable across calls" r (Pool.recommended_jobs ());
+  Alcotest.(check int) "default_jobs agrees" r (Pool.default_jobs ())
+
 let tests =
   [
     Alcotest.test_case "deque: LIFO pop / FIFO steal" `Quick test_deque_lifo_fifo;
@@ -226,6 +256,8 @@ let tests =
     Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
     Alcotest.test_case "nested map degrades" `Quick test_nested_map;
     Alcotest.test_case "run thunks" `Quick test_run_thunks;
+    Alcotest.test_case "small map runs inline" `Quick test_small_map_runs_inline;
+    Alcotest.test_case "recommended jobs sane" `Quick test_recommended_jobs_sane;
     Alcotest.test_case "solver budget skips channels" `Quick
       test_solver_timeout_skips;
     Alcotest.test_case "generous budget changes nothing" `Quick

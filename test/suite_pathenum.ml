@@ -161,6 +161,71 @@ let test_wg_events_gated () =
     [ "wg-add"; "wg-done"; "wg-wait"; "send" ]
     (sync_kinds (List.hd with_wg))
 
+(* -------------------------------------- dedup & scaling (PR 4) ---- *)
+
+let test_dedup_drops_branch_only_variants () =
+  (* the branch only changes a local computation: both paths project to
+     the same sync skeleton, so dedup keeps exactly one combination *)
+  let ctx =
+    make_ctx
+      "func f(x int) {\n\tc := make(chan int, 1)\n\ty := 0\n\tif x > 0 {\n\t\ty = 1\n\t}\n\tc <- y\n\t<-c\n}"
+  in
+  let combos = P.combinations ctx ~root:"f" ~max_combos:64 ~max_goroutines:4 in
+  Alcotest.(check int) "two syntactic combinations" 2 (List.length combos);
+  let indexed = List.mapi (fun i c -> (i, c)) combos in
+  let kept, dropped = P.dedup_combinations indexed in
+  Alcotest.(check int) "one survivor" 1 (List.length kept);
+  Alcotest.(check int) "one dropped" 1 dropped;
+  (* the first of the equivalence class survives, original index intact *)
+  Alcotest.(check int) "survivor is the first" 0 (fst (List.hd kept))
+
+let test_dedup_keeps_distinct_sync () =
+  (* here the branch gates a send: the projections differ, so dedup must
+     not merge them — a buggy witness lives in exactly one of them *)
+  let ctx =
+    make_ctx
+      "func f(x int) {\n\tc := make(chan int, 1)\n\tif x > 0 {\n\t\tc <- 1\n\t}\n\t<-c\n}"
+  in
+  let combos = P.combinations ctx ~root:"f" ~max_combos:64 ~max_goroutines:4 in
+  let indexed = List.mapi (fun i c -> (i, c)) combos in
+  let kept, dropped = P.dedup_combinations indexed in
+  Alcotest.(check int) "nothing dropped" 0 dropped;
+  Alcotest.(check int) "all kept" (List.length combos) (List.length kept)
+
+let test_enumeration_scales_linearly () =
+  (* regression guard for the O(n^2) accumulator bugs: enumerating one
+     straight-line path of k sync events must scale roughly linearly in
+     k.  A 4x longer function may cost ~4x; the old quadratic append
+     made it ~16x.  Timed as best-of-3 with a generous bound plus an
+     absolute slack so scheduler noise cannot fail the suite. *)
+  let time_enum n =
+    let b = Buffer.create (n * 16) in
+    Buffer.add_string b "func f() {\n\tc := make(chan int, 4)\n";
+    for _ = 1 to n do
+      Buffer.add_string b "\tc <- 1\n\t<-c\n"
+    done;
+    Buffer.add_string b "}\n";
+    let ctx = make_ctx (Buffer.contents b) in
+    let ctx =
+      { ctx with P.cfg = { ctx.P.cfg with P.max_events = (8 * n) + 64 } }
+    in
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let ps = P.enumerate ctx "f" in
+      best := min !best (Unix.gettimeofday () -. t0);
+      Alcotest.(check int) "single straight-line path" 1 (List.length ps)
+    done;
+    !best
+  in
+  let t1 = time_enum 1000 in
+  let t4 = time_enum 4000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4x events cost <= ~4x time (%.1fms -> %.1fms)"
+       (t1 *. 1e3) (t4 *. 1e3))
+    true
+    (t4 <= (12.0 *. t1) +. 0.02)
+
 let tests =
   [
     Alcotest.test_case "straight line" `Quick test_straight_line;
@@ -179,4 +244,10 @@ let tests =
     Alcotest.test_case "path cap respected" `Quick test_path_cap_respected;
     Alcotest.test_case "WaitGroup events gated by flag" `Quick
       test_wg_events_gated;
+    Alcotest.test_case "dedup drops branch-only variants" `Quick
+      test_dedup_drops_branch_only_variants;
+    Alcotest.test_case "dedup keeps distinct sync" `Quick
+      test_dedup_keeps_distinct_sync;
+    Alcotest.test_case "enumeration scales linearly" `Slow
+      test_enumeration_scales_linearly;
   ]

@@ -118,6 +118,89 @@ let test_dl_guarded () =
   S.add t2 q;
   Alcotest.(check bool) "conjunction unsat" false (is_sat (S.solve t2))
 
+(* ---- incremental sessions: guards and assumptions ---- *)
+
+let test_assumption_groups_independent () =
+  (* two contradictory guarded groups in one instance: each is sat on its
+     own, both together unsat, and an unsat query must not poison the
+     shared state for later queries *)
+  let t = S.create () in
+  let x = S.new_order_var t "x" and y = S.new_order_var t "y" in
+  let g1 = S.new_guard t and g2 = S.new_guard t in
+  S.add ~guard:g1 t (S.lt t x y);
+  S.add ~guard:g2 t (S.lt t y x);
+  Alcotest.(check bool) "no assumptions sat" true (is_sat (S.solve t));
+  (match S.solve ~assumptions:[ g1 ] t with
+  | S.Sat_model m ->
+      Alcotest.(check bool) "g1 orders x<y" true (m.order_of x < m.order_of y)
+  | S.Unsat -> Alcotest.fail "g1 alone should be sat");
+  (match S.solve ~assumptions:[ g2 ] t with
+  | S.Sat_model m ->
+      Alcotest.(check bool) "g2 orders y<x" true (m.order_of y < m.order_of x)
+  | S.Unsat -> Alcotest.fail "g2 alone should be sat");
+  Alcotest.(check bool) "g1+g2 unsat" false
+    (is_sat (S.solve ~assumptions:[ g1; g2 ] t));
+  (* the Unsat above was under assumptions only: g1 must still be sat *)
+  Alcotest.(check bool) "g1 sat after unsat query" true
+    (is_sat (S.solve ~assumptions:[ g1 ] t))
+
+let test_retire_guard () =
+  let t = S.create () in
+  let a = S.new_bool t "a" in
+  let g = S.new_guard t in
+  S.add ~guard:g t (E.not_ a);
+  S.add t a;
+  Alcotest.(check bool) "contradiction under g" false
+    (is_sat (S.solve ~assumptions:[ g ] t));
+  S.retire_guard t g;
+  S.simplify t;
+  Alcotest.(check bool) "sat once g is retired" true (is_sat (S.solve t));
+  (* retirement is permanent: assuming a retired guard is plain unsat *)
+  Alcotest.(check bool) "retired guard cannot be assumed" false
+    (is_sat (S.solve ~assumptions:[ g ] t));
+  (* ... and still does not poison unassumed queries *)
+  Alcotest.(check bool) "still sat without assumptions" true
+    (is_sat (S.solve t))
+
+let test_session_reuse_many_queries () =
+  (* the BMOC usage pattern: one instance, many groups, each queried and
+     retired in turn; every verdict must match a fresh-solver run *)
+  let t = S.create () in
+  let x = S.new_order_var t "x" and y = S.new_order_var t "y" in
+  S.add t (S.lt t x y);
+  for i = 0 to 19 do
+    let g = S.new_guard t in
+    (* even groups agree with the permanent x<y, odd ones contradict it *)
+    S.add ~guard:g t (if i mod 2 = 0 then S.lt t x y else S.lt t y x);
+    Alcotest.(check bool)
+      (Printf.sprintf "group %d verdict" i)
+      (i mod 2 = 0)
+      (is_sat (S.solve ~assumptions:[ g ] t));
+    S.retire_guard t g;
+    if i mod 8 = 7 then S.simplify t
+  done;
+  Alcotest.(check bool) "session still usable" true (is_sat (S.solve t))
+
+let test_sat_ext_stats () =
+  (* a pigeonhole burn must surface in the extended counters that feed
+     the sat.learnt_clauses / sat.restarts / sat.db_reductions metrics *)
+  let t = S.create () in
+  let v i j = S.new_bool t (Printf.sprintf "p%dh%d" i j) in
+  for i = 1 to 6 do
+    S.add t (E.disj (List.init 5 (fun j -> v i (j + 1))))
+  done;
+  for j = 1 to 5 do
+    S.add t (E.AtMost (1, List.init 6 (fun i -> v (i + 1) j)))
+  done;
+  Alcotest.(check bool) "pigeonhole 6/5 unsat" false (is_sat (S.solve t));
+  let conflicts, decisions, _ = S.sat_stats t in
+  let learnt, restarts, reductions = S.sat_ext_stats t in
+  Alcotest.(check bool) "conflicts counted" true (conflicts > 0);
+  Alcotest.(check bool) "decisions counted" true (decisions > 0);
+  Alcotest.(check bool) "learnt clauses counted" true (learnt > 0);
+  Alcotest.(check bool) "restart/reduction counters sane" true
+    (restarts >= 0 && reductions >= 0)
+
 (* ---- cardinality ---- *)
 
 let test_card_atmost_inside_or () =
@@ -292,6 +375,12 @@ let tests =
     Alcotest.test_case "eq vs lt" `Quick test_dl_eq_vs_lt;
     Alcotest.test_case "negated difference atom" `Quick test_dl_negated_atom;
     Alcotest.test_case "guarded difference atoms" `Quick test_dl_guarded;
+    Alcotest.test_case "assumption groups independent" `Quick
+      test_assumption_groups_independent;
+    Alcotest.test_case "retire guard" `Quick test_retire_guard;
+    Alcotest.test_case "session reuse across queries" `Quick
+      test_session_reuse_many_queries;
+    Alcotest.test_case "extended sat stats" `Quick test_sat_ext_stats;
     Alcotest.test_case "cardinality under disjunction" `Quick test_card_atmost_inside_or;
     Alcotest.test_case "exactly-k" `Quick test_card_exactly;
     Alcotest.test_case "cardinality bounds" `Quick test_card_bounds;

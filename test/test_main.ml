@@ -20,6 +20,7 @@ let () =
       ("differential", Suite_differential.tests);
       ("waitgroup", Suite_waitgroup.tests);
       ("pathenum", Suite_pathenum.tests);
+      ("cache", Suite_cache.tests);
       ("cond", Suite_cond.tests);
       ("gfix", Suite_gfix.tests);
       ("corpus", Suite_corpus.tests);
