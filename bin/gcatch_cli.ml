@@ -49,7 +49,8 @@ let write_file path data =
 
 let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
     json only list_flag jobs solver_timeout_ms cache_dir no_cache trace_out
-    metrics_out profile log_level =
+    metrics_out profile log_level inject_faults deadline_ms max_heap_mb strict
+    retry_rungs =
   (match log_level with
   | None -> ()
   | Some s -> (
@@ -58,6 +59,20 @@ let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
       | None ->
           Log.errorf "invalid log level %S (debug|info|warn|error|quiet)" s;
           exit 2));
+  (match inject_faults with
+  | None -> ()
+  | Some plan -> (
+      match Goengine.Faults.parse plan with
+      | Ok specs -> Goengine.Faults.set_plan specs
+      | Error e ->
+          Log.errorf "bad --inject-faults plan: %s" e;
+          exit 2));
+  (match deadline_ms with
+  | None -> ()
+  | Some ms -> Goengine.Supervise.set_deadline_ms ms);
+  (match max_heap_mb with
+  | None -> ()
+  | Some mb -> Goengine.Supervise.set_max_heap_mb mb);
   if trace_out <> None then Trace.enable ();
   let cfg =
     {
@@ -65,6 +80,7 @@ let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
       disentangle = not no_disentangle;
       solve_cache = not no_cache;
       cache_dir;
+      retry_rungs;
       path_cfg =
         {
           Gcatch.Pathenum.default_config with
@@ -105,6 +121,7 @@ let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
         bad;
       exit 2
   in
+  let unclean = Goengine.Supervise.health_unclean r.E.r_health in
   if json then print_endline (E.run_to_json r)
   else if E.frontend_failed r then
     List.iter (fun d -> prerr_endline (D.render_human d)) r.E.r_diags
@@ -122,6 +139,11 @@ let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
     in
     Printf.printf "%d BMOC bug(s), %d traditional bug(s) in %.2fs\n"
       (count "bmoc") (count "trad.") r.E.r_elapsed_s;
+    (* clean runs print nothing extra: the health line appears only when
+       some unit did not complete at full fidelity *)
+    if unclean > 0 then
+      Printf.printf "analysis health: %s\n"
+        (Goengine.Supervise.health_str r.E.r_health);
     if stats_flag then
       List.iter
         (fun (pr : E.pass_run) ->
@@ -155,15 +177,23 @@ let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
     (* keep stdout pure JSON under --json *)
     if json then prerr_string report else print_string report
   end;
+  if strict && unclean > 0 then begin
+    Log.errorf
+      "--strict: %d unit(s) did not complete at full fidelity (%s)" unclean
+      (Goengine.Supervise.health_str r.E.r_health);
+    exit 3
+  end;
   if E.errors r <> [] then exit 1
 
 let run files no_disentangle stats_flag nonblocking model_waitgroup json only
     list_flag jobs solver_timeout_ms cache_dir no_cache trace_out metrics_out
-    profile log_level =
+    profile log_level inject_faults deadline_ms max_heap_mb strict retry_rungs
+    =
   try
     run_checked files no_disentangle stats_flag nonblocking model_waitgroup
       json only list_flag jobs solver_timeout_ms cache_dir no_cache trace_out
-      metrics_out profile log_level
+      metrics_out profile log_level inject_faults deadline_ms max_heap_mb
+      strict retry_rungs
   with e ->
     Log.error
       ~kv:[ ("exception", Printexc.to_string e) ]
@@ -289,13 +319,70 @@ let log_level_arg =
           "Log verbosity: debug, info, warn, error, or quiet (default: the \
            GCATCH_LOG environment variable, else warn)")
 
+let inject_faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject-faults" ] ~docv:"PLAN"
+        ~doc:
+          "Deterministic fault injection for testing the supervision layer. \
+           $(docv) is a comma-separated list of \
+           $(i,site)[:$(i,nth)|*][@$(i,keysub)][!$(i,action)] items plus an \
+           optional seed=$(i,N); sites: frontend, solver, pool, cache.read, \
+           cache.write; actions: raise (default), timeout, stall, corrupt. \
+           Also read from the GCATCH_FAULTS environment variable.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Global wall-clock deadline: once it passes, no new unit of work \
+           starts; everything gathered so far is flushed normally and \
+           reported in the analysis-health section")
+
+let max_heap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-heap-mb" ] ~docv:"MB"
+        ~doc:
+          "Heap watchdog: when the major heap exceeds $(docv) MB, stop \
+           starting new units and flush partial results (checked at the end \
+           of every major GC cycle)")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Fail fast for CI: exit 3 when any unit of work was degraded, \
+           skipped, or retried instead of completing at full fidelity")
+
+let retry_rungs_arg =
+  Arg.(
+    value
+    & opt int Gcatch.Bmoc.default_config.Gcatch.Bmoc.retry_rungs
+    & info [ "retry-rungs" ] ~docv:"N"
+        ~doc:
+          "Degradation-ladder depth: how many times a channel that exhausts \
+           its solver budget is retried at reduced path/combination bounds \
+           before being skipped (0 disables the ladder; only meaningful with \
+           $(b,--solver-timeout-ms))")
+
 let exits =
   [
     Cmd.Exit.info 0 ~doc:"no bugs found.";
     Cmd.Exit.info 1 ~doc:"bugs were found (or the frontend reported errors).";
     Cmd.Exit.info 2
-      ~doc:"usage error: bad command line, no input files, or unknown pass.";
-    Cmd.Exit.info 3 ~doc:"internal error.";
+      ~doc:
+        "usage error: bad command line, no input files, unknown pass, or a \
+         malformed $(b,--inject-faults) plan.";
+    Cmd.Exit.info 3
+      ~doc:
+        "internal error, or $(b,--strict) and some unit of work did not \
+         complete at full fidelity.";
   ]
 
 let cmd =
@@ -305,7 +392,8 @@ let cmd =
       const run $ files_arg $ no_disentangle_arg $ stats_arg $ nonblocking_arg
       $ model_waitgroup_arg $ json_arg $ pass_arg $ list_passes_arg $ jobs_arg
       $ solver_timeout_arg $ cache_dir_arg $ no_cache_arg $ trace_out_arg
-      $ metrics_out_arg $ profile_arg $ log_level_arg)
+      $ metrics_out_arg $ profile_arg $ log_level_arg $ inject_faults_arg
+      $ deadline_arg $ max_heap_arg $ strict_arg $ retry_rungs_arg)
 
 let () =
   let code = Cmd.eval cmd in

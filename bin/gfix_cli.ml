@@ -22,7 +22,7 @@ let read_file path =
   close_in ic;
   s
 
-let run files validate =
+let run_checked files validate =
   (* gfix narrates its per-bug outcomes by design: default to info-level
      logging unless the user set GCATCH_LOG themselves *)
   if Sys.getenv_opt "GCATCH_LOG" = None then Log.set_level Log.Info;
@@ -70,6 +70,14 @@ let run files validate =
       "schedule validation"
   end
 
+(* No raw exception may escape to the runtime's default handler: route
+   everything through the structured log with the documented exit 3. *)
+let run files validate =
+  try run_checked files validate
+  with e ->
+    Log.error ~kv:[ ("exception", Printexc.to_string e) ] "internal error";
+    exit 3
+
 let files_arg =
   Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"MiniGo source files")
 
@@ -79,9 +87,22 @@ let validate_arg =
     & info [ "validate" ]
         ~doc:"Run the original and patched programs under many schedules")
 
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"patched program printed.";
+    Cmd.Exit.info 2
+      ~doc:"usage error: bad command line, no input files, or frontend errors.";
+    Cmd.Exit.info 3 ~doc:"internal error.";
+  ]
+
 let cmd =
   Cmd.v
-    (Cmd.info "gfix" ~doc:"Automatically patch BMOC bugs")
+    (Cmd.info "gfix" ~doc:"Automatically patch BMOC bugs" ~exits)
     Term.(const run $ files_arg $ validate_arg)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  let code = Cmd.eval cmd in
+  exit
+    (if code = Cmd.Exit.cli_error then 2
+     else if code = Cmd.Exit.internal_error then 3
+     else code)

@@ -23,6 +23,12 @@ type config = {
   disentangle : bool;        (* E5 ablation knob *)
   solve_cache : bool;        (* per-channel verdict cache (memory tier) *)
   cache_dir : string option; (* optional persistent tier for the cache *)
+  retry_rungs : int;
+      (* degradation-ladder depth: how many times a channel that blew its
+         [solver_timeout_ms] budget is retried at reduced path/combination
+         bounds (the paper's own knobs) before the skip warning is
+         emitted.  Only consulted when a budget is set — the clean path
+         without a budget is untouched. *)
 }
 
 let default_config =
@@ -37,6 +43,7 @@ let default_config =
     (* the CLI re-reads the variable itself for --cache-dir's default;
        this binding is evaluated once at module initialisation *)
     cache_dir = Sys.getenv_opt "GCATCH_CACHE_DIR";
+    retry_rungs = 2;
   }
 
 (* Detector statistics, served from the metrics registry: [detect_ext]
@@ -365,6 +372,15 @@ let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
   let bugs = ref [] in
   let seen_groups = Hashtbl.create 16 in
   try
+    (* "solver" fault site: a crash raises out to the per-channel
+       boundary in [detect_full]; a timeout exercises the existing
+       budget path (and hence the degradation ladder) *)
+    (match Goengine.Faults.fire ~site:"solver" ~key:(Alias.obj_str c) () with
+    | None -> ()
+    | Some Goengine.Faults.Stall -> Unix.sleepf Goengine.Faults.stall_s
+    | Some Goengine.Faults.Timeout -> raise Gosmt.Solver.Timeout
+    | Some _ ->
+        raise (Goengine.Faults.Injected ("solver", Alias.obj_str c)));
     List.iter
     (fun (combo_id, combo) ->
       begin
@@ -487,6 +503,51 @@ let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
           false )
       end
 
+(* ------------------------------------------- degradation ladder ------ *)
+
+(* Rung [i] of the ladder: the paper's own scalability knobs — the
+   per-goroutine path bound and the combination bound — reduced by 4x
+   per rung (floored so the problem stays non-trivial). *)
+let rung_cfg cfg i =
+  {
+    cfg with
+    max_combos = max 4 (cfg.max_combos lsr (2 * i));
+    path_cfg =
+      {
+        cfg.path_cfg with
+        Pathenum.max_paths = max 4 (cfg.path_cfg.Pathenum.max_paths lsr (2 * i));
+      };
+  }
+
+(* [detect_channel] plus the degradation ladder: a channel that blows its
+   solver budget is retried at progressively reduced bounds before being
+   given up on.  Returns the bugs, whether the channel is finally skipped,
+   and how many retry rungs were consumed (0 = solved at full bounds; a
+   successful retry is a *degraded but present* verdict — fewer paths
+   explored — which beats no verdict at all).  Without a budget there is
+   nothing to ladder off: the clean path is one plain call. *)
+let detect_channel_ladder ~cfg ~prims ~dis ~cg ~alias ~prog ~cst ~enum_memo c :
+    Report.bmoc_bug list * bool * int =
+  let found, timed =
+    detect_channel ~cfg ~prims ~dis ~cg ~alias ~prog ~cst ~enum_memo c
+  in
+  if
+    (not timed)
+    || cfg.path_cfg.Pathenum.solver_timeout_ms = None
+    || cfg.retry_rungs <= 0
+  then (found, timed, 0)
+  else
+    let rec retry i =
+      if i > cfg.retry_rungs then ([], true, cfg.retry_rungs)
+      else
+        let found, timed =
+          detect_channel ~cfg:(rung_cfg cfg i) ~prims ~dis ~cg ~alias ~prog
+            ~cst ~enum_memo c
+        in
+        if timed then retry (i + 1) else (found, false, i)
+    in
+    retry 1
+
 (* A root primitive skipped because its channel blew the per-channel
    solver budget.  Surfaced to callers so they can emit a warning; the
    extra fields feed the skip diagnostic: how long the channel actually
@@ -525,18 +586,49 @@ let stats_of (reg : M.t) : stats =
     solver_timeouts = c "solver_timeouts";
   }
 
+(* A per-channel supervision note: something other than a plain verdict
+   happened at the channel's fault boundary.  Callers (the bmoc pass)
+   render these as Warning diagnostics. *)
+type chan_note = {
+  cn_obj : Alias.obj;
+  cn_loc : Minigo.Loc.t option;
+  cn_note :
+    [ `Faulted of string (* boundary caught an exception; verdict dropped *)
+    | `Recovered of int (* ladder rung at which the retry succeeded *)
+    | `Pressure of string (* deadline/heap watchdog: not started *) ];
+}
+
+type full = {
+  f_bugs : Report.bmoc_bug list;
+  f_stats : stats;
+  f_skipped : skipped list;
+  f_notes : chan_note list;
+}
+
+(* What one pool task reports back for its root. *)
+type chan_outcome =
+  | Odone of Report.bmoc_bug list * bool * int (* bugs, timed_out, rungs *)
+  | Ofaulted of string
+  | Opressure of string
+
 (* Detect BMOC bugs across the whole program, fanning the per-root
-   [detect_channel] calls out over [pool].  Each worker accumulates into
-   a private per-channel record (and, inside [Constraints.solve], its
-   own scratch SAT solver); the per-channel counts are folded into a
-   run-local metrics registry in canonical root order — sums commute, so
-   jobs=1 and jobs=N produce identical metrics — and the final bug list
-   is sorted by location, so the output is schedule-independent too.
-   The run registry is merged into [metrics] (default: the process-wide
-   registry) and snapshotted as the returned [stats]. *)
-let detect_ext ?(cfg = default_config) ?(pool = Pool.sequential)
-    ?(metrics = M.default) (prog : Ir.program) :
-    Report.bmoc_bug list * stats * skipped list =
+   [detect_channel_ladder] calls out over [pool].  Each worker
+   accumulates into a private per-channel record (and, inside
+   [Constraints.solve], its own scratch SAT solver); the per-channel
+   counts are folded into a run-local metrics registry in canonical root
+   order — sums commute, so jobs=1 and jobs=N produce identical metrics
+   — and the final bug list is sorted by location, so the output is
+   schedule-independent too.  The run registry is merged into [metrics]
+   (default: the process-wide registry) and snapshotted as the returned
+   [stats].
+
+   Every root runs behind its own fault boundary *inside* the pool task:
+   an exception while solving one channel becomes a [`Faulted] note (and
+   a health.degraded count) instead of aborting the batch, and a channel
+   that would start under watchdog pressure is skipped up front, so a
+   tripped deadline flushes everything already gathered. *)
+let detect_full ?(cfg = default_config) ?(pool = Pool.sequential)
+    ?(metrics = M.default) (prog : Ir.program) : full =
   let reg = M.create () in
   let alias = Alias.analyse prog in
   let cg = Callgraph.build ~alias prog in
@@ -575,9 +667,21 @@ let detect_ext ?(cfg = default_config) ?(pool = Pool.sequential)
           (fun () ->
             let cst = new_chan_stats () in
             let t0 = Clock.now_s () in
-            let found, timed_out =
-              detect_channel ~cfg ~prims ~dis ~cg ~alias ~prog ~cst ~enum_memo
-                c
+            let outcome =
+              (* pressure pre-flight, then the per-channel fault
+                 boundary; a degraded channel resets its counters so the
+                 folded run metrics never embed a half-finished solve *)
+              match Goengine.Supervise.pressure () with
+              | Some reason -> Opressure reason
+              | None -> (
+                  match
+                    detect_channel_ladder ~cfg ~prims ~dis ~cg ~alias ~prog
+                      ~cst ~enum_memo c
+                  with
+                  | found, timed_out, rungs -> Odone (found, timed_out, rungs)
+                  | exception e ->
+                      stats_restore cst [];
+                      Ofaulted (Printexc.to_string e))
             in
             let elapsed_ms = 1000.0 *. Clock.elapsed_since t0 in
             Trace.set_args
@@ -587,67 +691,110 @@ let detect_ext ?(cfg = default_config) ?(pool = Pool.sequential)
                 ("sat_decisions", string_of_int cst.c_sat_decisions);
                 ("path_events", string_of_int cst.c_path_events);
                 ("elapsed_ms", Printf.sprintf "%.1f" elapsed_ms);
-                ("timed_out", string_of_bool timed_out);
+                ( "outcome",
+                  match outcome with
+                  | Odone (_, true, _) -> "timed_out"
+                  | Odone (_, _, r) when r > 0 -> "recovered"
+                  | Odone _ -> "ok"
+                  | Ofaulted _ -> "faulted"
+                  | Opressure _ -> "pressure-skipped" );
               ];
-            (c, found, cst, timed_out, elapsed_ms)))
+            (c, outcome, cst, elapsed_ms)))
       roots
   in
   let bugs = ref [] in
   let skips = ref [] in
+  let notes = ref [] in
   let seen = Hashtbl.create 16 in
   let bump name n = if n <> 0 then M.add (M.counter reg ("bmoc." ^ name)) n in
+  let health k = M.incr (M.counter reg k) in
   let chan_ms = M.histogram reg "bmoc.channel_solve_ms" in
   List.iter
-    (fun (c, found, cst, timed_out, elapsed_ms) ->
-      bump "channels_analysed" 1;
-      bump "combinations" cst.c_combinations;
-      bump "groups_checked" cst.c_groups_checked;
-      bump "solver_calls" cst.c_solver_calls;
-      bump "total_path_events" cst.c_path_events;
-      bump "constraints_hint" cst.c_constraints_hint;
-      bump "sat_conflicts" cst.c_sat_conflicts;
-      bump "sat_decisions" cst.c_sat_decisions;
-      bump "sat_propagations" cst.c_sat_propagations;
-      bump "theory_conflicts" cst.c_theory_conflicts;
-      bump "paths_deduped" cst.c_paths_deduped;
-      (* SAT-engine counters live under their own prefix *)
-      let bump_raw name n = if n <> 0 then M.add (M.counter reg name) n in
-      bump_raw "sat.learnt_clauses" cst.c_sat_learnts;
-      bump_raw "sat.restarts" cst.c_sat_restarts;
-      bump_raw "sat.db_reductions" cst.c_sat_db_reductions;
-      if timed_out then bump "solver_timeouts" 1;
-      M.observe chan_ms elapsed_ms;
-      Goobs.Profile.note_channel
-        {
-          Goobs.Profile.cs_channel = Alias.obj_str c;
-          cs_elapsed_ms = elapsed_ms;
-          cs_solver_calls = cst.c_solver_calls;
-          cs_sat_conflicts = cst.c_sat_conflicts;
-          cs_sat_decisions = cst.c_sat_decisions;
-          cs_sat_propagations = cst.c_sat_propagations;
-          cs_path_events = cst.c_path_events;
-          cs_timed_out = timed_out;
-        };
-      if timed_out then
-        skips :=
-          {
-            sk_obj = c;
-            sk_loc = Alias.creation_loc alias c;
-            sk_elapsed_ms = elapsed_ms;
-            sk_budget_ms = cfg.path_cfg.Pathenum.solver_timeout_ms;
-            sk_ops = cst.c_path_events;
-          }
-          :: !skips;
-      List.iter
-        (fun (b : Report.bmoc_bug) ->
-          let key =
-            List.sort compare (List.map (fun o -> o.Report.bo_pp) b.blocked)
-          in
-          if not (Hashtbl.mem seen key) then begin
-            Hashtbl.add seen key ();
-            bugs := b :: !bugs
-          end)
-        found)
+    (fun (c, outcome, cst, elapsed_ms) ->
+      health Goengine.Supervise.h_attempted;
+      match outcome with
+      | Opressure reason ->
+          health Goengine.Supervise.h_skipped;
+          notes :=
+            {
+              cn_obj = c;
+              cn_loc = Alias.creation_loc alias c;
+              cn_note = `Pressure reason;
+            }
+            :: !notes
+      | Ofaulted detail ->
+          health Goengine.Supervise.h_degraded;
+          Goobs.Log.warn
+            ~kv:[ ("channel", Alias.obj_str c); ("exn", detail) ]
+            "channel degraded; analysis continues";
+          notes :=
+            {
+              cn_obj = c;
+              cn_loc = Alias.creation_loc alias c;
+              cn_note = `Faulted detail;
+            }
+            :: !notes
+      | Odone (found, timed_out, rungs) ->
+          if timed_out then health Goengine.Supervise.h_skipped
+          else health Goengine.Supervise.h_ok;
+          if rungs > 0 then health Goengine.Supervise.h_retried;
+          if rungs > 0 && not timed_out then
+            notes :=
+              {
+                cn_obj = c;
+                cn_loc = Alias.creation_loc alias c;
+                cn_note = `Recovered rungs;
+              }
+              :: !notes;
+          bump "channels_analysed" 1;
+          bump "combinations" cst.c_combinations;
+          bump "groups_checked" cst.c_groups_checked;
+          bump "solver_calls" cst.c_solver_calls;
+          bump "total_path_events" cst.c_path_events;
+          bump "constraints_hint" cst.c_constraints_hint;
+          bump "sat_conflicts" cst.c_sat_conflicts;
+          bump "sat_decisions" cst.c_sat_decisions;
+          bump "sat_propagations" cst.c_sat_propagations;
+          bump "theory_conflicts" cst.c_theory_conflicts;
+          bump "paths_deduped" cst.c_paths_deduped;
+          (* SAT-engine counters live under their own prefix *)
+          let bump_raw name n = if n <> 0 then M.add (M.counter reg name) n in
+          bump_raw "sat.learnt_clauses" cst.c_sat_learnts;
+          bump_raw "sat.restarts" cst.c_sat_restarts;
+          bump_raw "sat.db_reductions" cst.c_sat_db_reductions;
+          if timed_out then bump "solver_timeouts" 1;
+          M.observe chan_ms elapsed_ms;
+          Goobs.Profile.note_channel
+            {
+              Goobs.Profile.cs_channel = Alias.obj_str c;
+              cs_elapsed_ms = elapsed_ms;
+              cs_solver_calls = cst.c_solver_calls;
+              cs_sat_conflicts = cst.c_sat_conflicts;
+              cs_sat_decisions = cst.c_sat_decisions;
+              cs_sat_propagations = cst.c_sat_propagations;
+              cs_path_events = cst.c_path_events;
+              cs_timed_out = timed_out;
+            };
+          if timed_out then
+            skips :=
+              {
+                sk_obj = c;
+                sk_loc = Alias.creation_loc alias c;
+                sk_elapsed_ms = elapsed_ms;
+                sk_budget_ms = cfg.path_cfg.Pathenum.solver_timeout_ms;
+                sk_ops = cst.c_path_events;
+              }
+              :: !skips;
+          List.iter
+            (fun (b : Report.bmoc_bug) ->
+              let key =
+                List.sort compare (List.map (fun o -> o.Report.bo_pp) b.blocked)
+              in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                bugs := b :: !bugs
+              end)
+            found)
     per_root;
   let bugs =
     List.sort
@@ -656,7 +803,18 @@ let detect_ext ?(cfg = default_config) ?(pool = Pool.sequential)
   in
   let stats = stats_of reg in
   M.merge_into ~dst:metrics reg;
-  (bugs, stats, List.rev !skips)
+  {
+    f_bugs = bugs;
+    f_stats = stats;
+    f_skipped = List.rev !skips;
+    f_notes = List.rev !notes;
+  }
+
+(* The historical 3-tuple interface (tests and the driver use it). *)
+let detect_ext ?cfg ?pool ?metrics (prog : Ir.program) :
+    Report.bmoc_bug list * stats * skipped list =
+  let r = detect_full ?cfg ?pool ?metrics prog in
+  (r.f_bugs, r.f_stats, r.f_skipped)
 
 (* Detect BMOC bugs across the whole program. *)
 let detect ?cfg ?pool (prog : Ir.program) : Report.bmoc_bug list * stats =

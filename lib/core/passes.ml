@@ -99,6 +99,28 @@ let skip_diag (sk : Bmoc.skipped) : D.t =
        | None -> "none")
        sk.Bmoc.sk_ops)
 
+(* A per-channel supervision note from the detector's fault boundaries,
+   rendered as a Warning carrying the typed {!Goengine.Supervise.Fault}
+   payload. *)
+let note_diag (n : Bmoc.chan_note) : D.t =
+  let module S = Goengine.Supervise in
+  let unit_name =
+    Printf.sprintf "bmoc channel %s" (Goanalysis.Alias.obj_str n.Bmoc.cn_obj)
+  in
+  match n.Bmoc.cn_note with
+  | `Faulted detail ->
+      S.diag ~pass:"bmoc" ?loc:n.Bmoc.cn_loc ~unit_name S.Degraded
+        (detail ^ "; verdict dropped, other channels unaffected")
+  | `Recovered rung ->
+      S.diag ~pass:"bmoc" ?loc:n.Bmoc.cn_loc ~unit_name S.Retried
+        (Printf.sprintf
+           "solver budget exhausted at full bounds; recovered at ladder rung \
+            %d (reduced path/combination bounds)"
+           rung)
+  | `Pressure reason ->
+      S.diag ~pass:"bmoc" ?loc:n.Bmoc.cn_loc ~unit_name S.Skipped
+        (reason ^ "; partial results flushed")
+
 let bmoc_pass ?(cfg = Bmoc.default_config) () : E.pass =
   {
     E.p_name = "bmoc";
@@ -106,10 +128,10 @@ let bmoc_pass ?(cfg = Bmoc.default_config) () : E.pass =
     p_default = true;
     p_run =
       (fun pool metrics a ->
-        let bugs, _stats, skipped =
-          Bmoc.detect_ext ~cfg ~pool ~metrics (Lazy.force a.E.a_ir)
-        in
-        List.map bmoc_diag bugs @ List.map skip_diag skipped);
+        let r = Bmoc.detect_full ~cfg ~pool ~metrics (Lazy.force a.E.a_ir) in
+        List.map bmoc_diag r.Bmoc.f_bugs
+        @ List.map skip_diag r.Bmoc.f_skipped
+        @ List.map note_diag r.Bmoc.f_notes);
   }
 
 let trad_pass name doc run : E.pass =
@@ -119,7 +141,9 @@ let trad_pass name doc run : E.pass =
     p_default = true;
     p_run =
       (fun pool metrics a ->
-        let bugs = Goobs.Trace.with_span ~name (fun () -> run pool a) in
+        let bugs =
+          Goobs.Trace.with_span ~name (fun () -> run pool metrics a)
+        in
         M.add (M.counter metrics (name ^ ".reports")) (List.length bugs);
         List.map (trad_diag ~pass:name) bugs);
   }
@@ -130,19 +154,24 @@ let traditional_passes () : E.pass list =
   let cg a = Lazy.force a.E.a_callgraph in
   [
     trad_pass "trad.missing-unlock" "lock acquired but not released on some path"
-      (fun pool a ->
-        Traditional.check_missing_unlock ~pool (prims_for a) (alias a) (ir a));
+      (fun pool metrics a ->
+        Traditional.check_missing_unlock ~pool ~metrics (prims_for a) (alias a)
+          (ir a));
     trad_pass "trad.double-lock" "same mutex acquired twice without release"
-      (fun pool a ->
-        Traditional.check_double_lock ~pool (prims_for a) (alias a) (cg a) (ir a));
+      (fun pool metrics a ->
+        Traditional.check_double_lock ~pool ~metrics (prims_for a) (alias a)
+          (cg a) (ir a));
     trad_pass "trad.lock-order" "conflicting lock acquisition order"
-      (fun pool a ->
-        Traditional.check_conflicting_order ~pool (prims_for a) (alias a) (ir a));
+      (fun pool metrics a ->
+        Traditional.check_conflicting_order ~pool ~metrics (prims_for a)
+          (alias a) (ir a));
     trad_pass "trad.field-race" "struct field accessed without the usual lock"
-      (fun pool a ->
-        Traditional.check_field_race ~pool (prims_for a) (alias a) (ir a));
+      (fun pool metrics a ->
+        Traditional.check_field_race ~pool ~metrics (prims_for a) (alias a)
+          (ir a));
     trad_pass "trad.fatal-child" "testing.Fatal called from a child goroutine"
-      (fun pool a -> Traditional.check_fatal_in_child ~pool (ir a));
+      (fun pool metrics a ->
+        Traditional.check_fatal_in_child ~pool ~metrics (ir a));
   ]
 
 let nonblocking_pass ?(cfg = Bmoc.default_config) () : E.pass =

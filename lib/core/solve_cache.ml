@@ -60,10 +60,46 @@ let reset_memory () = Goengine.Memo.reset mem
 
 (* ---------------------------------------------------- on-disk tier --- *)
 
+(* Disk-tier health.  Every disk access is best-effort: an I/O error is
+   counted, never raised.  When the cache directory itself disappears
+   mid-run (a concurrent `rm -rf`, an unmounted tmpfs), the whole tier
+   degrades to memory-only with ONE warning — per-entry errors against a
+   gone directory would only repeat the same news hundreds of times.
+   Cache degradations are reported through these process-wide counters
+   and that single warning, deliberately *not* through the per-run
+   health ledger: warm and cold runs must keep byte-identical run-level
+   metrics. *)
+let disk_enabled = Atomic.make true
+
+let c_read_error = lazy (M.counter M.default "bmoc.solve_cache_read_error")
+let c_write_error = lazy (M.counter M.default "bmoc.solve_cache_write_error")
+
+let disable_disk dir =
+  if Atomic.compare_and_set disk_enabled true false then
+    Goobs.Log.warn
+      ~kv:[ ("dir", dir) ]
+      "solve-cache directory unavailable; continuing memory-only"
+
+(* Tests re-arm the disk tier between scenarios. *)
+let reset_disk_state () = Atomic.set disk_enabled true
+
+(* A vanished directory (as opposed to a bad entry) is what flips the
+   tier off; [mkdir] reinstates it when the parent still exists. *)
+let dir_usable dir =
+  Sys.file_exists dir
+  || match Unix.mkdir dir 0o755 with
+     | () -> true
+     | exception Unix.Unix_error (Unix.EEXIST, _, _) -> true
+     | exception _ -> false
+
 let disk_file dir fp = Filename.concat dir ("gcatch-" ^ fp ^ ".solve")
 
 (* payload = digest(body) ^ body, body = Marshal(version, fp, entry) *)
 let disk_read dir fp : entry option =
+  (match Goengine.Faults.fire ~site:"cache.read" ~key:fp () with
+  | None -> ()
+  | Some Goengine.Faults.Stall -> Unix.sleepf Goengine.Faults.stall_s
+  | Some _ -> raise (Goengine.Faults.Injected ("cache.read", fp)));
   let path = disk_file dir fp in
   match open_in_bin path with
   | exception Sys_error _ -> None (* no entry *)
@@ -91,28 +127,57 @@ let disk_read dir fp : entry option =
       | Some _ -> ()
       | None ->
           (* corrupted, truncated, or stale format: drop the file so it
-             is rebuilt on the next store; the lookup is a plain miss *)
-          (try Sys.remove path with Sys_error _ -> ()));
+             is rebuilt on the next store; the lookup is a plain miss.
+             The unlink itself is best-effort — another process may have
+             dropped the same corrupt entry a beat earlier. *)
+          (try Sys.remove path with _ -> ()));
       r
 
+(* [disk_read] with the fault boundary: any failure is a miss, counted
+   once, and a vanished directory retires the tier. *)
+let checked_read dir fp : entry option =
+  if not (Atomic.get disk_enabled) then None
+  else
+    try disk_read dir fp
+    with _ ->
+      M.incr (Lazy.force c_read_error);
+      if not (dir_usable dir) then disable_disk dir;
+      None
+
 let disk_write dir fp (e : entry) : unit =
-  match
-    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-    let body = Marshal.to_string (format_version, fp, e) [ Marshal.No_sharing ] in
-    let tmp =
-      Filename.concat dir
-        (Printf.sprintf ".gcatch-%s.%d.tmp" fp (Unix.getpid ()))
-    in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc (Digest.string body);
-        output_string oc body);
-    Sys.rename tmp (disk_file dir fp)
-  with
+  (match Goengine.Faults.fire ~site:"cache.write" ~key:fp () with
+  | None -> ()
+  | Some Goengine.Faults.Stall -> Unix.sleepf Goengine.Faults.stall_s
+  | Some _ -> raise (Goengine.Faults.Injected ("cache.write", fp)));
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let body = Marshal.to_string (format_version, fp, e) [ Marshal.No_sharing ] in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".gcatch-%s.%d.tmp" fp (Unix.getpid ()))
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Digest.string body);
+      output_string oc body);
+  match Sys.rename tmp (disk_file dir fp) with
   | () -> ()
-  | exception _ -> () (* a cache store never fails the analysis *)
+  | exception e ->
+      (* rename lost a race (concurrent unlink of the target's directory
+         entry, or the dir itself): drop the temp file and re-raise so
+         [checked_write] accounts for it *)
+      (try Sys.remove tmp with _ -> ());
+      raise e
+
+(* [disk_write] with the fault boundary: a cache store never fails the
+   analysis. *)
+let checked_write dir fp (e : entry) : unit =
+  if Atomic.get disk_enabled then
+    try disk_write dir fp e
+    with _ ->
+      M.incr (Lazy.force c_write_error);
+      if not (dir_usable dir) then disable_disk dir
 
 (* -------------------------------------------------------- frontend --- *)
 
@@ -136,7 +201,7 @@ let find_or_compute ?dir (fp : string) (compute : unit -> entry * bool) :
           | None -> None
           | Some d ->
               Trace.with_span ~name:"bmoc.cache.lookup" (fun () ->
-                  disk_read d fp)
+                  checked_read d fp)
         with
         | Some e ->
             from_disk := true;
@@ -149,7 +214,7 @@ let find_or_compute ?dir (fp : string) (compute : unit -> entry * bool) :
               | None -> ()
               | Some d ->
                   Trace.with_span ~name:"bmoc.cache.store" (fun () ->
-                      disk_write d fp e)
+                      checked_write d fp e)
             end;
             (e, store))
   with

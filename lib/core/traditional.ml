@@ -18,6 +18,25 @@ module Pool = Goengine.Pool
 
 type lockset = Alias.obj list
 
+(* Per-function fault boundary shared by every checker: a function whose
+   walk raises — or that would start under watchdog pressure — simply
+   contributes no bugs, counted in the health ledger; its siblings are
+   unaffected.  [metrics] counters are atomic, so pool workers account
+   directly.  Without a registry (the legacy [detect] entry point) the
+   walk runs bare, exactly as before. *)
+let guarded ?metrics ~checker (f : Ir.func) (work : unit -> 'a list) : 'a list
+    =
+  match metrics with
+  | None -> work ()
+  | Some reg -> (
+      match
+        Goengine.Supervise.checked ~metrics:reg
+          ~unit_name:(checker ^ " func " ^ f.Ir.name)
+          work
+      with
+      | Ok bugs -> bugs
+      | Error (`Degraded _ | `Skipped _) -> [])
+
 let place_objs alias fname p =
   Alias.ObjSet.elements (Alias.objects_of_place alias fname p)
 
@@ -80,11 +99,12 @@ let lock_transfer prims alias fname (i : Ir.inst) (ls : lockset) : lockset =
 (* Each checker walks functions independently; [pool] fans the walks out
    across domains.  Per-function results are merged back *in function
    order*, so the bug list is identical for jobs=1 and jobs=N. *)
-let check_missing_unlock ?(pool = Pool.sequential) prims alias
+let check_missing_unlock ?(pool = Pool.sequential) ?metrics prims alias
     (prog : Ir.program) : Report.trad_bug list =
   List.concat
   @@ Pool.map ~pool
     (fun (f : Ir.func) ->
+      guarded ?metrics ~checker:"trad.missing-unlock" f @@ fun () ->
       let bugs = ref [] in
       let reported = Hashtbl.create 4 in
       walk_paths f
@@ -157,13 +177,14 @@ let locks_summary prims alias cg (prog : Ir.program) :
   done;
   summary
 
-let check_double_lock ?(pool = Pool.sequential) prims alias cg
+let check_double_lock ?(pool = Pool.sequential) ?metrics prims alias cg
     (prog : Ir.program) : Report.trad_bug list =
   (* the call summary is a shared fixpoint: computed once, sequentially *)
   let summary = locks_summary prims alias cg prog in
   List.concat
   @@ Pool.map ~pool
     (fun (f : Ir.func) ->
+      guarded ?metrics ~checker:"trad.double-lock" f @@ fun () ->
       let bugs = ref [] in
       let reported = Hashtbl.create 4 in
       let report loc detail key =
@@ -205,13 +226,14 @@ let check_double_lock ?(pool = Pool.sequential) prims alias cg
 
 (* --------------------------------- 3. conflicting lock order -------- *)
 
-let check_conflicting_order ?(pool = Pool.sequential) prims alias
+let check_conflicting_order ?(pool = Pool.sequential) ?metrics prims alias
     (prog : Ir.program) : Report.trad_bug list =
   (* collect lock-order edges (m1 held while acquiring m2), one list per
      function, in walk order *)
   let per_func =
     Pool.map ~pool
       (fun (f : Ir.func) ->
+        guarded ?metrics ~checker:"trad.lock-order" f @@ fun () ->
         let found = ref [] in
         walk_paths f
           ~transfer:(lock_transfer prims alias f.name)
@@ -272,7 +294,7 @@ type access = {
   a_is_write : bool;
 }
 
-let check_field_race ?(pool = Pool.sequential) prims alias
+let check_field_race ?(pool = Pool.sequential) ?metrics prims alias
     (prog : Ir.program) : Report.trad_bug list =
   (* function allocating each struct object: accesses there are treated as
      construction/initialisation, not racy sharing *)
@@ -294,6 +316,7 @@ let check_field_race ?(pool = Pool.sequential) prims alias
   let per_func =
     Pool.map ~pool
       (fun (f : Ir.func) ->
+        guarded ?metrics ~checker:"trad.field-race" f @@ fun () ->
         let found = ref [] in
         let record fn loc ls base fld is_write =
           List.iter
@@ -364,11 +387,12 @@ let check_field_race ?(pool = Pool.sequential) prims alias
 
 (* ------------------------------------ 5. Fatal in child ------------- *)
 
-let check_fatal_in_child ?(pool = Pool.sequential) (prog : Ir.program) :
-    Report.trad_bug list =
+let check_fatal_in_child ?(pool = Pool.sequential) ?metrics (prog : Ir.program)
+    : Report.trad_bug list =
   List.concat
   @@ Pool.map ~pool
     (fun (f : Ir.func) ->
+      guarded ?metrics ~checker:"trad.fatal-child" f @@ fun () ->
       let bugs = ref [] in
       if f.is_goroutine_body then
         Ir.iter_insts

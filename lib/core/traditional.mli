@@ -13,10 +13,17 @@ val detect :
 
 (** The individual checkers, taking pre-computed facts so a staged
     engine can share one alias/callgraph/primitive computation across
-    all of them (each is registered as its own engine pass). *)
+    all of them (each is registered as its own engine pass).
+
+    [metrics] arms the per-function fault boundary: a function whose
+    walk raises (or that would start under watchdog pressure) is dropped
+    from the result and accounted as degraded/skipped in the registry's
+    "health.*" counters, instead of aborting the checker.  Without it
+    the walks run bare, as the legacy [detect] entry point expects. *)
 
 val check_missing_unlock :
   ?pool:Goengine.Pool.t ->
+  ?metrics:Goobs.Metrics.t ->
   Primitives.t ->
   Goanalysis.Alias.t ->
   Goir.Ir.program ->
@@ -24,6 +31,7 @@ val check_missing_unlock :
 
 val check_double_lock :
   ?pool:Goengine.Pool.t ->
+  ?metrics:Goobs.Metrics.t ->
   Primitives.t ->
   Goanalysis.Alias.t ->
   Goanalysis.Callgraph.t ->
@@ -32,6 +40,7 @@ val check_double_lock :
 
 val check_conflicting_order :
   ?pool:Goengine.Pool.t ->
+  ?metrics:Goobs.Metrics.t ->
   Primitives.t ->
   Goanalysis.Alias.t ->
   Goir.Ir.program ->
@@ -39,10 +48,14 @@ val check_conflicting_order :
 
 val check_field_race :
   ?pool:Goengine.Pool.t ->
+  ?metrics:Goobs.Metrics.t ->
   Primitives.t ->
   Goanalysis.Alias.t ->
   Goir.Ir.program ->
   Report.trad_bug list
 
 val check_fatal_in_child :
-  ?pool:Goengine.Pool.t -> Goir.Ir.program -> Report.trad_bug list
+  ?pool:Goengine.Pool.t ->
+  ?metrics:Goobs.Metrics.t ->
+  Goir.Ir.program ->
+  Report.trad_bug list

@@ -65,6 +65,9 @@ type run = {
   r_diags : D.t list;            (* frontend diagnostics + all passes *)
   r_passes : pass_run list;
   r_elapsed_s : float;
+  r_health : (string * int) list;
+      (* the run's analysis-health ledger: "health.*" counters summed
+         over the frontend units and every pass's units *)
 }
 
 type t = {
@@ -156,9 +159,9 @@ let build_artifacts (t : t) ~name sources : artifacts =
       (stage t "lex" (fun () ->
            List.mapi
              (fun i src ->
-               Minigo.Lexer.tokenize
-                 ~file:(Printf.sprintf "%s/file%d.go" name i)
-                 src)
+               let file = Printf.sprintf "%s/file%d.go" name i in
+               Faults.trigger ~site:"frontend" ~key:file ();
+               Minigo.Lexer.tokenize ~file src)
              sources))
   in
   let a_ast =
@@ -245,6 +248,13 @@ let frontend_diag : exn -> D.t option = function
         (D.v ~pass:"frontend/lower" ~loc
            (Printf.sprintf "lowering error: %s at %s" m
               (Minigo.Loc.to_string loc)))
+  | Faults.Injected ("frontend", key) ->
+      (* the injection site sits in the per-file lexer loop; carry the
+         file name as a location so salvage can identify the file *)
+      Some
+        (D.v ~pass:"frontend/fault"
+           ~loc:(Minigo.Loc.make ~file:key ~line:1 ~col:1)
+           (Printf.sprintf "injected fault at frontend (%s)" key))
   | _ -> None
 
 (* Compile a source set through the frontend stages, capturing frontend
@@ -276,24 +286,124 @@ let select_passes (t : t) ?only ?(extra = []) () : pass list =
         (fun p -> p.p_default || List.mem p.p_name extra)
         t.passes
 
+(* ------------------------------------------- frontend fault salvage --- *)
+
+(* Identify which file a frontend diagnostic points at: locations are
+   named "%s/file%d.go" by [build_artifacts]. *)
+let failing_file_index ~name ~n (d : D.t) : int option =
+  match d.D.loc with
+  | None -> None
+  | Some l ->
+      let file = Minigo.Loc.file l in
+      let prefix = name ^ "/file" in
+      let plen = String.length prefix in
+      if
+        String.length file > plen + 3
+        && String.sub file 0 plen = prefix
+        && Filename.check_suffix file ".go"
+      then
+        match
+          int_of_string_opt (String.sub file plen (String.length file - plen - 3))
+        with
+        | Some k when k >= 0 && k < n -> Some k
+        | _ -> None
+      else None
+
+(* Replace a broken file with a minimal parseable stub that keeps its
+   package line (so sibling files still typecheck against the same
+   package), preserving every other file's name and index. *)
+let stub_of (src : string) : string =
+  let first_line =
+    match String.index_opt src '\n' with
+    | Some i -> String.sub src 0 i
+    | None -> src
+  in
+  if String.length first_line >= 8 && String.sub first_line 0 8 = "package " then
+    first_line ^ "\n"
+  else "package p\n"
+
+(* Compile with per-file fault containment: when the frontend fails over
+   a multi-file source set, the failing file is replaced by a stub and
+   compilation retried, so one broken corpus file degrades to one
+   frontend diagnostic (plus a supervision note) instead of killing the
+   whole run.  Returns the artifacts (if any subset survived), the
+   frontend diagnostics in discovery order, and the number of files
+   dropped. *)
+let compile_salvaging (t : t) ~name sources :
+    artifacts option * D.t list * int =
+  let arr = Array.of_list sources in
+  let n = Array.length arr in
+  let stubbed = Array.make n false in
+  let dropped () =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 stubbed
+  in
+  let diags = ref [] in
+  let rec go attempts =
+    match compile t ~name (Array.to_list arr) with
+    | Ok a -> Some a
+    | Error d ->
+        diags := d :: !diags;
+        if n <= 1 || attempts >= n then None
+        else
+          match failing_file_index ~name ~n d with
+          | Some k when not stubbed.(k) ->
+              stubbed.(k) <- true;
+              arr.(k) <- stub_of arr.(k);
+              if dropped () >= n then None (* nothing left to analyse *)
+              else begin
+                diags :=
+                  Supervise.diag ?loc:d.D.loc
+                    ~unit_name:(Printf.sprintf "%s/file%d.go" name k)
+                    Supervise.Degraded
+                    "file dropped after frontend failure; siblings still \
+                     analysed"
+                  :: !diags;
+                go (attempts + 1)
+              end
+          | _ -> None
+  in
+  let a = go 0 in
+  (a, List.rev !diags, dropped ())
+
 (* Run the frontend plus the selected detector passes over one source
    set.  Never raises on malformed input: lex/parse/type/lowering
-   errors come back as [Error]-severity diagnostics in [r_diags]. *)
+   errors come back as [Error]-severity diagnostics in [r_diags].
+   Every unit of work — each source file, each pass, and (inside the
+   passes) each channel/function — runs behind a [Supervise] fault
+   boundary, so a partial failure yields partial results plus health
+   accounting rather than an aborted run. *)
 let analyse ?only ?extra (t : t) ~name sources : run =
   let t0 = Clock.now_s () in
   let from_cache = cached t ~name sources in
-  match compile t ~name sources with
-  | Error d ->
+  (* run-local health ledger for the units owned by the engine itself
+     (source files, pass boundaries are accounted in each pass's
+     registry); folded into the engine registry at the end *)
+  let hreg = M.create () in
+  let selected = select_passes t ?only ?extra () in
+  let nfiles = List.length sources in
+  match compile_salvaging t ~name sources with
+  | None, fdiags, ndropped ->
+      let bump k v = M.add (M.counter hreg k) v in
+      bump Supervise.h_attempted nfiles;
+      bump Supervise.h_degraded (max 1 ndropped);
+      bump Supervise.h_skipped (max 0 (nfiles - max 1 ndropped));
+      let health = Supervise.health_of (M.counters_list hreg) in
+      M.merge_into ~dst:t.registry hreg;
       {
         r_name = name;
         r_key = key_of ~name sources;
         r_from_cache = from_cache;
         r_artifacts = None;
-        r_diags = [ d ];
+        r_diags = fdiags;
         r_passes = [];
         r_elapsed_s = Clock.elapsed_since t0;
+        r_health = health;
       }
-  | Ok a ->
+  | Some a, fdiags, ndropped ->
+      let bump k v = M.add (M.counter hreg k) v in
+      bump Supervise.h_attempted nfiles;
+      bump Supervise.h_ok (nfiles - ndropped);
+      bump Supervise.h_degraded ndropped;
       let pass_runs =
         List.map
           (fun p ->
@@ -303,15 +413,37 @@ let analyse ?only ?extra (t : t) ~name sources : run =
                engine concurrently; it is folded into the engine-wide
                registry afterwards. *)
             let preg = M.create () in
-            let diags =
-              Trace.with_span ~name:("pass." ^ p.p_name) (fun () ->
-                  p.p_run t.pool preg a)
+            let diags, ran =
+              match
+                Supervise.checked ~metrics:preg
+                  ~unit_name:("pass " ^ p.p_name) (fun () ->
+                    Trace.with_span ~name:("pass." ^ p.p_name) (fun () ->
+                        p.p_run t.pool preg a))
+              with
+              | Ok ds -> (ds, true)
+              | Error (`Skipped reason) ->
+                  ( [
+                      Supervise.diag ~pass:p.p_name
+                        ~unit_name:("pass " ^ p.p_name) Supervise.Skipped
+                        (reason ^ "; partial results flushed");
+                    ],
+                    false )
+              | Error (`Degraded detail) ->
+                  ( [
+                      Supervise.diag ~pass:p.p_name
+                        ~unit_name:("pass " ^ p.p_name)
+                        Supervise.Internal_error
+                        (detail ^ "; other passes unaffected");
+                    ],
+                    true )
             in
             let elapsed = Clock.elapsed_since p0 in
-            M.incr (M.counter t.registry ("pass." ^ p.p_name ^ ".runs"));
-            M.observe
-              (M.histogram t.registry ("pass." ^ p.p_name ^ ".ms"))
-              (1000.0 *. elapsed);
+            if ran then begin
+              M.incr (M.counter t.registry ("pass." ^ p.p_name ^ ".runs"));
+              M.observe
+                (M.histogram t.registry ("pass." ^ p.p_name ^ ".ms"))
+                (1000.0 *. elapsed)
+            end;
             let metrics = M.counters_list preg in
             M.merge_into ~dst:t.registry preg;
             {
@@ -320,16 +452,23 @@ let analyse ?only ?extra (t : t) ~name sources : run =
               pr_diags = diags;
               pr_metrics = metrics;
             })
-          (select_passes t ?only ?extra ())
+          selected
       in
+      let health =
+        Supervise.health_sum
+          (M.counters_list hreg
+          :: List.map (fun pr -> pr.pr_metrics) pass_runs)
+      in
+      M.merge_into ~dst:t.registry hreg;
       {
         r_name = name;
         r_key = a.a_key;
         r_from_cache = from_cache;
         r_artifacts = Some a;
-        r_diags = List.concat_map (fun pr -> pr.pr_diags) pass_runs;
+        r_diags = fdiags @ List.concat_map (fun pr -> pr.pr_diags) pass_runs;
         r_passes = pass_runs;
         r_elapsed_s = Clock.elapsed_since t0;
+        r_health = health;
       }
 
 let errors (r : run) = List.filter D.is_error r.r_diags
@@ -348,10 +487,24 @@ let run_to_json (r : run) : string =
             (fun (k, v) -> Printf.sprintf {|"%s":%d|} (D.json_escape k) v)
             pr.pr_metrics))
   in
+  let health_json =
+    String.concat ","
+      (List.map
+         (fun (k, v) ->
+           (* strip the "health." namespace: the object is already
+              called "health" *)
+           let k =
+             if String.length k > 7 && String.sub k 0 7 = "health." then
+               String.sub k 7 (String.length k - 7)
+             else k
+           in
+           Printf.sprintf {|"%s":%d|} (D.json_escape k) v)
+         r.r_health)
+  in
   Printf.sprintf
-    {|{"name":"%s","source_key":"%s","from_cache":%b,"frontend_ok":%b,"elapsed_s":%.6f,"diagnostics":%s,"passes":[%s]}|}
+    {|{"name":"%s","source_key":"%s","from_cache":%b,"frontend_ok":%b,"elapsed_s":%.6f,"health":{%s},"diagnostics":%s,"passes":[%s]}|}
     (D.json_escape r.r_name) r.r_key r.r_from_cache
     (not (frontend_failed r))
-    r.r_elapsed_s
+    r.r_elapsed_s health_json
     (D.list_to_json r.r_diags)
     (String.concat "," (List.map pass_json r.r_passes))

@@ -282,6 +282,11 @@ let map ~pool f xs =
             try
               Ok
                 (Goobs.Trace.with_span ~name:"pool.task" (fun () ->
+                     (* a "pool" fault models a worker crashing mid-task:
+                        it is captured like any task exception and
+                        re-raised in the caller, where the surrounding
+                        supervision boundary contains it *)
+                     Faults.trigger ~site:"pool" ~key:(string_of_int i) ();
                      f items.(i)))
             with e -> Error (e, Printexc.get_raw_backtrace ())
           in

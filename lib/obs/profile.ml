@@ -98,6 +98,23 @@ let report ?(top = 10) (reg : Metrics.t) (pass_times : (string * float) list) :
        (100.0 *. float_of_int hits /. float_of_int (hits + misses))
        (c "bmoc.solve_cache_disk_hit")
        (c "bmoc.solve_cache_store"));
+  (* analysis health: the supervision layer's unit ledger ("health.*"
+     counters; the key names are fixed by Goengine.Supervise, which sits
+     above this library) *)
+  (let counters = Metrics.counters_list reg in
+   let c n = Option.value (List.assoc_opt n counters) ~default:0 in
+   let attempted = c "health.attempted" in
+   if attempted > 0 then begin
+     line "analysis health:";
+     line
+       "  %d unit(s) attempted: %d ok, %d degraded, %d skipped, %d retried"
+       attempted (c "health.ok") (c "health.degraded") (c "health.skipped")
+       (c "health.retried");
+     let errs =
+       c "bmoc.solve_cache_read_error" + c "bmoc.solve_cache_write_error"
+     in
+     if errs > 0 then line "  %d solve-cache I/O error(s) (best-effort)" errs
+   end);
   let hists = Metrics.histogram_names reg in
   if hists <> [] then begin
     line "histograms (p50 / p95 / max):";

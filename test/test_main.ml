@@ -13,6 +13,7 @@ let () =
       ("smt", Suite_smt.tests);
       ("runtime", Suite_runtime.tests);
       ("engine", Suite_engine.tests);
+      ("faults", Suite_faults.tests);
       ("obs", Suite_obs.tests);
       ("parallel", Suite_parallel.tests);
       ("detector", Suite_detector.tests);
