@@ -48,8 +48,9 @@ let header title =
 (* The per-app sweep fans out across the pool.  Apps are compiled first
    (sequentially, filling the shared artifact cache) so the parallel part
    is pure detection; [Pool.map] keeps results in input order and a
-   nested per-channel fan-out inside a worker degrades to sequential, so
-   the scores are identical at every jobs setting. *)
+   nested per-channel fan-out inside a worker forks real scheduled tasks
+   with the same input-order assembly, so the scores are identical at
+   every jobs setting. *)
 let scores : Score.app_score list Lazy.t =
   lazy
     (let e = Lazy.force engine in
@@ -836,7 +837,99 @@ let erobust () =
     /. max 1e-9 (tot (fun p -> p.rp_clean_s)))
     (pct (tot (fun p -> p.rp_armed_s)) (tot (fun p -> p.rp_clean_s)))
 
+(* ------------------------------------------------------- E-sched --- *)
+
+(* The PR-6 effects scheduler: nested fan-out with deliberately skewed
+   per-channel costs.  Under the old barrier pool an inner per-channel
+   map collapsed to an inline loop, so a 10x channel serialised its
+   whole group behind it; under the scheduler the inner fan-out forks
+   real stealable tasks and the skew is absorbed by whichever domains
+   are free.  Both variants run through [with_scheduler] so the
+   comparison isolates exactly the nested-fan-out semantics (outer-only
+   parallelism vs full nesting), not session setup. *)
+type sched_point = {
+  sp_outer : int;
+  sp_inner : int;
+  sp_skew : int;
+  sp_barrier_s : float;
+  sp_sched_s : float;
+  sp_spawned : int;
+  sp_stolen : int;
+}
+
+let sched_result : sched_point option ref = ref None
+
+let esched () =
+  header
+    "E-sched | Effects scheduler: nested fan-out with skewed channel\n\
+    \        | costs (one 10x channel) at jobs 4 - barrier-style\n\
+    \        | outer-only parallelism vs nested scheduling (PR 6)";
+  let pool = Pool.get ~jobs:4 in
+  let inner_costs = [ 10; 1; 1; 1; 1; 1; 1; 1 ] in
+  let outer = 2 in
+  let groups = List.init outer (fun _ -> inner_costs) in
+  (* one cost unit of deterministic integer churn standing in for a
+     per-channel solve; [opaque_identity] keeps it from being folded *)
+  let spin = 40_000 in
+  let work cost =
+    let acc = ref 0 in
+    for _ = 1 to cost * spin do
+      acc := Sys.opaque_identity ((!acc * 1103515245) + 12345)
+    done;
+    !acc
+  in
+  let barrier () =
+    (* the old pool's nested-map semantics: outer parallel, inner inline *)
+    Pool.with_scheduler ~pool (fun () ->
+        Pool.map ~pool (fun g -> List.map work g) groups)
+  in
+  let sched () =
+    Pool.with_scheduler ~pool (fun () ->
+        Pool.map ~pool (fun g -> Pool.map ~pool work g) groups)
+  in
+  if barrier () <> sched () then failwith "e-sched: variant results differ";
+  let reps = 7 in
+  let median l = List.nth (List.sort compare l) (List.length l / 2) in
+  let time f =
+    let t0 = Clock.now_s () in
+    ignore (f ());
+    Clock.elapsed_since t0
+  in
+  let med f = median (List.init reps (fun _ -> time f)) in
+  let b = med barrier in
+  let spawned0 = counter_now "sched.tasks_spawned" in
+  let stolen0 = counter_now "sched.tasks_stolen" in
+  let s = med sched in
+  let spawned = counter_now "sched.tasks_spawned" - spawned0 in
+  let stolen = counter_now "sched.tasks_stolen" - stolen0 in
+  Printf.printf
+    "outer groups: %d; channels/group: %d (one 10x); jobs: 4; hardware \
+     threads: %d\n\n"
+    outer
+    (List.length inner_costs)
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-24s %10s\n" "variant" "med (ms)";
+  Printf.printf "%-24s %10.3f\n" "barrier (outer only)" (1000. *. b);
+  Printf.printf "%-24s %10.3f\n" "scheduler (nested)" (1000. *. s);
+  Printf.printf
+    "\nspeedup: %.2fx; %d task(s) spawned, %d stolen over %d scheduled \
+     rep(s)\n"
+    (b /. max 1e-9 s)
+    spawned stolen reps;
+  sched_result :=
+    Some
+      {
+        sp_outer = outer;
+        sp_inner = List.length inner_costs;
+        sp_skew = 10;
+        sp_barrier_s = b;
+        sp_sched_s = s;
+        sp_spawned = spawned;
+        sp_stolen = stolen;
+      }
+
 (* ------------------------------------------------------- json out --- *)
+
 
 let json_escape = D.json_escape
 
@@ -910,6 +1003,16 @@ let write_json path (timings : (string * float) list) =
                     p.rp_clean_s p.rp_armed_s)
                 points))
   in
+  let e_sched =
+    match !sched_result with
+    | None -> "null"
+    | Some p ->
+        Printf.sprintf
+          {|{"jobs":4,"outer":%d,"inner":%d,"skew":%d,"barrier_s":%.6f,"sched_s":%.6f,"speedup":%.3f,"tasks_spawned":%d,"tasks_stolen":%d}|}
+          p.sp_outer p.sp_inner p.sp_skew p.sp_barrier_s p.sp_sched_s
+          (p.sp_barrier_s /. max 1e-9 p.sp_sched_s)
+          p.sp_spawned p.sp_stolen
+  in
   (* the unified registry snapshot: engine stage/cache counters, pass
      runs, bmoc/pathenum/pool/gfix counters accumulated over the run *)
   let metrics =
@@ -919,8 +1022,8 @@ let write_json path (timings : (string * float) list) =
          (Goobs.Metrics.counters_list Goobs.Metrics.default))
   in
   Printf.fprintf oc
-    {|{"schema":"gcatch-bench/4","jobs":%d,"experiments":[%s],"e2_parallel":%s,"e_incr":%s,"e_robust":%s,"metrics":{%s}}|}
-    !jobs_flag experiments parallel e_incr e_robust metrics;
+    {|{"schema":"gcatch-bench/5","jobs":%d,"experiments":[%s],"e2_parallel":%s,"e_incr":%s,"e_robust":%s,"e_sched":%s,"metrics":{%s}}|}
+    !jobs_flag experiments parallel e_incr e_robust e_sched metrics;
   output_char oc '
 ';
   close_out oc;
@@ -937,7 +1040,7 @@ let all =
   [
     ("micro", micro); ("e1", e1); ("e2", e2); ("e2par", e2par); ("e3", e3);
     ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
-    ("e-incr", eincr); ("e-robust", erobust);
+    ("e-incr", eincr); ("e-robust", erobust); ("e-sched", esched);
   ]
 
 let () =

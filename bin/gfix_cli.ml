@@ -22,7 +22,7 @@ let read_file path =
   close_in ic;
   s
 
-let run_checked files validate =
+let run_checked files validate jobs solver_poll_conflicts =
   (* gfix narrates its per-bug outcomes by design: default to info-level
      logging unless the user set GCATCH_LOG themselves *)
   if Sys.getenv_opt "GCATCH_LOG" = None then Log.set_level Log.Info;
@@ -30,7 +30,14 @@ let run_checked files validate =
     Log.error "no input files";
     exit 2);
   let sources = List.map read_file files in
-  let engine = Gcatch.Passes.engine () in
+  let cfg =
+    {
+      Gcatch.Bmoc.default_config with
+      path_cfg =
+        { Gcatch.Pathenum.default_config with solver_poll_conflicts };
+    }
+  in
+  let engine = Gcatch.Passes.engine ~cfg ~jobs () in
   let r = E.analyse ~only:[ "bmoc" ] engine ~name:"cli" sources in
   if E.frontend_failed r then begin
     List.iter (fun d -> prerr_endline (D.render_human d)) r.E.r_diags;
@@ -72,8 +79,8 @@ let run_checked files validate =
 
 (* No raw exception may escape to the runtime's default handler: route
    everything through the structured log with the documented exit 3. *)
-let run files validate =
-  try run_checked files validate
+let run files validate jobs solver_poll_conflicts =
+  try run_checked files validate jobs solver_poll_conflicts
   with e ->
     Log.error ~kv:[ ("exception", Printexc.to_string e) ] "internal error";
     exit 3
@@ -87,6 +94,26 @@ let validate_arg =
     & info [ "validate" ]
         ~doc:"Run the original and patched programs under many schedules")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Goengine.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan the detection pass out over $(docv) domains (default: the \
+           GCATCH_JOBS environment variable or the hardware's recommended \
+           domain count). The patched output is identical for every N.")
+
+let solver_poll_arg =
+  Arg.(
+    value
+    & opt int
+        Gcatch.Pathenum.default_config.Gcatch.Pathenum.solver_poll_conflicts
+    & info [ "solver-poll-conflicts" ] ~docv:"N"
+        ~doc:
+          "Poll the solver-budget deadline (and yield to the task scheduler) \
+           every $(docv) SAT conflicts.")
+
 let exits =
   [
     Cmd.Exit.info 0 ~doc:"patched program printed.";
@@ -98,7 +125,7 @@ let exits =
 let cmd =
   Cmd.v
     (Cmd.info "gfix" ~doc:"Automatically patch BMOC bugs" ~exits)
-    Term.(const run $ files_arg $ validate_arg)
+    Term.(const run $ files_arg $ validate_arg $ jobs_arg $ solver_poll_arg)
 
 let () =
   let code = Cmd.eval cmd in

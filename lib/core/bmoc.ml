@@ -252,13 +252,26 @@ let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
     cst.c_sat_restarts <- cst.c_sat_restarts + restarts;
     cst.c_sat_db_reductions <- cst.c_sat_db_reductions + reductions
   in
+  (* The solver's conflict poll doubles as the scheduler yield point: a
+     long-running solve inside a scheduled task periodically gives the
+     domain back instead of wedging it.  The yield is a no-op outside
+     the scheduler, and the returned deadline answer is unaffected, so
+     verdicts stay schedule-independent. *)
   let should_stop =
     match cfg.path_cfg.Pathenum.solver_timeout_ms with
-    | None -> None
+    | None ->
+        Some
+          (fun () ->
+            Goengine.Pool.yield ();
+            false)
     | Some ms ->
         let deadline = Clock.now_s () +. (float_of_int ms /. 1000.) in
-        Some (fun () -> Clock.now_s () > deadline)
+        Some
+          (fun () ->
+            Goengine.Pool.yield ();
+            Clock.now_s () > deadline)
   in
+  let poll_every = cfg.path_cfg.Pathenum.solver_poll_conflicts in
   let scope, pset =
     if cfg.disentangle then (Disentangle.scope_of dis c, Disentangle.pset dis c)
     else begin
@@ -377,7 +390,9 @@ let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
        budget path (and hence the degradation ladder) *)
     (match Goengine.Faults.fire ~site:"solver" ~key:(Alias.obj_str c) () with
     | None -> ()
-    | Some Goengine.Faults.Stall -> Unix.sleepf Goengine.Faults.stall_s
+    | Some Goengine.Faults.Stall ->
+        (* yield-aware: a stalled solver site must not wedge its domain *)
+        Goengine.Pool.sleep_yielding Goengine.Faults.stall_s
     | Some Goengine.Faults.Timeout -> raise Gosmt.Solver.Timeout
     | Some _ ->
         raise (Goengine.Faults.Injected ("solver", Alias.obj_str c)));
@@ -412,7 +427,10 @@ let detect_channel ?(cfg = default_config) ~(prims : Primitives.t)
               cst.c_groups_checked <- cst.c_groups_checked + 1;
               let problem = { Constraints.combo; group; pset; prims } in
               cst.c_solver_calls <- cst.c_solver_calls + 1;
-              match Constraints.solve_incr session ?should_stop ~on_stats problem with
+              match
+                Constraints.solve_incr session ?should_stop ~poll_every
+                  ~on_stats problem
+              with
               | Constraints.Cannot_block -> ()
               | Constraints.Blocks witness ->
                   Hashtbl.add seen_groups key ();
@@ -528,9 +546,21 @@ let rung_cfg cfg i =
    nothing to ladder off: the clean path is one plain call. *)
 let detect_channel_ladder ~cfg ~prims ~dis ~cg ~alias ~prog ~cst ~enum_memo c :
     Report.bmoc_bug list * bool * int =
-  let found, timed =
-    detect_channel ~cfg ~prims ~dis ~cg ~alias ~prog ~cst ~enum_memo c
+  (* Each rung attempt runs as its own scheduled task: under the effects
+     scheduler a rung that stalls in the solver suspends at its yield
+     points instead of pinning the domain, and the awaiting ladder frame
+     itself is stealable.  Outside the scheduler [fork] degenerates to
+     an immediate call, so the ladder works identically in sequential
+     runs.  Rungs stay *sequential decisions* (fork-then-await one at a
+     time, no speculation): whether rung [i+1] runs depends on rung
+     [i]'s verdict, which keeps solver-call counters and the consumed
+     rung count schedule-independent. *)
+  let attempt cfg =
+    Goengine.Pool.await
+      (Goengine.Pool.fork (fun () ->
+           detect_channel ~cfg ~prims ~dis ~cg ~alias ~prog ~cst ~enum_memo c))
   in
+  let found, timed = attempt cfg in
   if
     (not timed)
     || cfg.path_cfg.Pathenum.solver_timeout_ms = None
@@ -540,10 +570,7 @@ let detect_channel_ladder ~cfg ~prims ~dis ~cg ~alias ~prog ~cst ~enum_memo c :
     let rec retry i =
       if i > cfg.retry_rungs then ([], true, cfg.retry_rungs)
       else
-        let found, timed =
-          detect_channel ~cfg:(rung_cfg cfg i) ~prims ~dis ~cg ~alias ~prog
-            ~cst ~enum_memo c
-        in
+        let found, timed = attempt (rung_cfg cfg i) in
         if timed then retry (i + 1) else (found, false, i)
     in
     retry 1

@@ -98,7 +98,8 @@ let disk_file dir fp = Filename.concat dir ("gcatch-" ^ fp ^ ".solve")
 let disk_read dir fp : entry option =
   (match Goengine.Faults.fire ~site:"cache.read" ~key:fp () with
   | None -> ()
-  | Some Goengine.Faults.Stall -> Unix.sleepf Goengine.Faults.stall_s
+  | Some Goengine.Faults.Stall ->
+      Goengine.Pool.sleep_yielding Goengine.Faults.stall_s
   | Some _ -> raise (Goengine.Faults.Injected ("cache.read", fp)));
   let path = disk_file dir fp in
   match open_in_bin path with
@@ -137,17 +138,26 @@ let disk_read dir fp : entry option =
    once, and a vanished directory retires the tier. *)
 let checked_read dir fp : entry option =
   if not (Atomic.get disk_enabled) then None
-  else
-    try disk_read dir fp
-    with _ ->
-      M.incr (Lazy.force c_read_error);
-      if not (dir_usable dir) then disable_disk dir;
-      None
+  else begin
+    (* yield around the blocking syscalls: a scheduled task reading the
+       disk tier gives other tasks a turn before and after the I/O *)
+    Goengine.Pool.yield ();
+    let r =
+      try disk_read dir fp
+      with _ ->
+        M.incr (Lazy.force c_read_error);
+        if not (dir_usable dir) then disable_disk dir;
+        None
+    in
+    Goengine.Pool.yield ();
+    r
+  end
 
 let disk_write dir fp (e : entry) : unit =
   (match Goengine.Faults.fire ~site:"cache.write" ~key:fp () with
   | None -> ()
-  | Some Goengine.Faults.Stall -> Unix.sleepf Goengine.Faults.stall_s
+  | Some Goengine.Faults.Stall ->
+      Goengine.Pool.sleep_yielding Goengine.Faults.stall_s
   | Some _ -> raise (Goengine.Faults.Injected ("cache.write", fp)));
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let body = Marshal.to_string (format_version, fp, e) [ Marshal.No_sharing ] in
@@ -173,11 +183,15 @@ let disk_write dir fp (e : entry) : unit =
 (* [disk_write] with the fault boundary: a cache store never fails the
    analysis. *)
 let checked_write dir fp (e : entry) : unit =
-  if Atomic.get disk_enabled then
-    try disk_write dir fp e
-    with _ ->
-      M.incr (Lazy.force c_write_error);
-      if not (dir_usable dir) then disable_disk dir
+  if Atomic.get disk_enabled then begin
+    (* as in [checked_read]: bracket the blocking I/O with yields *)
+    Goengine.Pool.yield ();
+    (try disk_write dir fp e
+     with _ ->
+       M.incr (Lazy.force c_write_error);
+       if not (dir_usable dir) then disable_disk dir);
+    Goengine.Pool.yield ()
+  end
 
 (* -------------------------------------------------------- frontend --- *)
 

@@ -1,34 +1,45 @@
-(* A fixed-size domain pool with per-domain work-stealing deques.
+(* An effects-based work-stealing task scheduler over per-domain
+   Chase–Lev deques.
 
    The detectors' cost is dominated by per-scope constraint problems that
    disentangling makes small and *independent* (paper §4.2, §5.2): every
    channel, every traditional-checker function walk, and every bench app
    can be analysed in isolation.  This module supplies the parallel
-   substrate they all share, built directly on OCaml 5 Domains (the build
-   has no domainslib):
+   substrate they all share, built directly on OCaml 5 Domains and
+   effect handlers (the build has no domainslib):
 
    - [Ws_deque]: a Chase–Lev circular work-stealing deque.  The owner
      pushes and pops at the bottom; thieves steal from the top with a
      compare-and-set.  OCaml's atomics are sequentially consistent, so
      the textbook algorithm carries over without explicit fences.
+   - The scheduler: tasks are delimited computations run under a deep
+     effect handler.  A task can [Fork] a child (pushed onto the
+     executing participant's own deque), [Yield] the domain (requeued,
+     and the participant switches to its *oldest* queued task so a
+     polling loop cannot starve its siblings), or [Await] a promise
+     (suspending until another task fills it).  Suspended continuations
+     are heap-allocated fibers: any participant may steal and resume
+     them, so a task migrates freely across domains between slices.
    - [t]: a pool of [jobs - 1] worker domains plus the calling domain.
-     A batch pre-distributes task indices round-robin across one deque
-     per participant; each participant drains its own deque and then
-     steals from the others, so stragglers are rebalanced automatically.
+     A top-level [map] (or [with_scheduler]) opens a *session*: one
+     deque per participant, a root task, and the workers participate
+     until the root completes.
 
-   Determinism: [map] writes results into an index-addressed array, so
-   the output order equals the input order no matter which domain ran
-   which item — callers get byte-identical results for jobs=1 and
-   jobs=N provided [f] itself is deterministic per item.
-
-   Exceptions: a task's exception is captured with its backtrace and
-   re-raised in the caller *for the smallest failing index*, again
-   schedule-independent.
+   Determinism: [map] assembles results in input order from an
+   index-addressed array of promises, and after *all* items complete it
+   re-raises the exception of the smallest failing index — both
+   schedule-independent, so callers get byte-identical results for
+   jobs=1 and jobs=N provided [f] itself is deterministic per item.
 
    Nesting: a task that itself calls [map] (e.g. BMOC's per-channel fan
-   out inside a parallel per-app bench sweep) runs the inner map
-   sequentially — the outer batch already owns the workers, and a
-   domain-local flag makes the inner call degrade instead of deadlock. *)
+   out inside a parallel per-app bench sweep) forks *real* subtasks into
+   the running session and awaits them — the inner fan-out is scheduled
+   and stealable instead of degrading to an inline loop.
+
+   Span handoff: each task carries its own open-span stack
+   (inherited from its forking parent), swapped into the executing
+   domain around every slice, so `Trace` spans survive suspension and
+   close correctly after a steal. *)
 
 module Ws_deque = struct
   type 'a t = {
@@ -115,40 +126,218 @@ module Ws_deque = struct
       else steal q
 end
 
-(* ------------------------------------------------------------ pool --- *)
+(* ------------------------------------------------------- scheduler --- *)
 
-type batch = {
-  deques : int Ws_deque.t array; (* one per participant; task = item index *)
-  run : int -> unit;             (* execute item i, record its result *)
-  remaining : int Atomic.t;
+module M = Goobs.Metrics
+module Trace = Goobs.Trace
+
+(* Scheduler metrics go to the process-wide registry; values depend on
+   the schedule (steals especially), so determinism checks must ignore
+   the "pool." and "sched." namespaces. *)
+let m_tasks = lazy (M.counter M.default "pool.tasks")
+let m_steals = lazy (M.counter M.default "pool.steals")
+let m_batches = lazy (M.counter M.default "pool.batches")
+let m_items = lazy (M.counter M.default "pool.items")
+let m_spawned = lazy (M.counter M.default "sched.tasks_spawned")
+let m_stolen = lazy (M.counter M.default "sched.tasks_stolen")
+let m_yields = lazy (M.counter M.default "sched.yields")
+let g_depth = lazy (M.gauge M.default "sched.queue_depth")
+
+(* A task's identity across suspensions: the open-span stack it carries
+   between execution slices (see "Span handoff" above). *)
+type task = { mutable t_spans : Trace.stack }
+
+(* What an execution slice reports back to the participant loop. *)
+type status = Done | Suspended
+
+type 'a outcome = ('a, exn * Printexc.raw_backtrace) result
+
+(* A schedulable unit: a fresh task's first slice, or a suspended
+   continuation to resume.  [rn_fiber] runs under (or re-enters) the
+   task's deep handler and returns only when the task completes or
+   suspends again. *)
+type runnable = { rn_task : task; rn_fiber : unit -> status }
+
+type 'a waiter = {
+  w_task : task;
+  w_k : ('a outcome, status) Effect.Deep.continuation;
 }
+
+type 'a ivar_state = Empty of 'a waiter list | Full of 'a outcome
+type 'a promise = 'a ivar_state Atomic.t
+
+(* One top-level scheduling session: a root task plus everything it
+   transitively forks.  [ses_done] is set by the root's last
+   instruction; [ses_pending] counts queued-but-not-running runnables
+   (the queue_depth gauge). *)
+type session = {
+  ses_deques : runnable Ws_deque.t array; (* one per participant *)
+  ses_done : bool Atomic.t;
+  ses_pending : int Atomic.t;
+}
+
+type _ Effect.t +=
+  | Fork : (unit -> unit) -> unit Effect.t
+  | Yield : unit Effect.t
+  | Await : 'a promise -> 'a outcome Effect.t
+
+(* Per-domain scheduler state.  [d_prev_spans] holds the *participant's
+   own* span stack while a task's stack is swapped in, so suspension can
+   restore it (the suspension handler saves the task's stack *before*
+   publishing the continuation — a thief may resume it immediately). *)
+type dsched = {
+  mutable d_session : session option;
+  mutable d_slot : int;
+  mutable d_task : task option;
+  mutable d_prev_spans : Trace.stack;
+  mutable d_prefer_fifo : bool; (* after a yield: dequeue oldest-first *)
+}
+
+let sched_key : dsched Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        d_session = None;
+        d_slot = 0;
+        d_task = None;
+        d_prev_spans = Trace.empty_stack;
+        d_prefer_fifo = false;
+      })
+
+(* hot: called from every yield poll; a [match] avoids the polymorphic
+   compare [<> None] would cost *)
+let in_task () =
+  match (Domain.DLS.get sched_key).d_task with Some _ -> true | None -> false
+
+let enqueue ds rn =
+  match ds.d_session with
+  | None -> invalid_arg "Pool: cannot schedule a task outside a session"
+  | Some ses ->
+      Ws_deque.push ses.ses_deques.(ds.d_slot) rn;
+      let d = 1 + Atomic.fetch_and_add ses.ses_pending 1 in
+      M.set_gauge (Lazy.force g_depth) (float_of_int d)
+
+(* Park the suspending task's context.  MUST run before the continuation
+   becomes reachable from any deque or promise: the instant it is
+   published, another domain may resume the task and swap [t_spans] in
+   over there. *)
+let save_task_ctx ds task =
+  task.t_spans <- Trace.swap_stack ds.d_prev_spans;
+  ds.d_task <- None
+
+let restore_task_ctx ds task =
+  ds.d_prev_spans <- Trace.swap_stack task.t_spans;
+  ds.d_task <- Some task
+
+(* Write-once fill; wakes every waiter by queueing its resumption on the
+   filling participant's own deque (fills only happen from task bodies,
+   which only run on participants). *)
+let fill (iv : 'a promise) (r : 'a outcome) : unit =
+  let rec go () =
+    match Atomic.get iv with
+    | Full _ -> invalid_arg "Pool: promise filled twice"
+    | Empty ws as old ->
+        if Atomic.compare_and_set iv old (Full r) then (
+          match ws with
+          | [] -> ()
+          | ws ->
+              let ds = Domain.DLS.get sched_key in
+              List.iter
+                (fun w ->
+                  enqueue ds
+                    {
+                      rn_task = w.w_task;
+                      rn_fiber = (fun () -> Effect.Deep.continue w.w_k r);
+                    })
+                (List.rev ws))
+        else go ()
+  in
+  go ()
+
+(* Run a fresh task under the deep handler.  The handler branches fetch
+   the *current* domain's scheduler state dynamically: after a steal the
+   resumed fiber re-enters these branches on a different domain, and the
+   push must go to the thief's own deque to respect the owner-only
+   discipline. *)
+let rec run_fresh (task : task) (body : unit -> unit) : status =
+  Effect.Deep.match_with body ()
+    {
+      retc = (fun () -> Done);
+      (* task bodies are exception-wrapped by construction; an escape
+         here is a scheduler bug and must not die silently in a worker *)
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Fork child ->
+              Some
+                (fun (k : (a, status) Effect.Deep.continuation) ->
+                  let ds = Domain.DLS.get sched_key in
+                  M.incr (Lazy.force m_spawned);
+                  (* the child inherits the forking task's open spans:
+                     its own spans parent under the span that was open
+                     at the fork point, wherever the child ends up
+                     running *)
+                  let t = { t_spans = Trace.current_stack () } in
+                  enqueue ds
+                    { rn_task = t; rn_fiber = (fun () -> run_fresh t child) };
+                  Effect.Deep.continue k ())
+          | Yield ->
+              Some
+                (fun (k : (a, status) Effect.Deep.continuation) ->
+                  let ds = Domain.DLS.get sched_key in
+                  M.incr (Lazy.force m_yields);
+                  save_task_ctx ds task;
+                  enqueue ds
+                    {
+                      rn_task = task;
+                      rn_fiber = (fun () -> Effect.Deep.continue k ());
+                    };
+                  (* round-robin after a yield: the participant takes its
+                     *oldest* queued task next, so a polling task cannot
+                     monopolise the domain (owner pop is LIFO and would
+                     otherwise re-run the yielder immediately) *)
+                  ds.d_prefer_fifo <- true;
+                  Suspended)
+          | Await iv ->
+              Some
+                (fun (k : (a, status) Effect.Deep.continuation) ->
+                  match Atomic.get iv with
+                  | Full r -> Effect.Deep.continue k r
+                  | Empty _ ->
+                      let ds = Domain.DLS.get sched_key in
+                      save_task_ctx ds task;
+                      let w = { w_task = task; w_k = k } in
+                      let rec register () =
+                        match Atomic.get iv with
+                        | Full r ->
+                            (* filled between the save and the CAS: the
+                               continuation was never published, resume
+                               in place *)
+                            restore_task_ctx ds task;
+                            Effect.Deep.continue k r
+                        | Empty ws as old ->
+                            if Atomic.compare_and_set iv old (Empty (w :: ws))
+                            then Suspended
+                            else register ()
+                      in
+                      register ())
+          | _ -> None);
+    }
+
+(* ------------------------------------------------------------ pool --- *)
 
 type t = {
   jobs : int;                       (* participants, including the caller *)
   mutable workers : unit Domain.t array; (* the [jobs - 1] spawned domains *)
   mu : Mutex.t;                     (* guards epoch/current/stop *)
   cv : Condition.t;
-  mutable epoch : int;              (* bumped once per batch *)
-  mutable current : batch option;
+  mutable epoch : int;              (* bumped once per session *)
+  mutable current : session option;
   mutable stop : bool;
-  batch_mu : Mutex.t;               (* serializes top-level map calls *)
+  batch_mu : Mutex.t;               (* serializes top-level sessions *)
 }
 
-(* True while the current domain is executing a pool task: inner [map]
-   calls fall back to sequential execution. *)
-let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
-
 let jobs t = t.jobs
-
-(* Scheduler metrics go to the process-wide registry; values depend on
-   the schedule (steals especially), so determinism checks must ignore
-   the "pool." namespace. *)
-module M = Goobs.Metrics
-
-let m_tasks = lazy (M.counter M.default "pool.tasks")
-let m_steals = lazy (M.counter M.default "pool.steals")
-let m_batches = lazy (M.counter M.default "pool.batches")
-let m_items = lazy (M.counter M.default "pool.items")
 
 (* Idle waiting: spin briefly, then sleep with backoff.  On an
    oversubscribed machine (more participants than cores) a pure spin
@@ -157,36 +346,79 @@ let idle_pause k =
   if k < 64 then Domain.cpu_relax ()
   else Unix.sleepf (if k < 512 then 0.0002 else 0.001)
 
-let participate (b : batch) (slot : int) =
-  let n = Array.length b.deques in
-  let mine = b.deques.(slot) in
-  let next_task () =
-    match Ws_deque.pop mine with
-    | Some _ as t -> t
-    | None ->
-        (* own deque drained: steal round-robin from the others *)
-        let rec try_steal k =
-          if k >= n then None
-          else
-            match Ws_deque.steal b.deques.((slot + k) mod n) with
-            | Some _ as t ->
-                M.incr (Lazy.force m_steals);
-                t
-            | None -> try_steal (k + 1)
-        in
-        try_steal 1
+(* One execution slice of [rn] on this participant: swap the task's span
+   stack in, run the fiber, and on completion swap the participant's own
+   stack back.  A *suspension* already restored the context from inside
+   the handler (see [save_task_ctx]), so there is nothing to undo. *)
+let exec ds rn =
+  ds.d_task <- Some rn.rn_task;
+  ds.d_prev_spans <- Trace.swap_stack rn.rn_task.t_spans;
+  match rn.rn_fiber () with
+  | Done ->
+      ignore (Trace.swap_stack ds.d_prev_spans);
+      ds.d_task <- None
+  | Suspended -> ()
+  | exception e ->
+      (* unreachable for wrapped bodies; restore the domain before
+         propagating so a scheduler bug doesn't also corrupt tracing *)
+      ignore (Trace.swap_stack ds.d_prev_spans);
+      ds.d_task <- None;
+      raise e
+
+let next_task ses slot ds =
+  let n = Array.length ses.ses_deques in
+  let mine = ses.ses_deques.(slot) in
+  let after_yield =
+    if ds.d_prefer_fifo then begin
+      ds.d_prefer_fifo <- false;
+      (* owner steals from its own top: oldest-first, the fairness path
+         after a yield *)
+      Ws_deque.steal mine
+    end
+    else None
   in
-  let rec go idle =
-    if Atomic.get b.remaining > 0 then
-      match next_task () with
-      | Some i ->
-          b.run i;
-          go 0
+  match after_yield with
+  | Some _ as r -> r
+  | None -> (
+      match Ws_deque.pop mine with
+      | Some _ as r -> r
       | None ->
-          idle_pause idle;
-          go (idle + 1)
-  in
-  go 0
+          (* own deque drained: steal round-robin from the others *)
+          let rec try_steal k =
+            if k >= n then None
+            else
+              match Ws_deque.steal ses.ses_deques.((slot + k) mod n) with
+              | Some _ as r ->
+                  M.incr (Lazy.force m_steals);
+                  M.incr (Lazy.force m_stolen);
+                  r
+              | None -> try_steal (k + 1)
+          in
+          try_steal 1)
+
+let participate (ses : session) (slot : int) =
+  let ds = Domain.DLS.get sched_key in
+  let saved_session = ds.d_session and saved_slot = ds.d_slot in
+  ds.d_session <- Some ses;
+  ds.d_slot <- slot;
+  Fun.protect
+    ~finally:(fun () ->
+      ds.d_session <- saved_session;
+      ds.d_slot <- saved_slot)
+    (fun () ->
+      let rec go idle =
+        if not (Atomic.get ses.ses_done) then
+          match next_task ses slot ds with
+          | Some rn ->
+              let d = Atomic.fetch_and_add ses.ses_pending (-1) - 1 in
+              M.set_gauge (Lazy.force g_depth) (float_of_int (max 0 d));
+              exec ds rn;
+              go 0
+          | None ->
+              idle_pause idle;
+              go (idle + 1)
+      in
+      go 0)
 
 let rec worker_loop t slot my_epoch =
   Mutex.lock t.mu;
@@ -194,11 +426,11 @@ let rec worker_loop t slot my_epoch =
     Condition.wait t.cv t.mu
   done;
   let epoch = t.epoch in
-  let batch = t.current in
+  let ses = t.current in
   let stop = t.stop in
   Mutex.unlock t.mu;
   if not stop then begin
-    (match batch with Some b -> participate b slot | None -> ());
+    (match ses with Some s -> participate s slot | None -> ());
     worker_loop t slot epoch
   end
 
@@ -228,99 +460,185 @@ let shutdown t =
   Array.iter Domain.join t.workers;
   t.workers <- [||]
 
-(* ------------------------------------------------------------- map --- *)
+(* ------------------------------------------------- recommendation --- *)
 
 (* What the environment recommends as the useful degree of parallelism:
-   [GCATCH_JOBS] when set, otherwise the hardware thread count.  Cached —
-   the answer is fixed for the process lifetime and [map] consults it on
-   every call. *)
-let recommended_jobs_lazy =
-  lazy
-    (match Sys.getenv_opt "GCATCH_JOBS" with
-    | Some s -> (
-        match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
-    | None -> Domain.recommended_domain_count ())
+   [GCATCH_JOBS] when set, otherwise the hardware thread count.  A
+   malformed value falls back to the hardware recommendation with one
+   structured-log warning (a silent fallback to 1 used to mask typos by
+   making every run sequential).  Cached — the answer is fixed for the
+   process lifetime and [map] consults it on every call. *)
+let jobs_of_env = function
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | _ ->
+          Goobs.Log.warn
+            ~kv:[ ("value", s) ]
+            "malformed GCATCH_JOBS (want an integer >= 1); using the \
+             hardware recommendation";
+          Domain.recommended_domain_count ())
 
+let recommended_jobs_lazy = lazy (jobs_of_env (Sys.getenv_opt "GCATCH_JOBS"))
 let recommended_jobs () = Lazy.force recommended_jobs_lazy
 
-(* Batches too small to amortise the fan-out, and any batch on a machine
-   whose environment recommends a single job, run inline: distributing
-   work across domains that share one hardware thread is a strict
-   slowdown (batch setup, idle spinning, and domain wake-ups all cost,
-   and nothing runs concurrently anyway). *)
-let inline_threshold = 2
+(* ----------------------------------------------------- public API --- *)
 
-let map ~pool f xs =
-  let n = List.length xs in
-  if
-    pool.jobs <= 1 || n <= inline_threshold
-    || recommended_jobs () = 1
-    || !(Domain.DLS.get in_task)
-  then List.map f xs
+let fork (f : unit -> 'a) : 'a promise =
+  let iv : 'a promise = Atomic.make (Empty []) in
+  let body () =
+    fill iv (try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ()))
+  in
+  if in_task () then Effect.perform (Fork body)
+  else
+    (* outside a session there is no scheduler to defer to: run the body
+       immediately and hand back an already-filled promise — callers
+       (the retry ladder, tests) get identical sequential semantics *)
+    body ();
+  iv
+
+let await_outcome (iv : 'a promise) : 'a outcome =
+  if in_task () then Effect.perform (Await iv)
+  else
+    match Atomic.get iv with
+    | Full r -> r
+    | Empty _ ->
+        invalid_arg "Pool.await: promise still pending outside the scheduler"
+
+let await (iv : 'a promise) : 'a =
+  match await_outcome iv with
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let yield () = if in_task () then Effect.perform Yield
+
+(* A stall that does not wedge the domain: inside a task, alternate
+   yields (letting the scheduler run other tasks) with short sleeps
+   until the wall-clock duration has passed.  Outside a task it is a
+   plain sleep.  Fault-injection stall sites go through this. *)
+let sleep_yielding dt =
+  if not (in_task ()) then Unix.sleepf dt
+  else begin
+    let t0 = Unix.gettimeofday () in
+    while Unix.gettimeofday () -. t0 < dt do
+      yield ();
+      Unix.sleepf 0.002
+    done
+  end
+
+(* Enter the scheduler: run [f] as the root task of a fresh session on
+   [pool], the caller participating as slot 0 until the root completes
+   (the root itself may migrate to a worker; the caller keeps executing
+   other tasks meanwhile).  Inside a task this is just [f ()] — the
+   session already exists. *)
+let with_scheduler ~pool (f : unit -> 'a) : 'a =
+  let ds = Domain.DLS.get sched_key in
+  if ds.d_task <> None then f ()
   else begin
     Mutex.lock pool.batch_mu;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock pool.batch_mu)
       (fun () ->
-        let items = Array.of_list xs in
-        let results = Array.make n None in
-        let deques =
-          Array.init pool.jobs (fun _ -> Ws_deque.create ~capacity:(n + 1) ())
+        let ses =
+          {
+            ses_deques = Array.init pool.jobs (fun _ -> Ws_deque.create ());
+            ses_done = Atomic.make false;
+            ses_pending = Atomic.make 0;
+          }
         in
-        (* Pre-distribute round-robin.  No worker can observe these deques
-           until the epoch bump below, so filling them from here does not
-           violate the owner-only push discipline. *)
-        Array.iteri (fun i _ -> Ws_deque.push deques.(i mod pool.jobs) i) items;
         M.incr (Lazy.force m_batches);
-        M.add (Lazy.force m_items) n;
-        let remaining = Atomic.make n in
-        let run i =
-          let flag = Domain.DLS.get in_task in
-          flag := true;
-          M.incr (Lazy.force m_tasks);
-          let r =
-            try
-              Ok
-                (Goobs.Trace.with_span ~name:"pool.task" (fun () ->
-                     (* a "pool" fault models a worker crashing mid-task:
-                        it is captured like any task exception and
-                        re-raised in the caller, where the surrounding
-                        supervision boundary contains it *)
-                     Faults.trigger ~site:"pool" ~key:(string_of_int i) ();
-                     f items.(i)))
-            with e -> Error (e, Printexc.get_raw_backtrace ())
-          in
-          flag := false;
-          results.(i) <- Some r;
-          (* the SC decrement publishes the result slot to the caller *)
-          Atomic.decr remaining
+        M.incr (Lazy.force m_spawned);
+        let outcome = ref None in
+        let root = { t_spans = Trace.current_stack () } in
+        let body () =
+          (outcome :=
+             Some
+               (try Ok (f ())
+                with e -> Error (e, Printexc.get_raw_backtrace ())));
+          (* the SC store publishes [outcome] to the caller's domain *)
+          Atomic.set ses.ses_done true
         in
-        let batch = { deques; run; remaining } in
+        Ws_deque.push ses.ses_deques.(0)
+          { rn_task = root; rn_fiber = (fun () -> run_fresh root body) };
+        Atomic.incr ses.ses_pending;
         Mutex.lock pool.mu;
-        pool.current <- Some batch;
+        pool.current <- Some ses;
         pool.epoch <- pool.epoch + 1;
         Condition.broadcast pool.cv;
         Mutex.unlock pool.mu;
-        participate batch 0;
-        let idle = ref 0 in
-        while Atomic.get batch.remaining > 0 do
-          idle_pause !idle;
-          incr idle
-        done;
+        participate ses 0;
         Mutex.lock pool.mu;
         pool.current <- None;
         Mutex.unlock pool.mu;
-        (* deterministic exception choice: smallest failing index wins *)
-        Array.iter
-          (function
-            | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-            | _ -> ())
-          results;
-        Array.to_list
-          (Array.map
-             (function Some (Ok v) -> v | _ -> assert false)
-             results))
+        match !outcome with
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
   end
+
+(* ------------------------------------------------------------- map --- *)
+
+(* Batches too small to amortise the fan-out, and any batch on a machine
+   whose environment recommends a single job, run inline: distributing
+   work across domains that share one hardware thread is a strict
+   slowdown (session setup, idle spinning, and domain wake-ups all cost,
+   and nothing runs concurrently anyway). *)
+let inline_threshold = 2
+
+(* The scheduled fan-out: fork one subtask per item, await every promise
+   in input order, then settle — errors are re-raised for the smallest
+   failing index only after all items finished (so metrics and memo
+   state are identical whether or not something failed earlier). *)
+let scheduled_map f (items : 'a array) : 'b list =
+  let n = Array.length items in
+  M.add (Lazy.force m_items) n;
+  let ivs =
+    Array.mapi
+      (fun i x ->
+        fork (fun () ->
+            M.incr (Lazy.force m_tasks);
+            Trace.with_span ~name:"pool.task" (fun () ->
+                (* a "pool" fault models a worker crashing mid-task: it
+                   is captured like any task exception and re-raised in
+                   the caller, where the surrounding supervision
+                   boundary contains it *)
+                (match Faults.fire ~site:"pool" ~key:(string_of_int i) () with
+                | None -> ()
+                | Some Faults.Stall -> sleep_yielding Faults.stall_s
+                | Some _ -> raise (Faults.Injected ("pool", string_of_int i)));
+                f x)))
+      items
+  in
+  let outs = Array.make n None in
+  for i = 0 to n - 1 do
+    outs.(i) <- Some (await_outcome ivs.(i))
+  done;
+  (* deterministic exception choice: smallest failing index wins *)
+  Array.iter
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | _ -> ())
+    outs;
+  Array.to_list
+    (Array.map (function Some (Ok v) -> v | _ -> assert false) outs)
+
+let map ~pool f xs =
+  match xs with
+  | [] -> []
+  | xs ->
+      if in_task () then
+        (* nested map: fork real subtasks into the running session
+           (whatever [pool] was passed — the session owns the domains) *)
+        (match xs with
+        | [ x ] -> [ f x ]
+        | xs -> scheduled_map f (Array.of_list xs))
+      else
+        let n = List.length xs in
+        if pool.jobs <= 1 || n <= inline_threshold || recommended_jobs () = 1
+        then List.map f xs
+        else
+          with_scheduler ~pool (fun () -> scheduled_map f (Array.of_list xs))
 
 let run ~pool thunks = map ~pool (fun th -> th ()) thunks
 

@@ -1,7 +1,13 @@
-(** Fixed-size domain pool with per-domain Chase–Lev work-stealing
+(** Effects-based work-stealing task scheduler over per-domain Chase–Lev
     deques — the parallel substrate for per-scope BMOC detection, the
     traditional checkers' per-function walks, and the bench's per-app
     sweep.
+
+    Tasks are delimited computations run under a deep effect handler:
+    they can {!fork} children, {!yield} the domain, and {!await}
+    promises — a suspended task is a heap-allocated fiber any
+    participant may steal and resume, so long solver polls, retry-ladder
+    rungs, and disk-cache I/O no longer wedge a whole domain.
 
     Determinism: {!map} returns results in input order regardless of
     which domain ran which item, and re-raises the exception of the
@@ -9,9 +15,10 @@
     output for [jobs = 1] and [jobs = N] (given a per-item-deterministic
     [f]).
 
-    Nested {!map} calls from inside a pool task run sequentially instead
-    of deadlocking, so layered fan-outs (per-app over per-channel)
-    compose safely. *)
+    Nested {!map} calls from inside a task fork real subtasks into the
+    running session — layered fan-outs (per-app over per-channel over
+    per-rung) expose all their parallelism to the same scheduler instead
+    of degrading to inline loops. *)
 
 (** Chase–Lev circular work-stealing deque.  [push]/[pop] are owner-only
     (one designated domain); [steal] may be called from any domain. *)
@@ -32,8 +39,8 @@ type t
 
 val create : ?jobs:int -> unit -> t
 (** A pool of [jobs - 1] worker domains (the caller participates as the
-    [jobs]-th worker during {!map}).  [jobs <= 1] spawns no domains and
-    makes {!map} run sequentially. *)
+    [jobs]-th participant during a session).  [jobs <= 1] spawns no
+    domains and makes {!map} run sequentially. *)
 
 val get : jobs:int -> t
 (** A process-wide shared pool of the given size; repeated calls with
@@ -46,22 +53,73 @@ val sequential : t
 val jobs : t -> int
 
 val default_jobs : unit -> int
-(** [GCATCH_JOBS] when set, else [Domain.recommended_domain_count ()]. *)
+(** [GCATCH_JOBS] when set and well-formed, else
+    [Domain.recommended_domain_count ()].  A malformed value logs one
+    structured warning and falls back to the hardware recommendation. *)
 
 val recommended_jobs : unit -> int
 (** Same answer as {!default_jobs}, cached for the process lifetime.
     {!map} consults it on every call for its inline fast path. *)
 
-val map : pool:t -> ('a -> 'b) -> 'a list -> 'b list
-(** Parallel [List.map] preserving input order.  Tasks are distributed
-    round-robin across the participants' deques and rebalanced by
-    stealing.  If tasks raise, the exception of the smallest failing
-    index is re-raised in the caller with its backtrace.
+val jobs_of_env : string option -> int
+(** The parsing behind {!default_jobs}, exposed for tests: [None] and
+    malformed values resolve to [Domain.recommended_domain_count ()]
+    (the malformed case logging a warning); a well-formed [n >= 1] is
+    returned as-is. *)
 
-    Fast path: batches of at most two items, pools of one participant,
-    nested calls from inside a pool task, and any call when
+(** {1 Tasks} *)
+
+type 'a promise
+(** A write-once cell filled with the result (value or exception) of a
+    forked task. *)
+
+val in_task : unit -> bool
+(** Whether the calling code is running inside a scheduled task (and so
+    {!fork}ed work is actually deferred and {!yield} actually yields). *)
+
+val fork : (unit -> 'a) -> 'a promise
+(** Inside a task: schedule [f] as a child task on the running session
+    and return immediately.  Outside the scheduler: run [f] now and
+    return an already-filled promise (identical sequential semantics, so
+    [fork]/[await] pairs are safe anywhere). *)
+
+val await : 'a promise -> 'a
+(** The forked task's result; re-raises its exception with backtrace.
+    Inside a task this suspends (the domain runs other tasks) until the
+    promise fills.  Outside the scheduler the promise must already be
+    filled — awaiting a pending promise raises [Invalid_argument]. *)
+
+val yield : unit -> unit
+(** Inside a task: suspend and requeue, letting the participant run its
+    oldest queued task next (round-robin, so polling loops cannot
+    starve siblings).  Outside the scheduler: no-op. *)
+
+val sleep_yielding : float -> unit
+(** Wait out a wall-clock duration without wedging the domain: inside a
+    task, alternate {!yield}s with short sleeps; outside, a plain
+    [Unix.sleepf].  Fault-injection stall sites use this. *)
+
+val with_scheduler : pool:t -> (unit -> 'a) -> 'a
+(** Run [f] as the root task of a fresh scheduling session on [pool],
+    unconditionally — no inline fast path — with the caller
+    participating until the root completes.  Inside a task this is just
+    [f ()].  Entry point for callers that need in-task semantics
+    regardless of batch size or hardware (tests, the bench). *)
+
+(** {1 Fan-out} *)
+
+val map : pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] preserving input order.  One task is forked per
+    item; idle participants rebalance by stealing.  If tasks raise, the
+    exception of the smallest failing index is re-raised in the caller
+    with its backtrace — after all items have finished, so side effects
+    (metrics, memo state) are schedule-independent.
+
+    Inside a task, [map] forks subtasks into the running session
+    (single-item calls run inline).  At top level, batches of at most
+    two items, pools of one participant, and any call when
     {!recommended_jobs} is 1 (e.g. [GCATCH_JOBS=1] or a single hardware
-    thread) run inline with no batch setup — fanning out over domains
+    thread) run inline with no session setup — fanning out over domains
     that share one hardware thread is a strict slowdown. *)
 
 val run : pool:t -> (unit -> 'a) list -> 'a list

@@ -98,6 +98,21 @@ let report ?(top = 10) (reg : Metrics.t) (pass_times : (string * float) list) :
        (100.0 *. float_of_int hits /. float_of_int (hits + misses))
        (c "bmoc.solve_cache_disk_hit")
        (c "bmoc.solve_cache_store"));
+  (* effects scheduler: task traffic across the run, from the "sched.*"
+     counters the pool maintains in the process-wide registry.  Steals
+     and yields are schedule-dependent by nature — this section is
+     diagnostic, never part of determinism comparisons. *)
+  (let counters = Metrics.counters_list reg in
+   let c n = Option.value (List.assoc_opt n counters) ~default:0 in
+   let spawned = c "sched.tasks_spawned" in
+   if spawned > 0 then begin
+     line "scheduler:";
+     line "  %d task(s) spawned, %d stolen, %d yield(s)" spawned
+       (c "sched.tasks_stolen") (c "sched.yields");
+     match List.assoc_opt "sched.queue_depth" (Metrics.gauges_list reg) with
+     | Some d -> line "  last queue depth: %.0f" d
+     | None -> ()
+   end);
   (* analysis health: the supervision layer's unit ledger ("health.*"
      counters; the key names are fixed by Goengine.Supervise, which sits
      above this library) *)

@@ -451,8 +451,12 @@ let default_should_stop () = false
 
 let restart_first = 100
 
-let solve ?(should_stop = default_should_stop) ?(assumptions = [])
-    ?decision_vars s : result =
+let solve ?(should_stop = default_should_stop) ?(poll_every = 256)
+    ?(assumptions = []) ?decision_vars s : result =
+  let poll_every = max 1 poll_every in
+  (* countdown rather than [conflicts mod poll_every]: one decrement and
+     compare per conflict, no division in the hottest loop *)
+  let until_poll = ref poll_every in
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
@@ -492,8 +496,14 @@ let solve ?(should_stop = default_should_stop) ?(assumptions = [])
           incr conflicts_since_restart;
           (* poll the caller's deadline on conflicts only: conflicts are
              where runaway instances spend their time, and checking every
-             256th keeps the cost invisible on easy instances *)
-          if s.conflicts land 255 = 0 && should_stop () then raise Timeout;
+             [poll_every]-th (default 256) keeps the cost invisible on
+             easy instances while bounding how long a yield-bearing
+             [should_stop] goes unserved *)
+          decr until_poll;
+          if !until_poll <= 0 then begin
+            until_poll := poll_every;
+            if should_stop () then raise Timeout
+          end;
           if decision_level s = 0 then begin
             s.ok <- false;
             Unsat

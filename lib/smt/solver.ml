@@ -205,7 +205,8 @@ let simplify t =
 
 exception Timeout = Sat.Timeout
 
-let solve ?(should_stop = fun () -> false) ?(assumptions = []) t : result =
+let solve ?(should_stop = fun () -> false) ?poll_every ?(assumptions = []) t :
+    result =
   flush_pending t;
   let asm_lits =
     List.map (fun g -> Sat.lit_of_var g.g_var true) assumptions
@@ -256,7 +257,8 @@ let solve ?(should_stop = fun () -> false) ?(assumptions = []) t : result =
     else if should_stop () then raise Timeout
     else
       match
-        Sat.solve ~should_stop ~assumptions:asm_lits ?decision_vars t.sat
+        Sat.solve ~should_stop ?poll_every ~assumptions:asm_lits
+          ?decision_vars t.sat
       with
       | Sat.Unsat -> Unsat
       | Sat.Sat -> (

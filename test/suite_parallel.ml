@@ -116,8 +116,9 @@ let test_exception_propagation () =
 
 let test_nested_map () =
   let pool = Pool.get ~jobs:4 in
-  (* an inner map from inside a task must degrade to sequential instead of
-     deadlocking on the already-busy workers *)
+  (* an inner map from inside a task forks real subtasks into the running
+     session (no deadlock, no inline collapse) and still assembles in
+     input order *)
   let r =
     Pool.map ~pool
       (fun i -> List.fold_left ( + ) 0 (Pool.map ~pool (fun j -> i * j) [ 1; 2; 3 ]))
@@ -226,8 +227,8 @@ let batches_count () =
   | None -> 0
 
 let test_small_map_runs_inline () =
-  (* batches of <= 2 items skip the batch machinery entirely, even on a
-     multi-participant pool: no epoch bump, no deques, no counter *)
+  (* batches of <= 2 items skip the session machinery entirely, even on
+     a multi-participant pool: no epoch bump, no deques, no counter *)
   let pool = Pool.get ~jobs:4 in
   let before = batches_count () in
   Alcotest.(check (list int)) "pair result" [ 2; 4 ]
@@ -254,7 +255,7 @@ let tests =
     Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
     Alcotest.test_case "zero-worker fallback" `Quick test_map_zero_worker_fallback;
     Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
-    Alcotest.test_case "nested map degrades" `Quick test_nested_map;
+    Alcotest.test_case "nested map schedules" `Quick test_nested_map;
     Alcotest.test_case "run thunks" `Quick test_run_thunks;
     Alcotest.test_case "small map runs inline" `Quick test_small_map_runs_inline;
     Alcotest.test_case "recommended jobs sane" `Quick test_recommended_jobs_sane;

@@ -16,6 +16,7 @@ let () =
       ("faults", Suite_faults.tests);
       ("obs", Suite_obs.tests);
       ("parallel", Suite_parallel.tests);
+      ("sched", Suite_sched.tests);
       ("detector", Suite_detector.tests);
       ("nonblocking", Suite_nonblocking.tests);
       ("differential", Suite_differential.tests);
