@@ -733,6 +733,161 @@ let eincr () =
     (tot (fun p -> p.ip_disk_s))
     (tot (fun p -> p.ip_cold_s) /. max 1e-6 (tot (fun p -> p.ip_disk_s)))
 
+(* --------------------------------------------------------- E-fe --- *)
+
+(* The PR-7 parallel incremental frontend: a ~100k LoC synthetic app
+   (corpus filler, split over many files) compiled per file through the
+   effects scheduler with per-file content-addressed caching.  Measured:
+   cold end-to-end analysis at jobs 1/2/4 with the per-stage wall-time
+   breakdown (diagnostics must be byte-identical), then the incremental
+   path — a cold run that fills a disk cache dir, a one-file edit, and a
+   re-analysis through a fresh engine (simulating a fresh process):
+   every unedited file's lex/parse/typecheck is served from the cache
+   and only the edited file recompiles. *)
+type fe_point = {
+  fp_jobs : int;
+  fp_seconds : float;
+  fp_stages : (string * float) list; (* per-stage wall time, ms *)
+  fp_diags : string;
+}
+
+type fe_result = {
+  fe_files : int;
+  fe_loc : int;
+  fe_points : fe_point list; (* cold, jobs 1/2/4 *)
+  fe_cold_s : float; (* cold run that fills the disk tier (jobs 1) *)
+  fe_warm_s : float; (* one-file edit, fresh engine, warm disk tier *)
+  fe_warm_lex_runs : int; (* files re-lexed on the warm run *)
+  fe_identical : bool; (* diags identical across jobs and cold/warm *)
+}
+
+let fe_result : fe_result option ref = ref None
+
+let fe_stages =
+  [ "lex"; "parse"; "sig"; "typecheck"; "lower"; "assemble"; "facts";
+    "alias"; "callgraph" ]
+
+let efe () =
+  header
+    "E-fe | Parallel incremental frontend: ~100k LoC synthetic app,\n\
+    \     | per-file compilation at jobs 1/2/4, then a one-file edit\n\
+    \     | against a warm per-file disk cache (PR 7)";
+  let nfiles = 50 and per_file = 2000 in
+  let sources =
+    List.init nfiles (fun i ->
+        "package app\n"
+        ^ Gocorpus.Filler.generate ~seed:i ~target_lines:per_file)
+  in
+  let loc =
+    List.fold_left
+      (fun acc s -> acc + List.length (String.split_on_char '\n' s))
+      0 sources
+  in
+  Printf.printf "app: %d file(s), %d LoC; hardware threads: %d\n\n" nfiles loc
+    (Domain.recommended_domain_count ());
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcatch-bench-fe-%d" (Unix.getpid ()))
+  in
+  let clear_dir () =
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir)
+  in
+  (* a fresh engine per measurement: empty memory tiers, so a run with
+     no cache dir is genuinely cold and a cached run measures the disk
+     tier alone (as a fresh process would see it) *)
+  let analyse_fresh ~jobs ~cache_dir srcs =
+    Gcatch.Solve_cache.reset_memory ();
+    let cfg = { Gcatch.Bmoc.default_config with cache_dir } in
+    let e = Gcatch.Passes.engine ~cfg ~jobs () in
+    let t0 = Clock.now_s () in
+    let r = E.analyse e ~name:"fe-app" srcs in
+    (e, r, Clock.elapsed_since t0)
+  in
+  Printf.printf "%6s %12s %10s %12s\n" "jobs" "cold (s)" "kLoC/s" "stages";
+  let points =
+    List.map
+      (fun jobs ->
+        let e, r, dt = analyse_fresh ~jobs ~cache_dir:None sources in
+        let reg = E.registry e in
+        let stages =
+          List.filter_map
+            (fun s ->
+              let ms =
+                Goobs.Metrics.h_sum
+                  (Goobs.Metrics.histogram reg ("stage." ^ s ^ ".ms"))
+              in
+              if ms > 0.0 then Some (s, ms) else None)
+            fe_stages
+        in
+        Printf.printf "%6d %12.3f %10.1f %12s\n" jobs dt
+          (float_of_int loc /. 1000.0 /. max 1e-9 dt)
+          (String.concat " "
+             (List.map (fun (s, ms) -> Printf.sprintf "%s=%.0fms" s ms) stages));
+        {
+          fp_jobs = jobs;
+          fp_seconds = dt;
+          fp_stages = stages;
+          fp_diags = D.list_to_json r.E.r_diags;
+        })
+      [ 1; 2; 4 ]
+  in
+  let jobs_identical =
+    List.for_all (fun p -> p.fp_diags = (List.hd points).fp_diags) points
+  in
+  if not jobs_identical then
+    failwith "e-fe: diagnostics differ across job counts";
+  (* the incremental path: cold run fills the disk tier, then one file
+     gains a trailing comment and a fresh engine re-analyses *)
+  clear_dir ();
+  let _, r_cold, cold = analyse_fresh ~jobs:1 ~cache_dir:(Some dir) sources in
+  let edited =
+    List.mapi
+      (fun i s -> if i = nfiles - 1 then s ^ "// trailing edit\n" else s)
+      sources
+  in
+  let e_warm, r_warm, warm =
+    analyse_fresh ~jobs:1 ~cache_dir:(Some dir) edited
+  in
+  let lex_runs = E.counter_value e_warm "stage.lex.runs" in
+  let warm_identical =
+    D.list_to_json r_warm.E.r_diags = D.list_to_json r_cold.E.r_diags
+  in
+  clear_dir ();
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  Printf.printf
+    "\nincremental (one-file edit, fresh engine, warm disk tier):\n\
+    \  cold %.3fs (%.1f kLoC/s)  warm %.3fs (%.1f kLoC/s)  speedup %.1fx\n\
+    \  files re-lexed on the warm run: %d of %d\n\
+     diagnostics identical across jobs and cold/warm: %b\n"
+    cold
+    (float_of_int loc /. 1000.0 /. max 1e-9 cold)
+    warm
+    (float_of_int loc /. 1000.0 /. max 1e-9 warm)
+    (cold /. max 1e-9 warm)
+    lex_runs nfiles
+    (jobs_identical && warm_identical);
+  if not warm_identical then
+    failwith "e-fe: warm diagnostics differ from cold";
+  if lex_runs <> 1 then
+    failwith
+      (Printf.sprintf "e-fe: warm run re-lexed %d file(s), expected 1"
+         lex_runs);
+  fe_result :=
+    Some
+      {
+        fe_files = nfiles;
+        fe_loc = loc;
+        fe_points = points;
+        fe_cold_s = cold;
+        fe_warm_s = warm;
+        fe_warm_lex_runs = lex_runs;
+        fe_identical = jobs_identical && warm_identical;
+      }
+
 (* E-robust (PR 5): supervision-boundary overhead on the clean path.
    Two places the resilience layer could tax a healthy run: the
    per-function fault boundary in the traditional checkers, and the
@@ -1003,6 +1158,35 @@ let write_json path (timings : (string * float) list) =
                     p.rp_clean_s p.rp_armed_s)
                 points))
   in
+  let e_fe =
+    match !fe_result with
+    | None -> "null"
+    | Some f ->
+        let points =
+          String.concat ","
+            (List.map
+               (fun p ->
+                 let stages =
+                   String.concat ","
+                     (List.map
+                        (fun (s, ms) ->
+                          Printf.sprintf {|{"stage":"%s","ms":%.3f}|}
+                            (json_escape s) ms)
+                        p.fp_stages)
+                 in
+                 Printf.sprintf
+                   {|{"jobs":%d,"seconds":%.6f,"stages":[%s]}|} p.fp_jobs
+                   p.fp_seconds stages)
+               f.fe_points)
+        in
+        Printf.sprintf
+          {|{"files":%d,"loc":%d,"hw_threads":%d,"points":[%s],"cold_s":%.6f,"warm_s":%.6f,"warm_speedup":%.3f,"warm_lex_runs":%d,"diags_identical":%b}|}
+          f.fe_files f.fe_loc
+          (Domain.recommended_domain_count ())
+          points f.fe_cold_s f.fe_warm_s
+          (f.fe_cold_s /. max 1e-9 f.fe_warm_s)
+          f.fe_warm_lex_runs f.fe_identical
+  in
   let e_sched =
     match !sched_result with
     | None -> "null"
@@ -1022,8 +1206,8 @@ let write_json path (timings : (string * float) list) =
          (Goobs.Metrics.counters_list Goobs.Metrics.default))
   in
   Printf.fprintf oc
-    {|{"schema":"gcatch-bench/5","jobs":%d,"experiments":[%s],"e2_parallel":%s,"e_incr":%s,"e_robust":%s,"e_sched":%s,"metrics":{%s}}|}
-    !jobs_flag experiments parallel e_incr e_robust e_sched metrics;
+    {|{"schema":"gcatch-bench/6","jobs":%d,"experiments":[%s],"e2_parallel":%s,"e_incr":%s,"e_fe":%s,"e_robust":%s,"e_sched":%s,"metrics":{%s}}|}
+    !jobs_flag experiments parallel e_incr e_fe e_robust e_sched metrics;
   output_char oc '
 ';
   close_out oc;
@@ -1040,7 +1224,8 @@ let all =
   [
     ("micro", micro); ("e1", e1); ("e2", e2); ("e2par", e2par); ("e3", e3);
     ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
-    ("e-incr", eincr); ("e-robust", erobust); ("e-sched", esched);
+    ("e-incr", eincr); ("e-fe", efe); ("e-robust", erobust);
+    ("e-sched", esched);
   ]
 
 let () =

@@ -174,7 +174,10 @@ let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
     let pass_times =
       List.map (fun pr -> (pr.E.pr_pass, pr.E.pr_elapsed_s)) r.E.r_passes
     in
-    let report = Goobs.Profile.report ~top:10 registry pass_times in
+    let report =
+      Goobs.Profile.report ~top:10 registry pass_times
+      ^ E.frontend_report ~top:10 engine
+    in
     (* keep stdout pure JSON under --json *)
     if json then prerr_string report else print_string report
   end;

@@ -120,130 +120,234 @@ let callee_candidates st fname (fv : Ir.var) =
     (fun o acc -> match o with Afunc g -> g :: acc | _ -> acc)
     (pts_var st fname fv) []
 
-let arm_place (a : Ir.select_arm) =
-  match a.arm_op with Arm_recv (p, _) | Arm_send (p, _) -> p
+(* ------------------------------------------- per-function summaries --- *)
 
-(* One propagation pass over every instruction of every function. *)
-let propagate st =
-  let link_call st caller (callee : Ir.func) args rets =
+(* The analysis is split into a per-function fact-extraction pass (pure,
+   cacheable per file, parallelisable) and a sequential global fixpoint
+   over the extracted summaries.  A summary records, in the exact order
+   the old monolithic pass visited them, every instruction the solver
+   interprets — order matters because [ensure_field] materialises a
+   primitive object only for fields that are still empty when first
+   touched, so the visit order is part of the observable result.
+
+   Summaries extracted from file-local IR carry file-local program
+   points; [rebase_summary] shifts them by the file's assembly offset
+   (only the two creation-site facts embed a point). *)
+
+type fact =
+  | Fmake_chan of Ir.var * Ir.pp * Minigo.Ast.typ * int option * Minigo.Loc.t
+  | Fmake_struct of Ir.var * Ir.pp
+  | Fassign of Ir.var * Ir.operand
+  | Ffield_load of Ir.var * Ir.var * string
+  | Ffield_store of Ir.var * string * Ir.operand
+  | Fsend of Ir.place * Ir.operand
+  | Frecv of Ir.var * Ir.place
+  | Ftouch of Ir.place
+      (* a place the old pass looked up for its side effect only
+         (a select receive that binds nothing): [pts_place] may
+         materialise a primitive field object *)
+  | Fcall of Ir.var list * string * Ir.operand list
+  | Fcall_indirect of Ir.var list * Ir.var * Ir.operand list
+  | Fgo of string * Ir.operand list
+
+type func_summary = {
+  fs_name : string;
+  fs_params : (Ir.var * Minigo.Ast.typ) list;
+  fs_returns : Ir.operand list list; (* one per Treturn, in block order *)
+  fs_facts : fact list;
+  fs_warm : Ir.place list; (* places the post-fixpoint warm pass touches *)
+}
+
+let extract_func (f : Ir.func) : func_summary =
+  let facts = ref [] in
+  let warm = ref [] in
+  let push x = facts := x :: !facts in
+  let wplace p = warm := p :: !warm in
+  let woperand = function Ir.Oplace p -> wplace p | _ -> () in
+  Ir.iter_insts
+    (fun (i : Ir.inst) ->
+      (match i.idesc with
+      | Imake_chan (v, elem, cap) ->
+          push (Fmake_chan (v, i.ipp, elem, cap, i.iloc))
+      | Imake_struct (v, _) -> push (Fmake_struct (v, i.ipp))
+      | Iassign (v, o) -> push (Fassign (v, o))
+      | Ifield_load (v, b, fld) -> push (Ffield_load (v, b, fld))
+      | Ifield_store (b, fld, o) -> push (Ffield_store (b, fld, o))
+      | Isend (p, o) -> push (Fsend (p, o))
+      | Irecv (Some v, p, _) -> push (Frecv (v, p))
+      | Irecv (None, _, _) | Iclose _ | Ilock _ | Iunlock _ -> ()
+      | Iwg_add _ | Iwg_done _ | Iwg_wait _ -> ()
+      | Icall (rets, g, args) -> push (Fcall (rets, g, args))
+      | Icall_indirect (rets, fv, args) ->
+          push (Fcall_indirect (rets, fv, args))
+      | Igo (g, args) -> push (Fgo (g, args))
+      | Itesting_fatal _ | Ibinop _ | Iunop _ | Isleep _ | Iprint _ | Inop _ ->
+          ());
+      match i.idesc with
+      | Isend (p, o) ->
+          wplace p;
+          woperand o
+      | Irecv (_, p, _) | Iclose p | Ilock p | Iunlock p | Iwg_done p
+      | Iwg_wait p ->
+          wplace p
+      | Iwg_add (p, o) ->
+          wplace p;
+          woperand o
+      | Icall (_, _, os) | Icall_indirect (_, _, os) | Igo (_, os)
+      | Iprint os ->
+          List.iter woperand os
+      | Iassign (_, o) | Ifield_store (_, _, o) | Iunop (_, _, o) | Isleep o
+        ->
+          woperand o
+      | Ibinop (_, _, o1, o2) ->
+          woperand o1;
+          woperand o2
+      | Imake_chan _ | Imake_struct _ | Itesting_fatal _ | Ifield_load _
+      | Inop _ ->
+          ())
+    f;
+  (* select arms access places too *)
+  Array.iter
+    (fun (b : Ir.block) ->
+      match b.term with
+      | Tselect (arms, _, _) ->
+          List.iter
+            (fun (a : Ir.select_arm) ->
+              (match a.arm_op with
+              | Arm_recv (p, Some v) -> push (Frecv (v, p))
+              | Arm_recv (p, None) -> push (Ftouch p)
+              | Arm_send (p, o) -> push (Fsend (p, o)));
+              match a.arm_op with
+              | Arm_recv (p, _) -> wplace p
+              | Arm_send (p, o) ->
+                  wplace p;
+                  woperand o)
+            arms
+      | _ -> ())
+    f.blocks;
+  let returns =
+    List.rev
+      (Array.fold_left
+         (fun acc (b : Ir.block) ->
+           match b.term with Treturn os -> os :: acc | _ -> acc)
+         [] f.blocks)
+  in
+  {
+    fs_name = f.name;
+    fs_params = f.params;
+    fs_returns = returns;
+    fs_facts = List.rev !facts;
+    fs_warm = List.rev !warm;
+  }
+
+let rebase_fact off (fact : fact) : fact =
+  match fact with
+  | Fmake_chan (v, pp, elem, cap, loc) ->
+      Fmake_chan (v, pp + off, elem, cap, loc)
+  | Fmake_struct (v, pp) -> Fmake_struct (v, pp + off)
+  | Fassign _ | Ffield_load _ | Ffield_store _ | Fsend _ | Frecv _ | Ftouch _
+  | Fcall _ | Fcall_indirect _ | Fgo _ ->
+      fact
+
+let rebase_summary off (s : func_summary) : func_summary =
+  if off = 0 then s
+  else { s with fs_facts = List.map (rebase_fact off) s.fs_facts }
+
+(* One propagation pass over every summary. *)
+let propagate st by_name (summaries : func_summary list) =
+  let link_call st caller (callee : func_summary) args rets =
     (* arguments flow into parameters *)
     List.iteri
       (fun i (pv, _) ->
         match List.nth_opt args i with
-        | Some a -> add_to st st.pts (callee.name, pv) (pts_operand st caller a)
+        | Some a ->
+            add_to st st.pts (callee.fs_name, pv) (pts_operand st caller a)
         | None -> ())
-      callee.params;
+      callee.fs_params;
     (* returned operands flow into result variables *)
-    Array.iter
-      (fun (b : Ir.block) ->
-        match b.term with
-        | Treturn os ->
-            List.iteri
-              (fun i r ->
-                match List.nth_opt os i with
-                | Some o -> add_to st st.pts (caller, r) (pts_operand st callee.name o)
-                | None -> ())
-              rets
-        | _ -> ())
-      callee.blocks
+    List.iter
+      (fun os ->
+        List.iteri
+          (fun i r ->
+            match List.nth_opt os i with
+            | Some o ->
+                add_to st st.pts (caller, r) (pts_operand st callee.fs_name o)
+            | None -> ())
+          rets)
+      callee.fs_returns
   in
   List.iter
-    (fun (f : Ir.func) ->
-      Ir.iter_insts
-        (fun (i : Ir.inst) ->
-          match i.idesc with
-          | Imake_chan (v, elem, cap) ->
-              Hashtbl.replace st.chan_elem i.ipp elem;
-              Hashtbl.replace st.chan_cap i.ipp cap;
-              Hashtbl.replace st.chan_loc i.ipp i.iloc;
-              add_to st st.pts (f.name, v) (ObjSet.singleton (Achan i.ipp))
-          | Imake_struct (v, _) ->
-              add_to st st.pts (f.name, v) (ObjSet.singleton (Astruct i.ipp))
-          | Iassign (v, o) -> add_to st st.pts (f.name, v) (pts_operand st f.name o)
-          | Ifield_load (v, b, fld) ->
+    (fun s ->
+      let fname = s.fs_name in
+      List.iter
+        (fun fact ->
+          match fact with
+          | Fmake_chan (v, pp, elem, cap, loc) ->
+              Hashtbl.replace st.chan_elem pp elem;
+              Hashtbl.replace st.chan_cap pp cap;
+              Hashtbl.replace st.chan_loc pp loc;
+              add_to st st.pts (fname, v) (ObjSet.singleton (Achan pp))
+          | Fmake_struct (v, pp) ->
+              add_to st st.pts (fname, v) (ObjSet.singleton (Astruct pp))
+          | Fassign (v, o) ->
+              add_to st st.pts (fname, v) (pts_operand st fname o)
+          | Ffield_load (v, b, fld) ->
               ObjSet.iter
                 (fun obj ->
                   ensure_field st obj fld;
-                  add_to st st.pts (f.name, v) (pts_field st obj fld))
-                (pts_var st f.name b)
-          | Ifield_store (b, fld, o) ->
+                  add_to st st.pts (fname, v) (pts_field st obj fld))
+                (pts_var st fname b)
+          | Ffield_store (b, fld, o) ->
               ObjSet.iter
-                (fun obj -> add_to st st.fields (obj, fld) (pts_operand st f.name o))
-                (pts_var st f.name b)
-          | Isend (p, o) ->
-              (* sending a pointer-ish value through a channel transfers it
-                 to every receive bound to an aliased channel.  The paper
-                 notes its alias package cannot do this (17 FPs); we model
-                 the channel's payload as field $elem of the channel
-                 object, giving GCatch strictly better alias precision than
-                 the original implementation had. *)
+                (fun obj ->
+                  add_to st st.fields (obj, fld) (pts_operand st fname o))
+                (pts_var st fname b)
+          | Fsend (p, o) ->
+              (* sending a pointer-ish value through a channel transfers
+                 it to every receive bound to an aliased channel.  The
+                 paper notes its alias package cannot do this (17 FPs);
+                 we model the channel's payload as field $elem of the
+                 channel object, giving GCatch strictly better alias
+                 precision than the original implementation had. *)
               ObjSet.iter
-                (fun obj -> add_to st st.fields (obj, "$elem") (pts_operand st f.name o))
-                (pts_place st f.name p)
-          | Irecv (Some v, p, _) ->
+                (fun obj ->
+                  add_to st st.fields (obj, "$elem") (pts_operand st fname o))
+                (pts_place st fname p)
+          | Frecv (v, p) ->
               ObjSet.iter
-                (fun obj -> add_to st st.pts (f.name, v) (pts_field st obj "$elem"))
-                (pts_place st f.name p)
-          | Irecv (None, _, _) | Iclose _ | Ilock _ | Iunlock _ -> ()
-          | Iwg_add _ | Iwg_done _ | Iwg_wait _ -> ()
-          | Icall (rets, g, args) -> (
-              match Ir.find_func st.prog g with
-              | Some callee -> link_call st f.name callee args rets
+                (fun obj ->
+                  add_to st st.pts (fname, v) (pts_field st obj "$elem"))
+                (pts_place st fname p)
+          | Ftouch p -> ignore (pts_place st fname p)
+          | Fcall (rets, g, args) -> (
+              match Hashtbl.find_opt by_name g with
+              | Some callee -> link_call st fname callee args rets
               | None -> ())
-          | Icall_indirect (rets, fv, args) ->
+          | Fcall_indirect (rets, fv, args) ->
               List.iter
                 (fun g ->
-                  match Ir.find_func st.prog g with
-                  | Some callee -> link_call st f.name callee args rets
+                  match Hashtbl.find_opt by_name g with
+                  | Some callee -> link_call st fname callee args rets
                   | None -> ())
-                (callee_candidates st f.name fv)
-          | Igo (g, args) -> (
-              match Ir.find_func st.prog g with
-              | Some callee -> link_call st f.name callee args []
-              | None -> ())
-          | Itesting_fatal _ | Ibinop _ | Iunop _ | Isleep _ | Iprint _ | Inop _ ->
-              ())
-        f;
-      (* select arms access places too *)
-      Array.iter
-        (fun (b : Ir.block) ->
-          match b.term with
-          | Tselect (arms, _, _) ->
-              List.iter
-                (fun (a : Ir.select_arm) ->
-                  match a.arm_op with
-                  | Arm_recv (p, Some v) ->
-                      ObjSet.iter
-                        (fun obj ->
-                          add_to st st.pts (f.name, v) (pts_field st obj "$elem"))
-                        (pts_place st f.name p)
-                  | Arm_recv (_, None) -> ignore (pts_place st f.name (arm_place a))
-                  | Arm_send (p, o) ->
-                      ObjSet.iter
-                        (fun obj ->
-                          add_to st st.fields (obj, "$elem")
-                            (pts_operand st f.name o))
-                        (pts_place st f.name p))
-                arms
-          | _ -> ())
-        f.blocks)
-    (Ir.funcs_list st.prog)
+                (callee_candidates st fname fv)
+          | Fgo (g, args) -> (
+              match Hashtbl.find_opt by_name g with
+              | Some callee -> link_call st fname callee args []
+              | None -> ()))
+        s.fs_facts)
+    summaries
 
-(* Functions that are called (directly or spawned) somewhere. *)
-let compute_called prog =
-  let called = Hashtbl.create 16 in
-  List.iter
-    (fun (f : Ir.func) ->
-      Ir.iter_insts
-        (fun i ->
-          match i.idesc with
-          | Icall (_, g, _) | Igo (g, _) -> Hashtbl.replace called g ()
-          | _ -> ())
-        f)
-    (Ir.funcs_list prog);
-  called
-
-let analyse (prog : Ir.program) : t =
+(* The sequential global fixpoint over per-function summaries.  The
+   summary list is re-sorted by function name so the solve visits
+   functions in exactly the order the old whole-program pass did
+   ([Ir.funcs_list] sorts by name) — per-file callers can hand the
+   summaries over in any order. *)
+let solve (prog : Ir.program) (summaries : func_summary list) : t =
+  let summaries =
+    List.sort (fun a b -> String.compare a.fs_name b.fs_name) summaries
+  in
+  let by_name = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_name s.fs_name s) summaries;
   let st =
     {
       pts = Hashtbl.create 64;
@@ -255,62 +359,36 @@ let analyse (prog : Ir.program) : t =
       chan_loc = Hashtbl.create 16;
     }
   in
-  seed_entry_params st (compute_called prog);
+  (* functions that are called (directly or spawned) somewhere *)
+  let called = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun fact ->
+          match fact with
+          | Fcall (_, g, _) | Fgo (g, _) -> Hashtbl.replace called g ()
+          | _ -> ())
+        s.fs_facts)
+    summaries;
+  seed_entry_params st called;
   let rounds = ref 0 in
   while st.changed && !rounds < 100 do
     st.changed <- false;
     incr rounds;
-    propagate st
+    propagate st by_name summaries
   done;
   (* Warm every field place the program can ever query: [pts_place]
      materialises primitive objects for never-stored fields on first
      lookup ([ensure_field]), and detectors query places from several
      domains at once — after this pass those queries are read-only. *)
   List.iter
-    (fun (f : Ir.func) ->
-      let place p = ignore (pts_place st f.name p) in
-      let operand = function Ir.Oplace p -> place p | _ -> () in
-      Ir.iter_insts
-        (fun i ->
-          match i.idesc with
-          | Isend (p, o) ->
-              place p;
-              operand o
-          | Irecv (_, p, _) | Iclose p | Ilock p | Iunlock p
-          | Iwg_done p | Iwg_wait p ->
-              place p
-          | Iwg_add (p, o) ->
-              place p;
-              operand o
-          | Icall (_, _, os) | Icall_indirect (_, _, os) | Igo (_, os)
-          | Iprint os ->
-              List.iter operand os
-          | Iassign (_, o) | Ifield_store (_, _, o) | Iunop (_, _, o)
-          | Isleep o ->
-              operand o
-          | Ibinop (_, _, o1, o2) ->
-              operand o1;
-              operand o2
-          | Imake_chan _ | Imake_struct _ | Itesting_fatal _ | Ifield_load _
-          | Inop _ ->
-              ())
-        f;
-      Array.iter
-        (fun (b : Ir.block) ->
-          match b.term with
-          | Tselect (arms, _, _) ->
-              List.iter
-                (fun (a : Ir.select_arm) ->
-                  match a.arm_op with
-                  | Arm_recv (p, _) -> place p
-                  | Arm_send (p, o) ->
-                      place p;
-                      operand o)
-                arms
-          | _ -> ())
-        f.blocks)
-    (Ir.funcs_list prog);
+    (fun s ->
+      List.iter (fun p -> ignore (pts_place st s.fs_name p)) s.fs_warm)
+    summaries;
   st
+
+let analyse (prog : Ir.program) : t =
+  solve prog (List.map extract_func (Ir.funcs_list prog))
 
 (* ------------------------------------------------------------ queries *)
 

@@ -30,27 +30,72 @@ type t = {
 
 let arity (f : Ir.func) = List.length f.params
 
-let build ?alias (prog : Ir.program) : t =
+(* ------------------------------------------------- per-file sites ---- *)
+
+(* Call-site extraction is per function (pure, cacheable per file);
+   edge resolution — which needs the whole program for existence checks,
+   alias results, and the CHA arity fallback — happens afterwards over
+   the collected sites. *)
+
+type site =
+  | Sdirect of string * Ir.pp * edge_kind
+  | Sindirect of Ir.var * int * Ir.pp (* function var, arg count, site *)
+
+type func_sites = { cs_name : string; cs_sites : site list }
+
+let extract_func (f : Ir.func) : func_sites =
+  let sites = ref [] in
+  Ir.iter_insts
+    (fun (i : Ir.inst) ->
+      match i.idesc with
+      | Icall (_, g, _) -> sites := Sdirect (g, i.ipp, Ecall) :: !sites
+      | Igo (g, _) -> sites := Sdirect (g, i.ipp, Ego) :: !sites
+      | Icall_indirect (_, fv, args) ->
+          sites := Sindirect (fv, List.length args, i.ipp) :: !sites
+      | _ -> ())
+    f;
+  { cs_name = f.name; cs_sites = List.rev !sites }
+
+let rebase_sites off (cs : func_sites) : func_sites =
+  if off = 0 then cs
+  else
+    {
+      cs with
+      cs_sites =
+        List.map
+          (function
+            | Sdirect (g, pp, k) -> Sdirect (g, pp + off, k)
+            | Sindirect (fv, n, pp) -> Sindirect (fv, n, pp + off))
+          cs.cs_sites;
+    }
+
+(* Resolve sites into edges.  The site lists are re-sorted by function
+   name so the edge list comes out exactly as the whole-program builder
+   produced it ([Ir.funcs_list] order, reverse-cons discovery order). *)
+let build_from_sites ?alias (prog : Ir.program) (sites : func_sites list) : t
+    =
+  let sites =
+    List.sort (fun a b -> String.compare a.cs_name b.cs_name) sites
+  in
   let edges = ref [] in
   let add ?(ambiguous = false) caller callee site kind =
     if Hashtbl.mem prog.funcs callee then
       edges := { caller; callee; site; kind; ambiguous } :: !edges
   in
   List.iter
-    (fun (f : Ir.func) ->
-      Ir.iter_insts
-        (fun (i : Ir.inst) ->
-          match i.idesc with
-          | Icall (_, g, _) -> add f.name g i.ipp Ecall
-          | Igo (g, _) -> add f.name g i.ipp Ego
-          | Icall_indirect (_, fv, args) -> (
+    (fun cs ->
+      List.iter
+        (fun s ->
+          match s with
+          | Sdirect (g, pp, kind) -> add cs.cs_name g pp kind
+          | Sindirect (fv, argc, pp) -> (
               let candidates =
                 match alias with
                 | Some al ->
                     Alias.ObjSet.fold
                       (fun o acc ->
                         match o with Alias.Afunc g -> g :: acc | _ -> acc)
-                      (Alias.pts_var al f.name fv)
+                      (Alias.pts_var al cs.cs_name fv)
                       []
                 | None -> []
               in
@@ -59,18 +104,21 @@ let build ?alias (prog : Ir.program) : t =
                   (* CHA-style fallback: all functions of matching arity *)
                   let matching =
                     List.filter
-                      (fun (g : Ir.func) -> arity g = List.length args)
+                      (fun (g : Ir.func) -> arity g = argc)
                       (Ir.funcs_list prog)
                   in
                   let ambiguous = List.length matching > 1 in
                   List.iter
-                    (fun (g : Ir.func) -> add ~ambiguous f.name g.name i.ipp Ecall)
+                    (fun (g : Ir.func) ->
+                      add ~ambiguous cs.cs_name g.name pp Ecall)
                     matching
-              | [ g ] -> add f.name g i.ipp Ecall
-              | gs -> List.iter (fun g -> add ~ambiguous:true f.name g i.ipp Ecall) gs)
-          | _ -> ())
-        f)
-    (Ir.funcs_list prog);
+              | [ g ] -> add cs.cs_name g pp Ecall
+              | gs ->
+                  List.iter
+                    (fun g -> add ~ambiguous:true cs.cs_name g pp Ecall)
+                    gs))
+        cs.cs_sites)
+    sites;
   let succs = Hashtbl.create 16 in
   let preds = Hashtbl.create 16 in
   List.iter
@@ -81,6 +129,10 @@ let build ?alias (prog : Ir.program) : t =
         (e :: (Option.value (Hashtbl.find_opt preds e.callee) ~default:[])))
     !edges;
   { edges = !edges; succs; preds; prog }
+
+let build ?alias (prog : Ir.program) : t =
+  build_from_sites ?alias prog
+    (List.map extract_func (Ir.funcs_list prog))
 
 let callees t f = Option.value (Hashtbl.find_opt t.succs f) ~default:[]
 let callers t f = Option.value (Hashtbl.find_opt t.preds f) ~default:[]
@@ -119,21 +171,54 @@ let subtree_contains t prog f pred =
 (* Lowest common ancestor of a set of functions in the call graph: the
    function with the smallest reachable-set that can reach all of them.
    The paper uses this to define a channel's analysis scope (§3.2). *)
+let ancestors t f =
+  let seen = Hashtbl.create 16 in
+  let rec go f =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      List.iter (fun e -> go e.caller) (callers t f)
+    end
+  in
+  go f;
+  seen
+
+(* The covering candidates are exactly the common ancestors of [fs]
+   (reach(g) ∋ f ⟺ g caller-reaches f — same edge set, walked
+   backwards), so intersect the ancestor sets instead of testing every
+   program function: one forward walk per surviving candidate, not one
+   per function.  The winner is unchanged — smallest reachable set,
+   ties to the lexicographically first name, which is the order the old
+   stable sort over the name-sorted function list produced. *)
 let lca t (fs : string list) : string option =
   match fs with
   | [] -> None
   | [ f ] -> Some f
-  | _ ->
-      let all = Ir.funcs_list t.prog in
+  | f0 :: rest ->
+      let cand0 =
+        Hashtbl.fold (fun g () acc -> g :: acc) (ancestors t f0) []
+      in
+      let cands =
+        List.fold_left
+          (fun acc f ->
+            let a = ancestors t f in
+            List.filter (fun g -> Hashtbl.mem a g) acc)
+          cand0 rest
+      in
       let covering =
         List.filter_map
-          (fun (cand : Ir.func) ->
-            let reach = reachable_from t cand.name in
-            if List.for_all (fun f -> Hashtbl.mem reach f) fs then
-              Some (cand.name, Hashtbl.length reach)
+          (fun g ->
+            if Hashtbl.mem t.prog.Ir.funcs g then
+              Some (g, Hashtbl.length (reachable_from t g))
             else None)
-          all
+          cands
       in
-      (match List.sort (fun (_, a) (_, b) -> compare a b) covering with
-      | (best, _) :: _ -> Some best
-      | [] -> None)
+      (match covering with
+      | [] -> None
+      | first :: others ->
+          let best, _ =
+            List.fold_left
+              (fun (bg, bs) (g, s) ->
+                if s < bs || (s = bs && g < bg) then (g, s) else (bg, bs))
+              first others
+          in
+          Some best)

@@ -686,8 +686,13 @@ let detect_full ?(cfg = default_config) ?(pool = Pool.sequential)
   (* one enumeration memo per run: channels sharing a (root, scope, Pset)
      — always the case under the ablation scope — walk the CFG once *)
   let enum_memo = Goengine.Memo.create () in
+  (* tiny channel batches run inline: forking per channel only pays off
+     when there are enough of them to keep several domains busy, and on
+     small inputs the fork/await overhead was a measured net slowdown.
+     Derived from the batch size alone, never the job count. *)
+  let grain = match List.length roots with n when n <= 4 -> n | _ -> 1 in
   let per_root =
-    Pool.map ~pool
+    Pool.map ~pool ~grain
       (fun c ->
         Trace.with_span ~name:"bmoc.channel"
           ~args:[ ("channel", Alias.obj_str c) ]

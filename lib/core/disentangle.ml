@@ -23,6 +23,7 @@ type scope = {
 type t = {
   prims : Primitives.t;
   cg : Callgraph.t;
+  all : Alias.obj list; (* every channel and mutex, sorted *)
   scopes : (Alias.obj, scope) Hashtbl.t;
   (* dependence edges: a depends on b *)
   deps : (Alias.obj, Alias.obj list) Hashtbl.t;
@@ -54,24 +55,62 @@ let compute_scope prims cg obj : scope =
   in
   { root; funcs }
 
-(* Is an operation of [a] with unblocking capability reachable from a
-   blocking operation of [b]?  Approximated at function granularity using
-   the call graph: reachable when the unblocking op's function is reachable
-   from the blocking op's function, or both live in one function. *)
-let depends_on prims cg (a : Alias.obj) (b : Alias.obj) : bool =
-  let a_unblock =
-    List.filter (fun (o : Primitives.op) -> is_unblocking_kind o.o_kind)
-      (Primitives.ops_of prims a)
+(* "a depends on b" when an operation of [a] with unblocking capability
+   is reachable from a blocking operation of [b], approximated at
+   function granularity using the call graph: reachable when the
+   unblocking op's function is reachable from the blocking op's
+   function, or both live in one function.  Computed inverted — one
+   memoized reachability walk per distinct blocking-op function, and
+   every object with an unblocking op inside that walk depends on [b] —
+   rather than testing all object pairs, which is quadratic in the
+   primitive count (it dominated whole-app analysis: each of the pairs
+   re-walked the call graph). *)
+let direct_deps prims cg (all : Alias.obj list) :
+    (Alias.obj, Alias.obj list) Hashtbl.t =
+  let unblock_objs : (string, Alias.obj list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun (o : Primitives.op) ->
+          if is_unblocking_kind o.o_kind then
+            let cur =
+              Option.value (Hashtbl.find_opt unblock_objs o.o_func) ~default:[]
+            in
+            if not (List.mem a cur) then
+              Hashtbl.replace unblock_objs o.o_func (a :: cur))
+        (Primitives.ops_of prims a))
+    all;
+  let reach_memo : (string, (string, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
   in
-  let b_block =
-    List.filter (fun (o : Primitives.op) -> is_blocking_kind o.o_kind)
-      (Primitives.ops_of prims b)
+  let reach f =
+    match Hashtbl.find_opt reach_memo f with
+    | Some r -> r
+    | None ->
+        let r = Callgraph.reachable_from cg f in
+        Hashtbl.replace reach_memo f r;
+        r
   in
-  List.exists
-    (fun (bb : Primitives.op) ->
-      let reach = Callgraph.reachable_from cg bb.o_func in
-      List.exists (fun (ua : Primitives.op) -> Hashtbl.mem reach ua.o_func) a_unblock)
-    b_block
+  let edges : (Alias.obj, Alias.obj list) Hashtbl.t = Hashtbl.create 64 in
+  let add_dep a b =
+    if a <> b then
+      let cur = Option.value (Hashtbl.find_opt edges a) ~default:[] in
+      if not (List.mem b cur) then Hashtbl.replace edges a (b :: cur)
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (o : Primitives.op) ->
+          if is_blocking_kind o.o_kind then
+            Hashtbl.iter
+              (fun g () ->
+                List.iter
+                  (fun a -> add_dep a b)
+                  (Option.value (Hashtbl.find_opt unblock_objs g) ~default:[]))
+              (reach o.o_func))
+        (Primitives.ops_of prims b))
+    all;
+  edges
 
 (* Channels waited on by one select depend on each other (§3.2, rule 2). *)
 let select_partners prims (prog : Ir.program) : (Alias.obj * Alias.obj) list =
@@ -113,43 +152,40 @@ let build (prims : Primitives.t) (cg : Callgraph.t) : t =
   in
   let scopes = Hashtbl.create 16 in
   List.iter (fun obj -> Hashtbl.replace scopes obj (compute_scope prims cg obj)) all;
-  (* direct dependence edges *)
-  let deps = Hashtbl.create 16 in
-  let add_dep a b =
-    if a <> b then
-      let cur = Option.value (Hashtbl.find_opt deps a) ~default:[] in
-      if not (List.mem b cur) then Hashtbl.replace deps a (b :: cur)
-  in
-  List.iter
-    (fun a ->
-      List.iter (fun b -> if depends_on prims cg a b then add_dep a b) all)
-    all;
+  let direct = direct_deps prims cg all in
   List.iter
     (fun (a, b) ->
+      let add_dep a b =
+        if a <> b then
+          let cur = Option.value (Hashtbl.find_opt direct a) ~default:[] in
+          if not (List.mem b cur) then Hashtbl.replace direct a (b :: cur)
+      in
       add_dep a b;
       add_dep b a)
     (select_partners prims prims.prog);
-  (* transitive closure *)
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun a ->
-        let da = Option.value (Hashtbl.find_opt deps a) ~default:[] in
+  (* transitive closure: one graph walk per object over the direct
+     edges (the old association-list fixpoint re-scanned every list on
+     every round) *)
+  let deps = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      let seen : (Alias.obj, unit) Hashtbl.t = Hashtbl.create 16 in
+      let rec go b =
         List.iter
-          (fun b ->
-            let db = Option.value (Hashtbl.find_opt deps b) ~default:[] in
-            List.iter
-              (fun c ->
-                if c <> a && not (List.mem c da) then begin
-                  Hashtbl.replace deps a (c :: Option.value (Hashtbl.find_opt deps a) ~default:[]);
-                  changed := true
-                end)
-              db)
-          da)
-      all
-  done;
-  { prims; cg; scopes; deps }
+          (fun c ->
+            if not (Hashtbl.mem seen c) then begin
+              Hashtbl.add seen c ();
+              go c
+            end)
+          (Option.value (Hashtbl.find_opt direct b) ~default:[])
+      in
+      go a;
+      (* the old closure never records an object as depending on itself *)
+      Hashtbl.remove seen a;
+      let l = Hashtbl.fold (fun c () acc -> c :: acc) seen [] in
+      if l <> [] then Hashtbl.replace deps a l)
+    all;
+  { prims; cg; all; scopes; deps }
 
 let scope_of t obj =
   match Hashtbl.find_opt t.scopes obj with
@@ -179,16 +215,14 @@ let depends t a b =
 (* Pset(c): c plus primitives with no-larger scope circularly dependent
    with c (§3.2). *)
 let pset t (c : Alias.obj) : Alias.obj list =
-  let all =
-    Primitives.channels t.prims @ Primitives.mutexes t.prims
-    |> List.sort_uniq compare
-  in
+  (* only objects c depends on can be mutually dependent with c, so
+     filter deps(c) — sorted, to keep the order the old filter over the
+     sorted primitive list produced — instead of every primitive *)
+  let dc = Option.value (Hashtbl.find_opt t.deps c) ~default:[] in
   let related =
     List.filter
       (fun p ->
-        p <> c
-        && depends t p c && depends t c p
-        && scope_size t p <= scope_size t c)
-      all
+        p <> c && depends t p c && scope_size t p <= scope_size t c)
+      (List.sort_uniq compare dc)
   in
   c :: related

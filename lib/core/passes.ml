@@ -121,17 +121,68 @@ let note_diag (n : Bmoc.chan_note) : D.t =
       S.diag ~pass:"bmoc" ?loc:n.Bmoc.cn_loc ~unit_name S.Skipped
         (reason ^ "; partial results flushed")
 
+(* ------------------------------------------------ pass result cache --- *)
+
+(* Detector passes are pure functions of the compiled program and their
+   configuration, so each pass's *typed* result is cached on disk keyed
+   by [E.a_content] — the digest of every file's compiled form — plus
+   the pass name and a config fingerprint.  A warm re-analysis whose
+   edits leave every file's compiled form unchanged (a comment, a cache
+   restart) skips the detector bodies entirely; an edit that changes
+   compiled code changes the key and the pass recomputes.  Typed
+   results, not diagnostics, are marshalled: extensible-variant
+   payloads do not survive Marshal, so hits are re-rendered through the
+   same diagnostic builders as a cold run.  The cache stands down while
+   fault injection is armed (injected faults must reach the pass body),
+   and [cacheable] lets a pass refuse to persist degraded results. *)
+let pass_cached ~cache_dir ~pass ~fpr ~metrics (a : E.artifacts) ~cacheable
+    compute =
+  let stage = "pass." ^ pass in
+  match cache_dir with
+  | Some dir when not (Goengine.Faults.active ()) -> (
+      match Lazy.force a.E.a_content with
+      | None -> compute ()
+      | Some content ->
+          let key =
+            Digest.to_hex
+              (Digest.string (String.concat "\x00" [ content; pass; fpr ]))
+          in
+          (match (try E.disk_read dir ~stage ~key with _ -> None) with
+          | Some (r, _) ->
+              M.incr (M.counter metrics "engine.pass_cache_hit");
+              r
+          | None ->
+              let r = compute () in
+              if cacheable r then (
+                (try ignore (E.disk_write dir ~stage ~key r) with _ -> ());
+                M.incr (M.counter metrics "engine.pass_cache_store"));
+              r))
+  | _ -> compute ()
+
 let bmoc_pass ?(cfg = Bmoc.default_config) () : E.pass =
+  let fpr = lazy (Solve_cache.fingerprint cfg) in
   {
     E.p_name = "bmoc";
     p_doc = "blocking misuse-of-channel detector (paper Algorithm 1)";
     p_default = true;
     p_run =
       (fun pool metrics a ->
-        let r = Bmoc.detect_full ~cfg ~pool ~metrics (Lazy.force a.E.a_ir) in
-        List.map bmoc_diag r.Bmoc.f_bugs
-        @ List.map skip_diag r.Bmoc.f_skipped
-        @ List.map note_diag r.Bmoc.f_notes);
+        let bugs, skipped, notes =
+          (* skips (budget exhaustion) and supervision notes depend on
+             machine speed and fault state — never replay them from
+             cache *)
+          pass_cached ~cache_dir:cfg.Bmoc.cache_dir ~pass:"bmoc"
+            ~fpr:(Lazy.force fpr) ~metrics a
+            ~cacheable:(fun (_, sk, nt) -> sk = [] && nt = [])
+            (fun () ->
+              let r =
+                Bmoc.detect_full ~cfg ~pool ~metrics (Lazy.force a.E.a_ir)
+              in
+              (r.Bmoc.f_bugs, r.Bmoc.f_skipped, r.Bmoc.f_notes))
+        in
+        List.map bmoc_diag bugs
+        @ List.map skip_diag skipped
+        @ List.map note_diag notes);
   }
 
 let trad_pass name doc run : E.pass =
@@ -148,51 +199,70 @@ let trad_pass name doc run : E.pass =
         List.map (trad_diag ~pass:name) bugs);
   }
 
-let traditional_passes () : E.pass list =
+let traditional_passes ?cfg () : E.pass list =
+  let cache_dir = Option.bind cfg (fun c -> c.Bmoc.cache_dir) in
   let ir a = Lazy.force a.E.a_ir in
   let alias a = Lazy.force a.E.a_alias in
   let cg a = Lazy.force a.E.a_callgraph in
+  (* the traditional checkers take no configuration, so the cache key
+     needs no fingerprint beyond the pass name *)
+  let trad name doc run =
+    trad_pass name doc (fun pool metrics a ->
+        pass_cached ~cache_dir ~pass:name ~fpr:"" ~metrics a
+          ~cacheable:(fun _ -> true)
+          (fun () -> run pool metrics a))
+  in
   [
-    trad_pass "trad.missing-unlock" "lock acquired but not released on some path"
+    trad "trad.missing-unlock" "lock acquired but not released on some path"
       (fun pool metrics a ->
         Traditional.check_missing_unlock ~pool ~metrics (prims_for a) (alias a)
           (ir a));
-    trad_pass "trad.double-lock" "same mutex acquired twice without release"
+    trad "trad.double-lock" "same mutex acquired twice without release"
       (fun pool metrics a ->
         Traditional.check_double_lock ~pool ~metrics (prims_for a) (alias a)
           (cg a) (ir a));
-    trad_pass "trad.lock-order" "conflicting lock acquisition order"
+    trad "trad.lock-order" "conflicting lock acquisition order"
       (fun pool metrics a ->
         Traditional.check_conflicting_order ~pool ~metrics (prims_for a)
           (alias a) (ir a));
-    trad_pass "trad.field-race" "struct field accessed without the usual lock"
+    trad "trad.field-race" "struct field accessed without the usual lock"
       (fun pool metrics a ->
         Traditional.check_field_race ~pool ~metrics (prims_for a) (alias a)
           (ir a));
-    trad_pass "trad.fatal-child" "testing.Fatal called from a child goroutine"
+    trad "trad.fatal-child" "testing.Fatal called from a child goroutine"
       (fun pool metrics a ->
         Traditional.check_fatal_in_child ~pool ~metrics (ir a));
   ]
 
 let nonblocking_pass ?(cfg = Bmoc.default_config) () : E.pass =
+  let fpr = lazy (Solve_cache.fingerprint cfg) in
   {
     E.p_name = "nonblocking";
     p_doc = "non-blocking misuse checkers (send-on-closed, double close)";
     p_default = false;
     p_run =
       (fun _pool metrics a ->
-        let bugs = Nonblocking.detect ~cfg (Lazy.force a.E.a_ir) in
+        let bugs =
+          pass_cached ~cache_dir:cfg.Bmoc.cache_dir ~pass:"nonblocking"
+            ~fpr:(Lazy.force fpr) ~metrics a
+            ~cacheable:(fun _ -> true)
+            (fun () -> Nonblocking.detect ~cfg (Lazy.force a.E.a_ir))
+        in
         M.add (M.counter metrics "nonblocking.reports") (List.length bugs);
         List.map nb_diag bugs);
   }
 
 (* The full registry, in display order. *)
 let all ?cfg () : E.pass list =
-  (bmoc_pass ?cfg () :: traditional_passes ()) @ [ nonblocking_pass ?cfg () ]
+  (bmoc_pass ?cfg () :: traditional_passes ?cfg ())
+  @ [ nonblocking_pass ?cfg () ]
 
 (* An engine pre-loaded with every GCatch pass.  [jobs] sizes the domain
    pool the passes fan out on (1 = sequential, the default); [registry]
    unifies the engine's metrics with a caller-wide registry (the CLI
    passes [Goobs.Metrics.default]). *)
 let engine ?cfg ?(jobs = 1) ?registry () : E.t =
-  E.create ~passes:(all ?cfg ()) ~jobs ?registry ()
+  (* the detector config's cache directory doubles as the engine's
+     per-file frontend cache tier: one --cache-dir warms both *)
+  let cache_dir = Option.bind cfg (fun c -> c.Bmoc.cache_dir) in
+  E.create ~passes:(all ?cfg ()) ~jobs ?registry ?cache_dir ()

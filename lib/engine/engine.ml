@@ -29,6 +29,14 @@ type artifacts = {
   a_ir : Goir.Ir.program Lazy.t;
   a_alias : Goanalysis.Alias.t Lazy.t;
   a_callgraph : Goanalysis.Callgraph.t Lazy.t;
+  a_content : string option Lazy.t;
+      (* combined digest of every file's typed+lowered *compiled form*
+         (the marshalled bytes the disk tier stores), when all are
+         known; [None] when the disk tier is off or any file's digest
+         is unavailable.  Detector passes key their result cache on it:
+         an edit that changes a file's content hash but not its
+         compiled form (a trailing comment) still hits the pass
+         cache. *)
 }
 
 (* ---------------------------------------------------------- passes --- *)
@@ -70,14 +78,40 @@ type run = {
          over the frontend units and every pass's units *)
 }
 
+(* Per-file artifact memos, keyed by the file's content hash (plus, for
+   the stages that read cross-file context, the program's signature
+   fingerprint).  Promise-keyed so concurrent analyses sharing a file
+   compute each per-file unit at most once — which also keeps the
+   per-file stage counters schedule-independent. *)
+type file_caches = {
+  fc_tokens : Minigo.Lexer.token_info list Memo.t;
+  fc_ast : Minigo.Ast.file Memo.t;
+  fc_sigs : Minigo.Typecheck.sig_item list Memo.t;
+  fc_typed : Minigo.Ast.file Memo.t;
+  fc_lowered : Goir.Lower.lowered_file Memo.t;
+  fc_facts :
+    (Goanalysis.Alias.func_summary list * Goanalysis.Callgraph.func_sites list)
+    Memo.t;
+}
+
 type t = {
   mutable passes : pass list;
   cache : (string, artifacts) Hashtbl.t;
   registry : M.t; (* stage/cache counters, pass timings, pass metrics *)
   max_entries : int;
   pool : Pool.t;
-  lock : Mutex.t; (* guards [cache]: batch drivers analyse several
-                     source sets concurrently through one engine *)
+  lock : Mutex.t; (* guards [cache] and [file_times]: batch drivers
+                     analyse several source sets concurrently through
+                     one engine *)
+  cache_dir : string option; (* optional on-disk tier for per-file
+                                artifacts (parse/typed/lowered) *)
+  fc : file_caches;
+  file_times : (string, float) Hashtbl.t;
+      (* cumulative frontend seconds per source file, for --profile *)
+  file_digests : (string, string) Hashtbl.t;
+      (* "<stage>:<key>" -> digest of the value's marshalled bytes,
+         recorded by the disk tier on read and write; feeds
+         [a_content] *)
 }
 
 (* [jobs] sizes the engine's domain pool (shared process-wide per size);
@@ -87,7 +121,8 @@ type t = {
    lets the caller unify engine metrics with a wider scope (the CLI
    passes [Goobs.Metrics.default]); the default is a private registry
    per engine so concurrent test engines never share counters. *)
-let create ?(max_entries = 512) ?(passes = []) ?(jobs = 1) ?pool ?registry () =
+let create ?(max_entries = 512) ?(passes = []) ?(jobs = 1) ?pool ?registry
+    ?cache_dir () =
   let pool = match pool with Some p -> p | None -> Pool.get ~jobs in
   let registry = match registry with Some r -> r | None -> M.create () in
   {
@@ -97,6 +132,18 @@ let create ?(max_entries = 512) ?(passes = []) ?(jobs = 1) ?pool ?registry () =
     max_entries;
     pool;
     lock = Mutex.create ();
+    cache_dir;
+    fc =
+      {
+        fc_tokens = Memo.create ();
+        fc_ast = Memo.create ();
+        fc_sigs = Memo.create ();
+        fc_typed = Memo.create ();
+        fc_lowered = Memo.create ();
+        fc_facts = Memo.create ();
+      };
+    file_times = Hashtbl.create 64;
+    file_digests = Hashtbl.create 64;
   }
 
 let pool t = t.pool
@@ -105,6 +152,12 @@ let jobs t = Pool.jobs t.pool
 let locked (t : t) f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let record_digest (t : t) ~stage ~key d =
+  locked t (fun () -> Hashtbl.replace t.file_digests (stage ^ ":" ^ key) d)
+
+let value_digest (t : t) ~stage ~key =
+  locked t (fun () -> Hashtbl.find_opt t.file_digests (stage ^ ":" ^ key))
 
 let register (t : t) (p : pass) =
   if List.exists (fun q -> q.p_name = p.p_name) t.passes then
@@ -136,13 +189,240 @@ let key_of ~name sources =
 let cached (t : t) ~name sources =
   locked t (fun () -> Hashtbl.mem t.cache (key_of ~name sources))
 
-(* Wrap one frontend stage: bump its run counter (before running, so a
-   failing stage still counts as one attempted run), trace a
-   "stage.<name>" span, and record its wall time in the
-   "stage.<name>.ms" histogram on success. *)
-let stage (t : t) name f =
+(* ------------------------------------------- per-file disk tier ------ *)
+
+(* On-disk per-file artifacts (parse AST, typed AST, lowered file), one
+   file per (stage, content key), mirroring the solve cache's tier:
+   atomic writes (temp + rename), integrity-checked reads, best-effort
+   throughout — a corrupted entry is a miss, a vanished directory
+   retires the tier with one warning.  This is what makes a fresh
+   process warm: re-analysing an edited tree re-lexes/parses/typechecks
+   only the files whose content hash changed. *)
+
+let file_format_version = "gcatch-file-cache/2"
+let disk_enabled = Atomic.make true
+
+(* Tests re-arm the disk tier between scenarios. *)
+let reset_disk_state () = Atomic.set disk_enabled true
+
+let c_read_error = lazy (M.counter M.default "engine.file_cache_read_error")
+let c_write_error = lazy (M.counter M.default "engine.file_cache_write_error")
+
+let disable_disk dir =
+  if Atomic.compare_and_set disk_enabled true false then
+    Goobs.Log.warn
+      ~kv:[ ("dir", dir) ]
+      "file-cache directory unavailable; continuing memory-only"
+
+let dir_usable dir =
+  Sys.file_exists dir
+  || match Unix.mkdir dir 0o755 with
+     | () -> true
+     | exception Unix.Unix_error (Unix.EEXIST, _, _) -> true
+     | exception _ -> false
+
+let disk_file dir ~stage key =
+  Filename.concat dir (Printf.sprintf "gcatch-%s-%s.fe" key stage)
+
+(* payload = digest(body) ^ body, body = hdr ^ vbytes with
+   hdr = Marshal(version, stage, key, digest(vbytes)) and
+   vbytes = Marshal(v).  Carrying the value digest in the fixed-size
+   header lets [disk_digest] report an entry's compiled-content digest
+   from a few hundred bytes of IO, without unmarshalling the value —
+   the engine records digests per (stage, key) so detector passes can
+   key their result cache on compiled content rather than source
+   hashes.  Readers return [Some (v, value_digest)]. *)
+let disk_read dir ~stage ~key =
+  (match Faults.fire ~site:"cache.read" ~key () with
+  | None -> ()
+  | Some Faults.Stall -> Pool.sleep_yielding Faults.stall_s
+  | Some _ -> raise (Faults.Injected ("cache.read", key)));
+  let path = disk_file dir ~stage key in
+  match open_in_bin path with
+  | exception Sys_error _ -> None (* no entry *)
+  | ic ->
+      let r =
+        match
+          let n = in_channel_length ic in
+          if n < 16 then None
+          else begin
+            let digest = really_input_string ic 16 in
+            let body = really_input_string ic (n - 16) in
+            if Digest.string body <> digest then None
+            else
+              let v, st, k, vd =
+                (Marshal.from_string body 0
+                  : string * string * string * string)
+              in
+              if v = file_format_version && st = stage && k = key then
+                let hl = Marshal.total_size (Bytes.unsafe_of_string body) 0 in
+                Some (Marshal.from_string body hl, vd)
+              else None
+          end
+        with
+        | r -> r
+        | exception _ -> None
+      in
+      close_in_noerr ic;
+      (match r with
+      | Some _ -> ()
+      | None -> ( try Sys.remove path with _ -> ()));
+      r
+
+let disk_write dir ~stage ~key v =
+  (match Faults.fire ~site:"cache.write" ~key () with
+  | None -> ()
+  | Some Faults.Stall -> Pool.sleep_yielding Faults.stall_s
+  | Some _ -> raise (Faults.Injected ("cache.write", key)));
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let vbytes = Marshal.to_string v [ Marshal.No_sharing ] in
+  let vd = Digest.to_hex (Digest.string vbytes) in
+  let hdr = Marshal.to_string (file_format_version, stage, key, vd) [] in
+  let body = hdr ^ vbytes in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".gcatch-%s-%s.%d.tmp" key stage (Unix.getpid ()))
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Digest.string body);
+      output_string oc body);
+  match Sys.rename tmp (disk_file dir ~stage key) with
+  | () -> vd
+  | exception e ->
+      (try Sys.remove tmp with _ -> ());
+      raise e
+
+(* Read just the value digest from an entry's header, without touching
+   the value bytes.  Trusts the writer: body integrity is only checked
+   by [disk_read] on an actual value load — a corrupted entry merely
+   yields a pass-cache key nothing was stored under, which converges
+   to a recompute. *)
+let disk_digest dir ~stage ~key =
+  let path = disk_file dir ~stage key in
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let r =
+        match
+          let n = in_channel_length ic in
+          if n < 16 + Marshal.header_size then None
+          else begin
+            seek_in ic 16;
+            let h0 = really_input_string ic Marshal.header_size in
+            let dsz = Marshal.data_size (Bytes.unsafe_of_string h0) 0 in
+            if n < 16 + Marshal.header_size + dsz then None
+            else
+              let rest = really_input_string ic dsz in
+              let v, st, k, vd =
+                (Marshal.from_string (h0 ^ rest) 0
+                  : string * string * string * string)
+              in
+              if v = file_format_version && st = stage && k = key then
+                Some vd
+              else None
+          end
+        with
+        | r -> r
+        | exception _ -> None
+      in
+      close_in_noerr ic;
+      r
+
+let checked_digest (t : t) ~stage ~key =
+  match value_digest t ~stage ~key with
+  | Some d -> Some d
+  | None -> (
+      match t.cache_dir with
+      | Some dir when Atomic.get disk_enabled -> (
+          match (try disk_digest dir ~stage ~key with _ -> None) with
+          | Some d ->
+              record_digest t ~stage ~key d;
+              Some d
+          | None -> None)
+      | _ -> None)
+
+let checked_read (t : t) ~stage ~key =
+  match t.cache_dir with
+  | Some dir when Atomic.get disk_enabled ->
+      Pool.yield ();
+      let r =
+        try disk_read dir ~stage ~key
+        with _ ->
+          M.incr (Lazy.force c_read_error);
+          if not (dir_usable dir) then disable_disk dir;
+          None
+      in
+      Pool.yield ();
+      (match r with
+      | Some (v, d) ->
+          record_digest t ~stage ~key d;
+          Some v
+      | None -> None)
+  | _ -> None
+
+let checked_write (t : t) ~stage ~key v =
+  match t.cache_dir with
+  | Some dir when Atomic.get disk_enabled ->
+      Pool.yield ();
+      (try record_digest t ~stage ~key (disk_write dir ~stage ~key v)
+       with _ ->
+         M.incr (Lazy.force c_write_error);
+         if not (dir_usable dir) then disable_disk dir);
+      Pool.yield ()
+  | _ -> ()
+
+(* ------------------------------------------- per-file stage units ---- *)
+
+(* One per-file unit of one frontend stage: memory tier, then (for the
+   marshalable stages) the disk tier, then compute.  Only successes are
+   cached — a failing file re-raises out of the program-level lazy,
+   which memoizes the exception, so error semantics are unchanged.  The
+   stage's run counter counts actual computations: after a one-file
+   edit, exactly one unit per stage recomputes and the counters say so.
+   The counter is bumped *before* computing so a failing unit still
+   counts as an attempted run. *)
+let file_unit (t : t) ~stage ~memo ~key ~file ?(disk = false) ?reintern
+    compute =
+  let t0 = Clock.now_s () in
+  let from_disk = ref false in
+  match
+    Memo.find_or_compute memo key (fun () ->
+        match (if disk then checked_read t ~stage ~key else None) with
+        | Some v ->
+            from_disk := true;
+            let v = match reintern with Some f -> f v | None -> v in
+            (v, true)
+        | None ->
+            M.incr (M.counter t.registry ("stage." ^ stage ^ ".runs"));
+            let v = compute () in
+            if disk then checked_write t ~stage ~key v;
+            (v, true))
+  with
+  | `Hit v ->
+      M.incr (M.counter t.registry "engine.file_mem_hit");
+      v
+  | `Computed v ->
+      let dt = Clock.elapsed_since t0 in
+      if !from_disk then M.incr (M.counter t.registry "engine.file_disk_hit");
+      M.observe
+        (M.histogram t.registry ("stage." ^ stage ^ ".file_ms"))
+        (1000.0 *. dt);
+      locked t (fun () ->
+          Hashtbl.replace t.file_times file
+            (dt
+            +. Option.value (Hashtbl.find_opt t.file_times file) ~default:0.0));
+      v
+
+(* Program-level span for one stage: trace span plus the
+   "stage.<name>.ms" wall-time histogram.  The per-file stages bump
+   their run counters per file (in [file_unit]); the whole-program
+   stages use [stage_counted], preserving the one-run-per-program
+   counter semantics. *)
+let stage_span (t : t) name f =
   Trace.with_span ~name:("stage." ^ name) (fun () ->
-      M.incr (M.counter t.registry ("stage." ^ name ^ ".runs"));
       let t0 = Clock.now_s () in
       let r = f () in
       M.observe
@@ -150,51 +430,233 @@ let stage (t : t) name f =
         (1000.0 *. Clock.elapsed_since t0);
       r)
 
+let stage_counted (t : t) name f =
+  stage_span t name (fun () ->
+      M.incr (M.counter t.registry ("stage." ^ name ^ ".runs"));
+      f ())
+
+(* Minimum items per forked task for per-file fan-outs.  Small batches
+   run inline (no session, no fork overhead); large ones chunk so the
+   per-task grain stays coarse.  Derived from the batch size alone —
+   never from the job count — so counters and diagnostics stay
+   schedule-independent. *)
+let frontend_grain n = if n <= 8 then n else max 2 (n / 32)
+
 (* Build the lazy stage chain for one source set.  File naming matches
    [Parser.parse_program] so locations are byte-identical to the
-   pre-engine pipeline. *)
+   pre-engine pipeline.
+
+   Every per-file stage fans out over the engine's pool: results come
+   back in file order and a failing file re-raises the smallest file
+   index's exception (after the siblings finish and publish their cache
+   entries), so diagnostics are byte-identical at any [jobs] and a
+   salvage retry recompiles only the stubbed file.  Per-file artifacts
+   are keyed by the file's content hash; the stages that read cross-file
+   context (typecheck, lower, facts) add the program's signature
+   fingerprint, so editing one file's bodies re-runs exactly that file
+   while a signature change invalidates every dependent. *)
+(* A domain-safe once-cell: the per-file compute closures below share
+   whole-program inputs (type environment, lowering signatures) that a
+   fully cache-warm run never needs — build them on first use only.
+   The builders never yield, so a task computing one cannot suspend
+   while holding the lock. *)
+let once f =
+  let mu = Mutex.create () in
+  let r = ref None in
+  fun () ->
+    Mutex.lock mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mu)
+      (fun () ->
+        match !r with
+        | Some v -> v
+        | None ->
+            let v = f () in
+            r := Some v;
+            v)
+
 let build_artifacts (t : t) ~name sources : artifacts =
-  let a_tokens =
-    lazy
-      (stage t "lex" (fun () ->
-           List.mapi
-             (fun i src ->
-               let file = Printf.sprintf "%s/file%d.go" name i in
-               Faults.trigger ~site:"frontend" ~key:file ();
-               Minigo.Lexer.tokenize ~file src)
-             sources))
+  let keyed =
+    List.mapi
+      (fun i src ->
+        let file = Printf.sprintf "%s/file%d.go" name i in
+        (file, src, Digest.to_hex (Digest.string (file ^ "\x00" ^ src))))
+      sources
   in
-  let a_ast =
+  let grain = frontend_grain (List.length keyed) in
+  let pmap f xs = Pool.map ~pool:t.pool ~grain f xs in
+  let lex_file (file, src, key) =
+    file_unit t ~stage:"lex" ~memo:t.fc.fc_tokens ~key ~file (fun () ->
+        Faults.trigger ~site:"frontend" ~key:file ();
+        Minigo.Lexer.tokenize ~file src)
+  in
+  let parse_file ((file, _, key) as fk) =
+    file_unit t ~stage:"parse" ~memo:t.fc.fc_ast ~key ~file ~disk:true
+      ~reintern:Minigo.Intern.file (fun () ->
+        Minigo.Parser.parse_tokens ~file (lex_file fk))
+  in
+  let a_tokens = lazy (stage_span t "lex" (fun () -> pmap lex_file keyed)) in
+  let a_ast = lazy (stage_span t "parse" (fun () -> pmap parse_file keyed)) in
+  (* a file's declaration signatures: the only cross-file input the
+     downstream per-file stages read.  Keyed on content alone (no
+     program fingerprint — signatures depend only on the file's own
+     text), so a warm run reads 49 tiny entries plus parses the one
+     edited file instead of re-parsing the world. *)
+  let sig_file ((file, _, key) as fk) =
+    file_unit t ~stage:"sig" ~memo:t.fc.fc_sigs ~key ~file ~disk:true
+      (fun () -> Minigo.Typecheck.file_signatures (parse_file fk))
+  in
+  let a_sigs = lazy (stage_span t "sig" (fun () -> pmap sig_file keyed)) in
+  let a_fp =
     lazy
-      (stage t "parse" (fun () ->
-           List.mapi
-             (fun i toks ->
-               Minigo.Parser.parse_tokens
-                 ~file:(Printf.sprintf "%s/file%d.go" name i)
-                 toks)
-             (Lazy.force a_tokens)))
+      (Minigo.Typecheck.signatures_fingerprint
+         (List.concat (Lazy.force a_sigs)))
+  in
+  (* whole-program signature tables, built from the per-file signature
+     items on first use only: a run whose passes are all served from
+     the result cache never constructs them *)
+  let env =
+    once (fun () ->
+        Minigo.Typecheck.env_of_signatures (List.concat (Lazy.force a_sigs)))
+  in
+  let lsigs =
+    once (fun () ->
+        Goir.Lower.sigs_of_signatures (List.concat (Lazy.force a_sigs)))
+  in
+  let typed_file ((file, _, key) as fk) =
+    let fp = Lazy.force a_fp in
+    let key = Digest.to_hex (Digest.string (key ^ "\x00" ^ fp)) in
+    file_unit t ~stage:"typecheck" ~memo:t.fc.fc_typed ~key ~file ~disk:true
+      ~reintern:Minigo.Intern.file (fun () ->
+        Minigo.Typecheck.check_file (env ()) (parse_file fk))
   in
   let a_typed =
-    lazy
-      (stage t "typecheck" (fun () ->
-           Minigo.Typecheck.check_program (Lazy.force a_ast)))
+    lazy (stage_span t "typecheck" (fun () -> pmap typed_file keyed))
+  in
+  let lowered_file ((file, _, key) as fk) =
+    let fp = Lazy.force a_fp in
+    let key = Digest.to_hex (Digest.string (key ^ "\x01" ^ fp)) in
+    file_unit t ~stage:"lower" ~memo:t.fc.fc_lowered ~key ~file ~disk:true
+      (fun () -> Goir.Lower.lower_file (lsigs ()) (typed_file fk))
+  in
+  let a_lowered =
+    lazy (stage_span t "lower" (fun () -> pmap lowered_file keyed))
   in
   let a_ir =
     lazy
-      (stage t "lower" (fun () ->
-           Goir.Lower.lower_program (Lazy.force a_typed)))
+      (stage_span t "assemble" (fun () ->
+           Goir.Lower.assemble (Lazy.force a_typed) (Lazy.force a_lowered)))
+  in
+  (* per-file local facts for the global analyses, with file-local
+     program points; rebased below by each file's pp offset *)
+  let a_facts =
+    lazy
+      (stage_span t "facts" (fun () ->
+           let lfs = Lazy.force a_lowered in
+           let fp = Lazy.force a_fp in
+           pmap
+             (fun ((file, _, key), lf) ->
+               let key = Digest.to_hex (Digest.string (key ^ "\x02" ^ fp)) in
+               file_unit t ~stage:"facts" ~memo:t.fc.fc_facts ~key ~file
+                 (fun () ->
+                   let funcs = List.map snd (Goir.Lower.file_funcs lf) in
+                   ( List.map Goanalysis.Alias.extract_func funcs,
+                     List.map Goanalysis.Callgraph.extract_func funcs )))
+             (List.combine keyed lfs)))
+  in
+  let offsets lfs =
+    let off = ref 0 in
+    List.map
+      (fun lf ->
+        let o = !off in
+        off := o + Goir.Lower.file_pp_count lf;
+        o)
+      lfs
   in
   let a_alias =
     lazy
-      (stage t "alias" (fun () ->
-           Goanalysis.Alias.analyse (Lazy.force a_ir)))
+      (stage_counted t "alias" (fun () ->
+           let ir = Lazy.force a_ir in
+           let lfs = Lazy.force a_lowered in
+           let facts = Lazy.force a_facts in
+           let summaries =
+             List.concat
+               (List.map2
+                  (fun off (sums, _) ->
+                    List.map (Goanalysis.Alias.rebase_summary off) sums)
+                  (offsets lfs) facts)
+           in
+           Goanalysis.Alias.solve ir summaries))
   in
   let a_callgraph =
     lazy
-      (stage t "callgraph" (fun () ->
-           Goanalysis.Callgraph.build
+      (stage_counted t "callgraph" (fun () ->
+           let ir = Lazy.force a_ir in
+           let lfs = Lazy.force a_lowered in
+           let facts = Lazy.force a_facts in
+           let sites =
+             List.concat
+               (List.map2
+                  (fun off (_, ss) ->
+                    List.map (Goanalysis.Callgraph.rebase_sites off) ss)
+                  (offsets lfs) facts)
+           in
+           Goanalysis.Callgraph.build_from_sites
              ~alias:(Lazy.force a_alias)
-             (Lazy.force a_ir)))
+             ir sites))
+  in
+  (* The digest of every file's compiled form.  The cheap path reads
+     each typed/lowered digest from the digest table or from the disk
+     entry's header — no value load; only files with no entry (an
+     edit, a cold run) compute their stage units.  Forcing this also
+     surfaces every frontend error: each file either has cached
+     typed+lowered entries (it compiled before) or gets compiled
+     here. *)
+  let a_content =
+    lazy
+      (let fp = Lazy.force a_fp in
+       let part stage tag (_, _, key) =
+         let key = Digest.to_hex (Digest.string (key ^ tag ^ fp)) in
+         checked_digest t ~stage ~key
+       in
+       let file_part fk =
+         match (part "typecheck" "\x00" fk, part "lower" "\x01" fk) with
+         | Some d1, Some d2 -> Some (d1 ^ d2)
+         | _ -> None
+       in
+       let ds = List.map file_part keyed in
+       let missing =
+         List.filter_map
+           (fun (fk, d) -> if d = None then Some fk else None)
+           (List.combine keyed ds)
+       in
+       let ds =
+         if missing = [] then ds
+         else begin
+           (* compile the missing files; through the whole-stage lazies
+              when everything is missing (a cold run — keeps the
+              stage-span accounting), per file otherwise *)
+           (if List.length missing = List.length keyed then begin
+              ignore (Lazy.force a_typed);
+              ignore (Lazy.force a_lowered)
+            end
+            else
+              ignore
+                (pmap
+                   (fun fk ->
+                     ignore (typed_file fk);
+                     ignore (lowered_file fk))
+                   missing));
+           List.map file_part keyed
+         end
+       in
+       if List.for_all Option.is_some ds then
+         Some
+           (Digest.to_hex
+              (Digest.string
+                 (String.concat ""
+                    (List.map (Option.value ~default:"") ds))))
+       else None)
   in
   {
     a_key = key_of ~name sources;
@@ -206,6 +668,7 @@ let build_artifacts (t : t) ~name sources : artifacts =
     a_ir;
     a_alias;
     a_callgraph;
+    a_content;
   }
 
 (* Look up (or create) the artifact record for a source set.  Stages are
@@ -222,8 +685,19 @@ let artifacts (t : t) ~name sources : artifacts =
       | None ->
           M.incr (M.counter t.registry "engine.cache_misses");
           (* crude bound: a full reset is fine for our workloads, which
-             never come close to [max_entries] live source sets *)
-          if Hashtbl.length t.cache >= t.max_entries then Hashtbl.reset t.cache;
+             never come close to [max_entries] live source sets; the
+             per-file memos shrink with it *)
+          if Hashtbl.length t.cache >= t.max_entries then begin
+            Hashtbl.reset t.cache;
+            Memo.reset t.fc.fc_tokens;
+            Memo.reset t.fc.fc_ast;
+            Memo.reset t.fc.fc_sigs;
+            Memo.reset t.fc.fc_typed;
+            Memo.reset t.fc.fc_lowered;
+            Memo.reset t.fc.fc_facts;
+            Hashtbl.reset t.file_times;
+            Hashtbl.reset t.file_digests
+          end;
           let a = build_artifacts t ~name sources in
           Hashtbl.add t.cache key a;
           a)
@@ -261,7 +735,12 @@ let frontend_diag : exn -> D.t option = function
    exceptions as diagnostics instead of letting them escape. *)
 let compile (t : t) ~name sources : (artifacts, D.t) result =
   let a = artifacts t ~name sources in
-  match Lazy.force a.a_ir with
+  (* forcing [a_content] forces the typed and lowered files, which
+     surfaces every frontend error (assembly is a pure merge and cannot
+     fail) while leaving [a_ir] unforced: a run whose passes are all
+     served from the result cache never pays for whole-program
+     assembly *)
+  match Lazy.force a.a_content with
   | _ -> Ok a
   | exception e -> (
       match frontend_diag e with Some d -> Error d | None -> raise e)
@@ -473,6 +952,61 @@ let analyse ?only ?extra (t : t) ~name sources : run =
 
 let errors (r : run) = List.filter D.is_error r.r_diags
 let frontend_failed (r : run) = r.r_artifacts = None
+
+(* ------------------------------------------- frontend profiling ------ *)
+
+(* The [top] source files with the largest cumulative frontend compute
+   time (lex + parse + typecheck + lower + facts), slowest first. *)
+let slowest_files ?(top = 10) (t : t) : (string * float) list =
+  let all =
+    locked t (fun () ->
+        Hashtbl.fold (fun f s acc -> (f, s) :: acc) t.file_times [])
+  in
+  let sorted =
+    List.sort (fun (fa, a) (fb, b) -> compare (b, fa) (a, fb)) all
+  in
+  List.filteri (fun i _ -> i < top) sorted
+
+(* The --profile "frontend:" section: slowest files, interning pool
+   effectiveness, per-file cache traffic, and each per-file stage's
+   effective parallelism (summed per-file compute time over the stage's
+   wall time — 1.0x means the fan-out ran sequentially). *)
+let frontend_report ?(top = 10) (t : t) : string =
+  let b = Buffer.create 512 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+  in
+  line "frontend:";
+  let files = slowest_files ~top t in
+  let total = locked t (fun () -> Hashtbl.length t.file_times) in
+  line "  top %d slowest files (of %d):" (List.length files) total;
+  List.iter (fun (f, s) -> line "    %8.1f ms  %s" (1000.0 *. s) f) files;
+  let st = Minigo.Intern.stats () in
+  let lookups = st.Minigo.Intern.st_hits + st.st_misses in
+  line
+    "  interning: %d string(s), %d type(s) pooled; %d/%d lookup(s) shared%s"
+    st.st_strings st.st_types st.st_hits lookups
+    (if lookups = 0 then ""
+     else
+       Printf.sprintf " (%.0f%% hit rate)"
+         (100.0 *. float_of_int st.st_hits /. float_of_int lookups));
+  let c n = M.value (M.counter t.registry n) in
+  let mem_hits = c "engine.file_mem_hit" and disk_hits = c "engine.file_disk_hit" in
+  if mem_hits + disk_hits > 0 then
+    line "  per-file cache: %d memory hit(s), %d disk hit(s)" mem_hits
+      disk_hits;
+  List.iter
+    (fun s ->
+      let wall = M.h_sum (M.histogram t.registry ("stage." ^ s ^ ".ms")) in
+      let files_ms =
+        M.h_sum (M.histogram t.registry ("stage." ^ s ^ ".file_ms"))
+      in
+      if wall > 0.0 && files_ms > 0.0 then
+        line "  stage %-10s %8.1f ms across files / %8.1f ms wall = %.2fx \
+              parallel"
+          s files_ms wall (files_ms /. wall))
+    [ "lex"; "parse"; "typecheck"; "lower"; "facts" ];
+  Buffer.contents b
 
 (* ------------------------------------------------- run rendering ----- *)
 

@@ -623,7 +623,7 @@ let scheduled_map f (items : 'a array) : 'b list =
   Array.to_list
     (Array.map (function Some (Ok v) -> v | _ -> assert false) outs)
 
-let map ~pool f xs =
+let map_items ~pool f xs =
   match xs with
   | [] -> []
   | xs ->
@@ -639,6 +639,38 @@ let map ~pool f xs =
         then List.map f xs
         else
           with_scheduler ~pool (fun () -> scheduled_map f (Array.of_list xs))
+
+(* Split [xs] into consecutive chunks of at most [k] items. *)
+let chunks k xs =
+  let rec take n acc xs =
+    match xs with
+    | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let rec go xs =
+    match xs with
+    | [] -> []
+    | xs ->
+        let c, rest = take k [] xs in
+        c :: go rest
+  in
+  go xs
+
+(* [grain] sets a minimum number of items per forked task: tiny items
+   (a per-file lex, a cheap per-channel check) are batched into
+   consecutive chunks so the fork/await overhead is paid once per chunk,
+   not once per item.  Chunking must depend only on the input (never on
+   [pool.jobs]): a chunk runs its items inline left to right, so the
+   first failing item of the smallest failing chunk — i.e. the globally
+   smallest failing index — still wins deterministically, exactly as in
+   the unchunked map. *)
+let map ~pool ?(grain = 1) f xs =
+  if grain <= 1 then map_items ~pool f xs
+  else
+    match chunks grain xs with
+    | [] -> []
+    | [ c ] -> List.map f c
+    | cs -> List.concat (map_items ~pool (List.map f) cs)
 
 let run ~pool thunks = map ~pool (fun th -> th ()) thunks
 

@@ -108,12 +108,20 @@ val with_scheduler : pool:t -> (unit -> 'a) -> 'a
 
 (** {1 Fan-out} *)
 
-val map : pool:t -> ('a -> 'b) -> 'a list -> 'b list
+val map : pool:t -> ?grain:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map] preserving input order.  One task is forked per
     item; idle participants rebalance by stealing.  If tasks raise, the
     exception of the smallest failing index is re-raised in the caller
     with its backtrace — after all items have finished, so side effects
     (metrics, memo state) are schedule-independent.
+
+    [grain] (default 1) sets a minimum number of items per forked task:
+    consecutive chunks of up to [grain] items each run inline inside
+    one task, so tiny work items skip the fork/await overhead.  A batch
+    that fits in a single chunk runs entirely inline.  Chunking keeps
+    the deterministic smallest-failing-index exception choice; callers
+    must derive [grain] from the input alone (never from the job
+    count) so counters stay schedule-independent.
 
     Inside a task, [map] forks subtasks into the running session
     (single-item calls run inline).  At top level, batches of at most

@@ -41,6 +41,9 @@ and gstate = {
       (* name, params, results, body, captured env, loc — queued for lowering *)
   funcs_sigs : (string, A.typ list * A.typ list) Hashtbl.t;
   structs : (string, (string * A.typ) list) Hashtbl.t;
+  g_captures : (string, string list) Hashtbl.t;
+      (* lifted name -> captured free variables; per-glob so concurrent
+         per-file lowerings never share mutable state *)
 }
 
 exception Lower_error of string * Minigo.Loc.t
@@ -571,10 +574,8 @@ and lift_lit fs ~loc params results body : string =
     ( List.map (fun (p : A.param) -> p.ptyp) (params @ extra_params),
       results );
   (* record the capture list so callers pass the extra args *)
-  Hashtbl.replace lit_captures name fvs;
+  Hashtbl.replace fs.glob.g_captures name fvs;
   name
-
-and lit_captures : (string, string list) Hashtbl.t = Hashtbl.create 16
 
 (* Emit deferred operations (LIFO) at a function exit. *)
 and emit_defers fs ~loc defers =
@@ -669,7 +670,7 @@ and lower_stmt fs (s : A.stmt) : unit =
       let name = lift_lit fs ~loc params [] body in
       let explicit = List.map (lower_expr fs) args in
       let captured =
-        match Hashtbl.find_opt lit_captures name with
+        match Hashtbl.find_opt fs.glob.g_captures name with
         | Some fvs -> List.map (fun v -> Ir.Ovar (rename fs v)) fvs
         | None -> []
       in
@@ -1013,44 +1014,71 @@ let lower_function glob ~name ~(params : A.param list) ~results ~body
   finalize fs ~name ~params:ir_params ~result_types:results ~is_goroutine_body
     ~parent ~floc
 
-let lower_program (prog : A.program) : Ir.program =
-  Hashtbl.reset lit_captures;
+(* --------------------------------------------- per-file compilation --- *)
+
+(* The frontend lowers each file independently (possibly in parallel,
+   possibly from a per-file cache), with program points local to the
+   file and starting at 1.  [assemble] then rebases every file's points
+   by the sum of the preceding files' point counts — a prefix sum over
+   the file list, so the numbering depends only on the file contents
+   and their order, never on the schedule or on which files came from
+   cache. *)
+
+type sigs = {
+  sg_funcs : (string, A.typ list * A.typ list) Hashtbl.t;
+  sg_structs : (string, (string * A.typ) list) Hashtbl.t;
+}
+
+(* Typechecking rewrites only function bodies, so the signature items
+   extracted from the *parsed* files build the same table as
+   [build_sigs] on the typed program — which is what lets the engine
+   feed this from its per-file signature cache without re-parsing. *)
+let sigs_of_signatures (items : Minigo.Typecheck.sig_item list) : sigs =
+  let sg_funcs = Hashtbl.create 16 in
+  let sg_structs = Hashtbl.create 16 in
+  List.iter
+    (function
+      | `F (name, ptys, results) -> Hashtbl.replace sg_funcs name (ptys, results)
+      | `S (name, fields) -> Hashtbl.replace sg_structs name fields)
+    items;
+  { sg_funcs; sg_structs }
+
+let build_sigs (prog : A.program) : sigs =
+  sigs_of_signatures
+    (List.concat_map Minigo.Typecheck.file_signatures prog)
+
+type lowered_file = {
+  lf_funcs : (string * Ir.func) list; (* in lowering order *)
+  lf_pp_count : int;                  (* program points this file consumed *)
+  lf_captures : (string * string list) list; (* lifted name -> free vars *)
+}
+
+let lower_file (sigs : sigs) (file : A.file) : lowered_file =
   let glob =
     {
       pp_counter = 0;
       lifted = [];
-      funcs_sigs = Hashtbl.create 16;
-      structs = Hashtbl.create 16;
+      (* lambda lifting registers the lifted literal's signature as it
+         goes; copy the shared base so files never write to it *)
+      funcs_sigs = Hashtbl.copy sigs.sg_funcs;
+      structs = sigs.sg_structs;
+      g_captures = Hashtbl.create 16;
     }
   in
+  let funcs = ref [] in
   List.iter
-    (fun (file : A.file) ->
-      List.iter
-        (fun d ->
-          match d with
-          | A.Dfunc fd ->
-              Hashtbl.replace glob.funcs_sigs fd.fname
-                (List.map (fun (p : A.param) -> p.ptyp) fd.params, fd.results)
-          | A.Dstruct sd -> Hashtbl.replace glob.structs sd.struct_name sd.fields)
-        file.decls)
-    prog;
-  let funcs = Hashtbl.create 16 in
-  List.iter
-    (fun (file : A.file) ->
-      List.iter
-        (fun d ->
-          match d with
-          | A.Dfunc fd ->
-              let f =
-                lower_function glob ~name:fd.fname ~params:fd.params
-                  ~results:fd.results ~body:fd.body ~is_goroutine_body:false
-                  ~parent:None ~env:StrMap.empty ~floc:fd.floc
-              in
-              Hashtbl.replace funcs fd.fname f
-          | A.Dstruct _ -> ())
-        file.decls)
-    prog;
-  (* lower lifted literals; lifting can enqueue more *)
+    (fun d ->
+      match d with
+      | A.Dfunc fd ->
+          let f =
+            lower_function glob ~name:fd.fname ~params:fd.params
+              ~results:fd.results ~body:fd.body ~is_goroutine_body:false
+              ~parent:None ~env:StrMap.empty ~floc:fd.floc
+          in
+          funcs := (fd.fname, f) :: !funcs
+      | A.Dstruct _ -> ())
+    file.decls;
+  (* lower this file's lifted literals; lifting can enqueue more *)
   let rec drain () =
     match glob.lifted with
     | [] -> ()
@@ -1065,13 +1093,93 @@ let lower_program (prog : A.program) : Ir.program =
           lower_function glob ~name ~params ~results ~body
             ~is_goroutine_body:true ~parent ~env:StrMap.empty ~floc:loc
         in
-        Hashtbl.replace funcs name f;
+        funcs := (name, f) :: !funcs;
         drain ()
   in
   drain ();
+  {
+    lf_funcs = List.rev !funcs;
+    lf_pp_count = glob.pp_counter;
+    lf_captures =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) glob.g_captures []);
+  }
+
+(* Accessors for per-file analysis passes that extract local facts from
+   a lowered file before its program points are rebased. *)
+let file_funcs (lf : lowered_file) = lf.lf_funcs
+let file_pp_count (lf : lowered_file) = lf.lf_pp_count
+
+(* Rebase a function's program points by [off].  Blocks are mutable
+   records, so the copy must be deep: a cached [lowered_file] may be
+   assembled at different offsets in different programs.  Program
+   points appear in instruction [ipp]s, [Tselect] terminators, and
+   [Copaque] conditions (inside [Tbranch], possibly under [Cnot]);
+   nothing else in the IR carries one. *)
+let rec rebase_cond off (c : Ir.cond) : Ir.cond =
+  match c with
+  | Ir.Copaque pp -> Ir.Copaque (pp + off)
+  | Ir.Cnot c -> Ir.Cnot (rebase_cond off c)
+  | Ir.Cvar _ | Ir.Ccmp _ -> c
+
+let rebase_term off (t : Ir.terminator) : Ir.terminator =
+  match t with
+  | Ir.Tbranch (c, a, b) -> Ir.Tbranch (rebase_cond off c, a, b)
+  | Ir.Tselect (arms, dflt, pp) -> Ir.Tselect (arms, dflt, pp + off)
+  | Ir.Tjump _ | Ir.Treturn _ | Ir.Tpanic | Ir.Texit | Ir.Tunreachable -> t
+
+let rebase_func off (f : Ir.func) : Ir.func =
+  if off = 0 then f
+  else
+    {
+      f with
+      Ir.blocks =
+        Array.map
+          (fun (b : Ir.block) ->
+            {
+              b with
+              Ir.insts =
+                List.map
+                  (fun (i : Ir.inst) -> { i with Ir.ipp = i.Ir.ipp + off })
+                  b.Ir.insts;
+              term = rebase_term off b.Ir.term;
+            })
+          f.Ir.blocks;
+    }
+
+(* The process-wide capture map behind the public [captures] API.
+   Assembly merges every file's captures in; the table accumulates
+   across programs (it is never reset: cached files are not re-lowered
+   on warm runs, so their entries must survive). *)
+let lit_captures : (string, string list) Hashtbl.t = Hashtbl.create 16
+let lit_captures_mu = Mutex.create ()
+
+let assemble (prog : A.program) (files : lowered_file list) : Ir.program =
+  let funcs = Hashtbl.create 16 in
+  let off = ref 0 in
+  List.iter
+    (fun lf ->
+      List.iter
+        (fun (name, f) -> Hashtbl.replace funcs name (rebase_func !off f))
+        lf.lf_funcs;
+      Mutex.lock lit_captures_mu;
+      List.iter
+        (fun (name, fvs) -> Hashtbl.replace lit_captures name fvs)
+        lf.lf_captures;
+      Mutex.unlock lit_captures_mu;
+      off := !off + lf.lf_pp_count)
+    files;
   let main = if Hashtbl.mem funcs "main" then Some "main" else None in
   { Ir.funcs; main; source = prog }
 
+let lower_program (prog : A.program) : Ir.program =
+  let sigs = build_sigs prog in
+  assemble prog (List.map (lower_file sigs) prog)
+
 (* Mapping from lifted literal name to the free variables it captures;
    exposed for the runtime and tests. *)
-let captures name = Hashtbl.find_opt lit_captures name
+let captures name =
+  Mutex.lock lit_captures_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lit_captures_mu)
+    (fun () -> Hashtbl.find_opt lit_captures name)

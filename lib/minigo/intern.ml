@@ -1,0 +1,193 @@
+(* Hash-consed interning of AST atoms.
+
+   Large synthetic corpora (100k+ LoC) repeat the same identifiers,
+   field names, types, and file names millions of times.  Interning
+   maps every such atom to one canonical heap value, which (a) collapses
+   allocation on the frontend's hot path, (b) makes equality on
+   identifiers and types a pointer check in the common case, and (c)
+   re-establishes sharing after a Marshal round-trip through the
+   per-file disk cache (unmarshalling duplicates every string).
+
+   The pools are process-wide and thread-safe: per-file frontend tasks
+   intern concurrently from pool workers.  Statistics live in
+   module-local atomics, deliberately OUTSIDE the metrics registry —
+   pool sizes depend on what else ran in the process, so they must not
+   leak into the schedule-independent run metrics.  [--profile] reads
+   them via [stats]. *)
+
+type stats = {
+  st_strings : int;  (* distinct strings pooled *)
+  st_types : int;    (* distinct types pooled *)
+  st_hits : int;     (* lookups served by an existing pool entry *)
+  st_misses : int;   (* lookups that created a new entry *)
+}
+
+let mu = Mutex.create ()
+let strings : (string, string) Hashtbl.t = Hashtbl.create 4096
+let types : (Ast.typ, Ast.typ) Hashtbl.t = Hashtbl.create 256
+let hits = Atomic.make 0
+let misses = Atomic.make 0
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let pooled (tbl : ('a, 'a) Hashtbl.t) (v : 'a) : 'a =
+  locked (fun () ->
+      match Hashtbl.find_opt tbl v with
+      | Some c ->
+          Atomic.incr hits;
+          c
+      | None ->
+          Atomic.incr misses;
+          Hashtbl.add tbl v v;
+          v)
+
+let str (s : string) : string = pooled strings s
+
+let rec typ (t : Ast.typ) : Ast.typ =
+  let t =
+    match t with
+    | Ast.Tchan e -> Ast.Tchan (typ e)
+    | Ast.Tstruct s -> Ast.Tstruct (str s)
+    | Ast.Tfunc (args, rets) -> Ast.Tfunc (List.map typ args, List.map typ rets)
+    | Ast.Tint | Ast.Tbool | Ast.Tstring | Ast.Tunit | Ast.Tmutex
+    | Ast.Twaitgroup | Ast.Tcond | Ast.Ttesting | Ast.Tcontext | Ast.Terror
+    | Ast.Tany ->
+        t
+  in
+  pooled types t
+
+(* Locations are mostly distinct (line/col), so only the file name is
+   pooled; the record is kept when it is already canonical. *)
+let loc (l : Loc.t) : Loc.t =
+  let f = str l.Loc.file in
+  if f == l.Loc.file then l else { l with Loc.file = f }
+
+let stats () =
+  locked (fun () ->
+      {
+        st_strings = Hashtbl.length strings;
+        st_types = Hashtbl.length types;
+        st_hits = Atomic.get hits;
+        st_misses = Atomic.get misses;
+      })
+
+(* ------------------------------------------------- AST re-interning --- *)
+
+let param (p : Ast.param) : Ast.param =
+  { Ast.pname = str p.Ast.pname; ptyp = typ p.Ast.ptyp }
+
+let rec expr (e : Ast.expr) : Ast.expr =
+  { Ast.e = expr_desc e.Ast.e; eloc = loc e.Ast.eloc }
+
+and expr_desc (d : Ast.expr_desc) : Ast.expr_desc =
+  match d with
+  | Ast.Int _ | Ast.Bool _ | Ast.Nil -> d
+  | Ast.Str s -> Ast.Str (str s)
+  | Ast.Ident x -> Ast.Ident (str x)
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, expr a, expr b)
+  | Ast.Unop (op, a) -> Ast.Unop (op, expr a)
+  | Ast.Call c -> Ast.Call (call c)
+  | Ast.MakeChan (t, cap) -> Ast.MakeChan (typ t, Option.map expr cap)
+  | Ast.Recv e -> Ast.Recv (expr e)
+  | Ast.Field (e, f) -> Ast.Field (expr e, str f)
+  | Ast.StructLit (n, fs) ->
+      Ast.StructLit (str n, List.map (fun (f, e) -> (str f, expr e)) fs)
+  | Ast.FuncLit (ps, rs, b) ->
+      Ast.FuncLit (List.map param ps, List.map typ rs, block b)
+  | Ast.Len e -> Ast.Len (expr e)
+
+and call (c : Ast.call) : Ast.call =
+  { Ast.callee = callee c.Ast.callee; args = List.map expr c.Ast.args }
+
+and callee (c : Ast.callee) : Ast.callee =
+  match c with
+  | Ast.Fname f -> Ast.Fname (str f)
+  | Ast.Fmethod (e, m) -> Ast.Fmethod (expr e, str m)
+  | Ast.Fexpr e -> Ast.Fexpr (expr e)
+
+and block (b : Ast.block) : Ast.block = List.map stmt b
+
+and stmt (s : Ast.stmt) : Ast.stmt =
+  { Ast.s = stmt_desc s.Ast.s; sloc = loc s.Ast.sloc }
+
+and stmt_desc (d : Ast.stmt_desc) : Ast.stmt_desc =
+  match d with
+  | Ast.Decl (x, t, e) ->
+      Ast.Decl (str x, Option.map typ t, Option.map expr e)
+  | Ast.Define (xs, e) -> Ast.Define (List.map str xs, expr e)
+  | Ast.Assign (lv, e) -> Ast.Assign (lvalue lv, expr e)
+  | Ast.ExprStmt e -> Ast.ExprStmt (expr e)
+  | Ast.Send (c, v) -> Ast.Send (expr c, expr v)
+  | Ast.CloseStmt e -> Ast.CloseStmt (expr e)
+  | Ast.Go c -> Ast.Go (call c)
+  | Ast.GoFuncLit (ps, b, args) ->
+      Ast.GoFuncLit (List.map param ps, block b, List.map expr args)
+  | Ast.If (c, b1, b2) -> Ast.If (expr c, block b1, Option.map block b2)
+  | Ast.For (k, b) -> Ast.For (for_kind k, block b)
+  | Ast.Select (cs, dflt) ->
+      Ast.Select (List.map select_case cs, Option.map block dflt)
+  | Ast.Return es -> Ast.Return (List.map expr es)
+  | Ast.DeferStmt dd -> Ast.DeferStmt (defer_op dd)
+  | Ast.Break | Ast.Continue -> d
+  | Ast.Panic e -> Ast.Panic (expr e)
+  | Ast.BlockStmt b -> Ast.BlockStmt (block b)
+  | Ast.IncDec (lv, up) -> Ast.IncDec (lvalue lv, up)
+
+and lvalue (lv : Ast.lvalue) : Ast.lvalue =
+  match lv with
+  | Ast.Lid x -> Ast.Lid (str x)
+  | Ast.Lfield (e, f) -> Ast.Lfield (expr e, str f)
+
+and for_kind (k : Ast.for_kind) : Ast.for_kind =
+  match k with
+  | Ast.ForEver -> k
+  | Ast.ForCond e -> Ast.ForCond (expr e)
+  | Ast.ForClassic (i, c, u) ->
+      Ast.ForClassic (Option.map stmt i, Option.map expr c, Option.map stmt u)
+  | Ast.ForRangeInt (x, e) -> Ast.ForRangeInt (str x, expr e)
+  | Ast.ForRangeChan (x, e) -> Ast.ForRangeChan (Option.map str x, expr e)
+
+and select_case (c : Ast.select_case) : Ast.select_case =
+  match c with
+  | Ast.CaseRecv (x, ok, e, b) ->
+      Ast.CaseRecv (Option.map str x, ok, expr e, block b)
+  | Ast.CaseSend (ch, v, b) -> Ast.CaseSend (expr ch, expr v, block b)
+
+and defer_op (d : Ast.defer_op) : Ast.defer_op =
+  match d with
+  | Ast.DeferCall c -> Ast.DeferCall (call c)
+  | Ast.DeferSend (ch, v) -> Ast.DeferSend (expr ch, expr v)
+  | Ast.DeferClose e -> Ast.DeferClose (expr e)
+  | Ast.DeferFuncLit b -> Ast.DeferFuncLit (block b)
+
+let func_decl (fd : Ast.func_decl) : Ast.func_decl =
+  {
+    Ast.fname = str fd.Ast.fname;
+    params = List.map param fd.Ast.params;
+    results = List.map typ fd.Ast.results;
+    body = block fd.Ast.body;
+    floc = loc fd.Ast.floc;
+  }
+
+let struct_decl (sd : Ast.struct_decl) : Ast.struct_decl =
+  {
+    Ast.struct_name = str sd.Ast.struct_name;
+    fields = List.map (fun (f, t) -> (str f, typ t)) sd.Ast.fields;
+    struct_loc = loc sd.Ast.struct_loc;
+  }
+
+let decl (d : Ast.decl) : Ast.decl =
+  match d with
+  | Ast.Dfunc f -> Ast.Dfunc (func_decl f)
+  | Ast.Dstruct s -> Ast.Dstruct (struct_decl s)
+
+let file (f : Ast.file) : Ast.file =
+  {
+    Ast.package = str f.Ast.package;
+    decls = List.map decl f.Ast.decls;
+    source_name = str f.Ast.source_name;
+  }
+
+let program (p : Ast.program) : Ast.program = List.map file p

@@ -1,0 +1,32 @@
+(** Hash-consed interning of AST atoms (identifiers, types, file names).
+
+    One process-wide, thread-safe pool.  [file] rebuilds an AST with
+    every atom replaced by its canonical pooled value — used after
+    parsing and after unmarshalling from the per-file disk cache, where
+    Marshal has duplicated every string.  Statistics are module-local
+    (not in the metrics registry: pool state is process-lifetime, not
+    per-run) and feed the [--profile] "frontend:" section. *)
+
+type stats = {
+  st_strings : int;  (** distinct strings pooled *)
+  st_types : int;    (** distinct types pooled *)
+  st_hits : int;     (** lookups served from the pool *)
+  st_misses : int;   (** lookups that created a new entry *)
+}
+
+val str : string -> string
+(** Canonical instance of a string. *)
+
+val typ : Ast.typ -> Ast.typ
+(** Canonical instance of a type (recursively interned). *)
+
+val loc : Loc.t -> Loc.t
+(** [l] with its file name interned; returns [l] itself when already
+    canonical. *)
+
+val file : Ast.file -> Ast.file
+(** Re-intern every identifier, type, and location in a file. *)
+
+val program : Ast.program -> Ast.program
+
+val stats : unit -> stats

@@ -467,7 +467,28 @@ and normalise_stmt env (s : Ast.stmt) : Ast.stmt =
 and bind_via env x t = if x <> "_" then Hashtbl.replace env.vars x t
 and try_type_in env e = try Some (type_of_expr env e) with Type_error _ -> None
 
-let build_env (prog : Ast.program) : env =
+(* One declaration's signature — the only part of a file other files'
+   typing (and lowering) can depend on.  A file's signature list is a
+   tiny, content-keyed artifact: the engine caches it per file so a
+   warm run can compute the program fingerprint, the typing env, and
+   the lowering signature table without parsing unchanged files. *)
+type sig_item =
+  [ `F of string * Ast.typ list * Ast.typ list
+  | `S of string * (string * Ast.typ) list ]
+
+let file_signatures (f : Ast.file) : sig_item list =
+  List.map
+    (fun d ->
+      match d with
+      | Ast.Dfunc fd ->
+          `F
+            ( fd.Ast.fname,
+              List.map (fun (p : Ast.param) -> p.ptyp) fd.Ast.params,
+              fd.Ast.results )
+      | Ast.Dstruct sd -> `S (sd.Ast.struct_name, sd.Ast.fields))
+    f.Ast.decls
+
+let env_of_signatures (sigs : sig_item list) : env =
   let env =
     {
       vars = Hashtbl.create 16;
@@ -477,17 +498,14 @@ let build_env (prog : Ast.program) : env =
     }
   in
   List.iter
-    (fun (file : Ast.file) ->
-      List.iter
-        (fun d ->
-          match d with
-          | Ast.Dfunc fd ->
-              Hashtbl.replace env.funcs fd.fname
-                (List.map (fun (p : Ast.param) -> p.ptyp) fd.params, fd.results)
-          | Ast.Dstruct sd -> Hashtbl.replace env.structs sd.struct_name sd.fields)
-        file.decls)
-    prog;
+    (function
+      | `F (name, ptys, results) -> Hashtbl.replace env.funcs name (ptys, results)
+      | `S (name, fields) -> Hashtbl.replace env.structs name fields)
+    sigs;
   env
+
+let build_env (prog : Ast.program) : env =
+  env_of_signatures (List.concat_map file_signatures prog)
 
 (* Check a whole program; returns the normalised program. *)
 let check_program (prog : Ast.program) : Ast.program =
@@ -527,3 +545,53 @@ let check_program (prog : Ast.program) : Ast.program =
         file.decls)
     prog;
   prog
+
+(* Per-file frontend entry points.
+
+   [build_env] reads only declaration signatures and normalisation
+   rewrites only function bodies, so normalising-then-checking one file
+   against the whole-program signature env is exactly what
+   [check_program] does for that file: the env it rebuilds between its
+   two passes is identical because signatures are untouched.
+   [env.funcs] and [env.structs] are read-only during checking
+   ([clone_env] copies only [vars]), so one env is safely shared by
+   parallel per-file tasks. *)
+
+let check_file (env : env) (file : Ast.file) : Ast.file =
+  let per_func fd k =
+    let fenv = clone_env env in
+    List.iter
+      (fun (p : Ast.param) -> Hashtbl.replace fenv.vars p.pname p.ptyp)
+      fd.Ast.params;
+    k fenv
+  in
+  let decls =
+    List.map
+      (fun d ->
+        match d with
+        | Ast.Dfunc fd ->
+            per_func fd (fun fenv ->
+                Ast.Dfunc { fd with body = normalise_block fenv fd.body })
+        | Ast.Dstruct _ -> d)
+      file.decls
+  in
+  let file = { file with decls } in
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.Dfunc fd ->
+          per_func fd (fun fenv ->
+              check_block { fenv with results = fd.results } fd.body)
+      | Ast.Dstruct _ -> ())
+    file.decls;
+  file
+
+(* Digest of every declaration signature in program order: the part of
+   the program a file's typing can depend on besides its own text.
+   Body-only edits leave it unchanged, so sibling files keep their
+   per-file typed-AST cache entries. *)
+let signatures_fingerprint (sigs : sig_item list) : string =
+  Digest.to_hex (Digest.string (Marshal.to_string sigs [ Marshal.No_sharing ]))
+
+let signature_fingerprint (prog : Ast.program) : string =
+  signatures_fingerprint (List.concat_map file_signatures prog)

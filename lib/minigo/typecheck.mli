@@ -9,3 +9,40 @@ exception Type_error of string * Loc.t
 val check_program : Ast.program -> Ast.program
 (** Check a whole program; returns the normalised program.
     @raise Type_error on the first error found. *)
+
+type env
+(** Whole-program signature environment (function and struct
+    declarations only).  Read-only during checking, so one env may be
+    shared by concurrent per-file checks. *)
+
+val build_env : Ast.program -> env
+(** Collect every file's declaration signatures. *)
+
+type sig_item =
+  [ `F of string * Ast.typ list * Ast.typ list
+  | `S of string * (string * Ast.typ) list ]
+(** One declaration's signature: function name with parameter and
+    result types, or struct name with fields.  A file's signature list
+    is the only part of it other files' typing and lowering can
+    depend on — small, marshalable, and content-keyed cacheable. *)
+
+val file_signatures : Ast.file -> sig_item list
+
+val env_of_signatures : sig_item list -> env
+(** [env_of_signatures (List.concat_map file_signatures prog)] is
+    [build_env prog]. *)
+
+val signatures_fingerprint : sig_item list -> string
+(** [signatures_fingerprint (List.concat_map file_signatures prog)] is
+    [signature_fingerprint prog]. *)
+
+val check_file : env -> Ast.file -> Ast.file
+(** Check one file against a whole-program env; returns the normalised
+    file.  [check_program prog] is equivalent to
+    [List.map (check_file (build_env prog)) prog].
+    @raise Type_error on the first error found in this file. *)
+
+val signature_fingerprint : Ast.program -> string
+(** Digest of every declaration signature in program order — the
+    cross-file input to [check_file].  Body-only edits leave it
+    unchanged. *)

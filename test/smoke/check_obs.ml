@@ -100,7 +100,8 @@ let check_trace path =
       {|"ph":"M"|};
       {|"thread_name"|};
       {|"name":"gcatch.run"|};
-      {|"name":"stage.parse"|};
+      {|"name":"stage.sig"|};
+      {|"name":"stage.typecheck"|};
       {|"name":"pass.bmoc"|};
       {|"name":"bmoc.channel"|};
       {|"solver_calls"|};

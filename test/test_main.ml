@@ -14,6 +14,7 @@ let () =
       ("runtime", Suite_runtime.tests);
       ("engine", Suite_engine.tests);
       ("faults", Suite_faults.tests);
+      ("frontend", Suite_frontend.tests);
       ("obs", Suite_obs.tests);
       ("parallel", Suite_parallel.tests);
       ("sched", Suite_sched.tests);
