@@ -1083,6 +1083,157 @@ let esched () =
         sp_stolen = stolen;
       }
 
+(* ------------------------------------------------------- E-obs2 --- *)
+
+(* Goscope v2 overhead: the full observability stack (HTTP telemetry
+   endpoint + JSONL run journal + sampling profiler) armed vs a bare
+   run, on the e-fe synthetic app.  The acceptance target is < 2 % wall
+   overhead (EXPERIMENTS.md E-obs2); diagnostics must stay
+   byte-identical, and /metrics must serve live data from the armed
+   run's process. *)
+type obs2_point = {
+  ob_files : int;
+  ob_loc : int;
+  ob_base_s : float;
+  ob_obs_s : float;
+  ob_overhead_pct : float; (* median of paired armed/bare ratios *)
+  ob_journal_events : int;
+  ob_samples : int;
+  ob_identical : bool;
+}
+
+let obs2_result : obs2_point option ref = ref None
+
+let eobs2 () =
+  header
+    "E-obs2 | Goscope v2 overhead: telemetry endpoint + JSONL journal\n\
+    \       | + sampling profiler armed vs bare run, jobs 4 (PR 8)";
+  let nfiles = 50 and per_file = 2000 in
+  let sources =
+    List.init nfiles (fun i ->
+        "package app\n"
+        ^ Gocorpus.Filler.generate ~seed:i ~target_lines:per_file)
+  in
+  let loc =
+    List.fold_left
+      (fun acc s -> acc + List.length (String.split_on_char '\n' s))
+      0 sources
+  in
+  Printf.printf "app: %d file(s), %d LoC; hardware threads: %d\n\n" nfiles loc
+    (Domain.recommended_domain_count ());
+  let reps = 15 in
+  let analyse_once () =
+    (* a fresh engine and a cold solve memo per rep: both variants do
+       the full compile + solve work every time.  The major heap is
+       settled first so neither variant inherits the other's GC debt. *)
+    Gcatch.Solve_cache.reset_memory ();
+    Gc.full_major ();
+    let e = Gcatch.Passes.engine ~jobs:4 () in
+    let t0 = Clock.now_s () in
+    let r = E.analyse e ~name:"obs-app" sources in
+    (D.list_to_json r.E.r_diags, Clock.elapsed_since t0)
+  in
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i =
+      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  let jpath = Filename.temp_file "gcatch-bench-obs" ".jsonl" in
+  let handlers =
+    [
+      ( "/metrics",
+        fun () ->
+          Goobs.Telemetry.text
+            (Goobs.Metrics.to_prometheus Goobs.Metrics.default) );
+      ( "/healthz",
+        fun () ->
+          let ok, body = Goengine.Supervise.healthz_json () in
+          Goobs.Telemetry.json ~status:(if ok then 200 else 503) body );
+    ]
+  in
+  (* one armed rep: the whole stack up the way `gcatch --telemetry-addr
+     ... --journal ... --sample-hz 97` arms it, torn down afterwards;
+     only the analysis itself is timed *)
+  Goobs.Sampler.reset ();
+  let run_armed () =
+    let srv =
+      match Goobs.Telemetry.start ~addr:"127.0.0.1:0" ~handlers () with
+      | Ok t -> t
+      | Error e -> failwith ("e-obs2: telemetry start: " ^ e)
+    in
+    Goobs.Trace.enable_spines ();
+    let sampler = Goobs.Sampler.start ~hz:97 in
+    Goobs.Journal.open_ ~path:jpath;
+    let out = analyse_once () in
+    let code, body = Goobs.Telemetry.fetch srv "/metrics" in
+    if code <> 200 || not (contains ~needle:"gcatch_" body) then
+      failwith "e-obs2: /metrics did not serve live data";
+    let hcode, _ = Goobs.Telemetry.fetch srv "/healthz" in
+    if hcode <> 200 then failwith "e-obs2: /healthz not healthy";
+    Goobs.Journal.close ();
+    Goobs.Sampler.stop sampler;
+    Goobs.Trace.disable ();
+    Goobs.Telemetry.stop srv;
+    out
+  in
+  (* wall-clock on a shared box drifts over seconds (thermal, noisy
+     neighbours), so each bare run is paired with an adjacent armed run
+     and the drift cancels in the per-pair ratio; the order inside a
+     pair alternates so residual within-pair drift cancels across pairs
+     too.  The median ratio is the overhead estimate, the minima are
+     reported for scale. *)
+  let pairs =
+    List.init reps (fun i ->
+        if i mod 2 = 0 then (analyse_once (), run_armed ())
+        else
+          let o = run_armed () in
+          let b = analyse_once () in
+          (b, o))
+  in
+  let minimum l = List.fold_left min (List.hd l) (List.tl l) in
+  let base = minimum (List.map (fun ((_, t), _) -> t) pairs) in
+  let obs = minimum (List.map (fun (_, (_, t)) -> t) pairs) in
+  let ratios =
+    List.sort compare
+      (List.map (fun ((_, b), (_, o)) -> o /. max 1e-9 b) pairs)
+  in
+  let ratio = List.nth ratios (List.length ratios / 2) in
+  let base_diags = fst (fst (List.hd pairs)) in
+  let obs_diags = fst (snd (List.hd pairs)) in
+  let samples = Goobs.Sampler.total_samples () in
+  Goobs.Sampler.reset ();
+  let jevents = (Goobs.Journal.summarize_file jpath).Goobs.Journal.s_events in
+  (try Sys.remove jpath with Sys_error _ -> ());
+  let identical = obs_diags = base_diags in
+  let overhead = 100.0 *. (ratio -. 1.0) in
+  Printf.printf "%-28s %10s %10s\n"
+    (Printf.sprintf "variant (min of %d)" reps)
+    "wall (s)" "kLoC/s";
+  Printf.printf "%-28s %10.3f %10.1f\n" "bare" base
+    (float_of_int loc /. 1000.0 /. max 1e-9 base);
+  Printf.printf "%-28s %10.3f %10.1f\n" "telemetry+journal+sampler" obs
+    (float_of_int loc /. 1000.0 /. max 1e-9 obs);
+  Printf.printf
+    "\noverhead: %+.2f%% (target < 2%%); %d journal event(s)/run, %d stack \
+     sample(s) @ 97 Hz\ndiagnostics identical with observers armed: %b\n"
+    overhead jevents samples identical;
+  if not identical then
+    failwith "e-obs2: diagnostics differ with observers armed";
+  obs2_result :=
+    Some
+      {
+        ob_files = nfiles;
+        ob_loc = loc;
+        ob_base_s = base;
+        ob_obs_s = obs;
+        ob_overhead_pct = overhead;
+        ob_journal_events = jevents;
+        ob_samples = samples;
+        ob_identical = identical;
+      }
+
 (* ------------------------------------------------------- json out --- *)
 
 
@@ -1197,6 +1348,15 @@ let write_json path (timings : (string * float) list) =
           (p.sp_barrier_s /. max 1e-9 p.sp_sched_s)
           p.sp_spawned p.sp_stolen
   in
+  let e_obs2 =
+    match !obs2_result with
+    | None -> "null"
+    | Some p ->
+        Printf.sprintf
+          {|{"files":%d,"loc":%d,"jobs":4,"sample_hz":97,"base_s":%.6f,"obs_s":%.6f,"overhead_pct":%.3f,"journal_events":%d,"samples":%d,"diags_identical":%b}|}
+          p.ob_files p.ob_loc p.ob_base_s p.ob_obs_s p.ob_overhead_pct
+          p.ob_journal_events p.ob_samples p.ob_identical
+  in
   (* the unified registry snapshot: engine stage/cache counters, pass
      runs, bmoc/pathenum/pool/gfix counters accumulated over the run *)
   let metrics =
@@ -1206,8 +1366,9 @@ let write_json path (timings : (string * float) list) =
          (Goobs.Metrics.counters_list Goobs.Metrics.default))
   in
   Printf.fprintf oc
-    {|{"schema":"gcatch-bench/6","jobs":%d,"experiments":[%s],"e2_parallel":%s,"e_incr":%s,"e_fe":%s,"e_robust":%s,"e_sched":%s,"metrics":{%s}}|}
-    !jobs_flag experiments parallel e_incr e_fe e_robust e_sched metrics;
+    {|{"schema":"gcatch-bench/7","jobs":%d,"experiments":[%s],"e2_parallel":%s,"e_incr":%s,"e_fe":%s,"e_robust":%s,"e_sched":%s,"e_obs2":%s,"metrics":{%s}}|}
+    !jobs_flag experiments parallel e_incr e_fe e_robust e_sched e_obs2
+    metrics;
   output_char oc '
 ';
   close_out oc;
@@ -1225,7 +1386,7 @@ let all =
     ("micro", micro); ("e1", e1); ("e2", e2); ("e2par", e2par); ("e3", e3);
     ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
     ("e-incr", eincr); ("e-fe", efe); ("e-robust", erobust);
-    ("e-sched", esched);
+    ("e-sched", esched); ("e-obs2", eobs2);
   ]
 
 let () =

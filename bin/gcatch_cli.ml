@@ -47,10 +47,98 @@ let write_file path data =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc data)
 
+(* Goscope v2 options, bundled so the analyse term stays readable. *)
+type obs_opts = {
+  o_telemetry_addr : string option;
+  o_telemetry_sock : string option;
+  o_journal : string option;
+  o_sample_hz : int option;
+  o_samples_out : string option;
+  o_log_json : bool;
+}
+
+(* The /vars endpoint: build info plus live cache/scheduler/span/sampler
+   state snapshotted from the process registry.  Read-only by design —
+   telemetry must never perturb the run. *)
+let vars_json registry =
+  let counters = M.counters_list registry in
+  let c n = Option.value (List.assoc_opt n counters) ~default:0 in
+  let gauges = M.gauges_list registry in
+  let g n = Option.value (List.assoc_opt n gauges) ~default:0.0 in
+  let rate h m =
+    if h + m = 0 then 0.0
+    else 100.0 *. float_of_int h /. float_of_int (h + m)
+  in
+  Printf.sprintf
+    "{\"schema\":\"gcatch-vars/1\",\"build\":{\"tool\":\"gcatch\",\"ocaml\":\"%s\",\"word_size\":%d},\
+     \"caches\":{\
+     \"artifact\":{\"hits\":%d,\"misses\":%d},\
+     \"file\":{\"mem_hits\":%d,\"disk_hits\":%d},\
+     \"solve\":{\"hits\":%d,\"misses\":%d,\"disk_hits\":%d,\"stores\":%d,\"hit_rate_pct\":%.1f},\
+     \"pass\":{\"hits\":%d,\"stores\":%d}},\
+     \"sched\":{\"tasks_spawned\":%d,\"tasks_stolen\":%d,\"yields\":%d,\"queue_depth\":%.0f},\
+     \"spans\":{\"active\":%d},\
+     \"sampler\":{\"samples\":%d,\"ticks\":%d},\
+     \"journal\":{\"events\":%d}}"
+    Sys.ocaml_version Sys.word_size (c "engine.cache_hits")
+    (c "engine.cache_misses") (c "engine.file_mem_hit")
+    (c "engine.file_disk_hit") (c "bmoc.solve_cache_hit")
+    (c "bmoc.solve_cache_miss")
+    (c "bmoc.solve_cache_disk_hit")
+    (c "bmoc.solve_cache_store")
+    (rate (c "bmoc.solve_cache_hit") (c "bmoc.solve_cache_miss"))
+    (c "engine.pass_cache_hit") (c "engine.pass_cache_store")
+    (c "sched.tasks_spawned") (c "sched.tasks_stolen") (c "sched.yields")
+    (g "sched.queue_depth")
+    (Trace.open_span_count ())
+    (Goobs.Sampler.total_samples ())
+    (Goobs.Sampler.tick_count ())
+    (Goobs.Journal.events_written ())
+
+(* Telemetry endpoint table.  [profile] renders the same report --profile
+   prints, on demand mid-run. *)
+let telemetry_handlers registry profile =
+  let module T = Goobs.Telemetry in
+  [
+    ("/metrics", fun () -> T.text (M.to_prometheus registry));
+    ( "/healthz",
+      fun () ->
+        let ok, body = Goengine.Supervise.healthz_json ~reg:registry () in
+        T.json ~status:(if ok then 200 else 503) body );
+    ("/vars", fun () -> T.json (vars_json registry));
+    ("/profile", fun () -> T.text (profile ()));
+  ]
+
+let start_telemetry obs registry profile =
+  match (obs.o_telemetry_addr, obs.o_telemetry_sock) with
+  | None, None -> None
+  | addr, sock -> (
+      match
+        Goobs.Telemetry.start ?addr ?sock
+          ~handlers:(telemetry_handlers registry profile)
+          ()
+      with
+      | Ok t ->
+          Log.info
+            ~kv:
+              (List.filter_map Fun.id
+                 [
+                   Option.map (fun a -> ("addr", a)) addr;
+                   Option.map (fun s -> ("sock", s)) sock;
+                   (if Goobs.Telemetry.port t <> 0 then
+                      Some ("port", string_of_int (Goobs.Telemetry.port t))
+                    else None);
+                 ])
+            "telemetry server listening";
+          Some t
+      | Error e ->
+          Log.error e;
+          exit 2)
+
 let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
     json only list_flag jobs solver_timeout_ms solver_poll_conflicts cache_dir
     no_cache trace_out metrics_out profile log_level inject_faults deadline_ms
-    max_heap_mb strict retry_rungs =
+    max_heap_mb strict retry_rungs obs =
   (match log_level with
   | None -> ()
   | Some s -> (
@@ -59,6 +147,7 @@ let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
       | None ->
           Log.errorf "invalid log level %S (debug|info|warn|error|quiet)" s;
           exit 2));
+  if obs.o_log_json then Log.set_format Log.Json;
   (match inject_faults with
   | None -> ()
   | Some plan -> (
@@ -74,6 +163,23 @@ let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
   | None -> ()
   | Some mb -> Goengine.Supervise.set_max_heap_mb mb);
   if trace_out <> None then Trace.enable ();
+  (* journal first, then sampler/telemetry: their own lifecycle never
+     appears in the stream, but everything the run does will.  [at_exit]
+     (not an explicit close at the end) so every documented exit path
+     flushes the close event; a SIGKILL leaves the valid prefix. *)
+  (match obs.o_journal with
+  | None -> ()
+  | Some path ->
+      Goobs.Journal.open_ ~path;
+      at_exit Goobs.Journal.close);
+  let sampler =
+    match obs.o_sample_hz with
+    | None -> None
+    | Some hz ->
+        (* spine-only unless --trace-out already armed full recording *)
+        Trace.enable_spines ();
+        Some (Goobs.Sampler.start ~hz)
+  in
   let cfg =
     {
       Gcatch.Bmoc.default_config with
@@ -94,6 +200,35 @@ let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
      --metrics-out dump covers the engine, pool, pathenum, and GFix *)
   let registry = M.default in
   let engine = Gcatch.Passes.engine ~cfg ~jobs ~registry () in
+  let telemetry =
+    start_telemetry obs registry (fun () ->
+        (* the mid-run /profile view: pass wall times are not final yet,
+           so the report leans on the registry's live histograms *)
+        Goobs.Profile.report ~top:10 registry []
+        ^ E.frontend_report ~top:10 engine)
+  in
+  let stop_observers () =
+    (match sampler with
+    | None -> ()
+    | Some s ->
+        Goobs.Sampler.stop s;
+        (match obs.o_samples_out with
+        | None -> ()
+        | Some path ->
+            Goobs.Sampler.write_collapsed ~path;
+            Log.info
+              ~kv:
+                [
+                  ("path", path);
+                  ( "samples",
+                    string_of_int (Goobs.Sampler.total_samples ()) );
+                ]
+              "wrote collapsed stacks"));
+    match telemetry with
+    | None -> ()
+    | Some t -> Goobs.Telemetry.stop t
+  in
+  at_exit stop_observers;
   if list_flag then (
     list_passes engine;
     exit 0);
@@ -192,12 +327,12 @@ let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
 let run files no_disentangle stats_flag nonblocking model_waitgroup json only
     list_flag jobs solver_timeout_ms solver_poll_conflicts cache_dir no_cache
     trace_out metrics_out profile log_level inject_faults deadline_ms
-    max_heap_mb strict retry_rungs =
+    max_heap_mb strict retry_rungs obs =
   try
     run_checked files no_disentangle stats_flag nonblocking model_waitgroup
       json only list_flag jobs solver_timeout_ms solver_poll_conflicts
       cache_dir no_cache trace_out metrics_out profile log_level inject_faults
-      deadline_ms max_heap_mb strict retry_rungs
+      deadline_ms max_heap_mb strict retry_rungs obs
   with e ->
     Log.error
       ~kv:[ ("exception", Printexc.to_string e) ]
@@ -387,6 +522,85 @@ let retry_rungs_arg =
            before being skipped (0 disables the ladder; only meaningful with \
            $(b,--solver-timeout-ms))")
 
+let telemetry_addr_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-addr" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Serve live telemetry over HTTP while the run is in flight: \
+           $(b,/metrics) (Prometheus text), $(b,/healthz) (health ledger + \
+           watchdog state, 200/503), $(b,/vars) (build, cache, scheduler and \
+           span state as JSON), $(b,/profile) (the $(b,--profile) report on \
+           demand). Port 0 picks an ephemeral port. The server is read-only: \
+           diagnostics are byte-identical with it on or off.")
+
+let telemetry_sock_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-sock" ] ~docv:"PATH"
+        ~doc:
+          "Serve the same telemetry endpoints on a Unix-domain socket at \
+           $(docv) (usable together with $(b,--telemetry-addr))")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Append a schema-versioned JSONL event stream to $(docv): stage, \
+           pass and channel lifecycle, cache hits/misses, retries, faults, \
+           and final diagnostics digests. Flushed per event, so a killed run \
+           leaves a usable ledger; reconstruct a summary offline with \
+           $(b,gcatch report) $(docv).")
+
+let sample_hz_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sample-hz" ] ~docv:"N"
+        ~doc:
+          "Sampling wall-clock profiler: a ticker domain samples every \
+           domain's open-span spine $(docv) times a second into a \
+           stack-count table, reported as a top-N table under \
+           $(b,--profile) and exportable with $(b,--samples-out)")
+
+let samples_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "samples-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the sampling profiler's stack counts to $(docv) in \
+           collapsed-stack format (one \"frame;frame;frame count\" line per \
+           distinct stack — pipe through flamegraph.pl for a flamegraph)")
+
+let log_json_arg =
+  Arg.(
+    value & flag
+    & info [ "log-json" ]
+        ~doc:
+          "Emit each log line as one JSON object (ts_ms, level, msg, plus \
+           the event's key=value fields) instead of the human text format")
+
+let obs_term =
+  let mk o_telemetry_addr o_telemetry_sock o_journal o_sample_hz o_samples_out
+      o_log_json =
+    {
+      o_telemetry_addr;
+      o_telemetry_sock;
+      o_journal;
+      o_sample_hz;
+      o_samples_out;
+      o_log_json;
+    }
+  in
+  Term.(
+    const mk $ telemetry_addr_arg $ telemetry_sock_arg $ journal_arg
+    $ sample_hz_arg $ samples_out_arg $ log_json_arg)
+
 let exits =
   [
     Cmd.Exit.info 0 ~doc:"no bugs found.";
@@ -401,16 +615,48 @@ let exits =
          complete at full fidelity.";
   ]
 
-let cmd =
+let analyse_term =
+  Term.(
+    const run $ files_arg $ no_disentangle_arg $ stats_arg $ nonblocking_arg
+    $ model_waitgroup_arg $ json_arg $ pass_arg $ list_passes_arg $ jobs_arg
+    $ solver_timeout_arg $ solver_poll_arg $ cache_dir_arg $ no_cache_arg
+    $ trace_out_arg
+    $ metrics_out_arg $ profile_arg $ log_level_arg $ inject_faults_arg
+    $ deadline_arg $ max_heap_arg $ strict_arg $ retry_rungs_arg $ obs_term)
+
+(* gcatch report FILE.jsonl — offline reconstruction of the profile and
+   health summary from a run journal, including one truncated by a
+   killed run (the valid prefix is the record). *)
+let run_report path =
+  match Goobs.Journal.summarize_file path with
+  | sum -> print_string (Goobs.Journal.report sum)
+  | exception Sys_error e ->
+      Log.errorf "cannot read journal: %s" e;
+      exit 2
+
+let report_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE.jsonl" ~doc:"Run journal written by --journal")
+  in
   Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Reconstruct the profile/health summary from a --journal event \
+          stream, offline"
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"summary printed.";
+           Cmd.Exit.info 2 ~doc:"usage error or unreadable journal.";
+         ])
+    Term.(const run_report $ file_arg)
+
+let cmd =
+  Cmd.group ~default:analyse_term
     (Cmd.info "gcatch" ~doc:"Statically detect Go concurrency bugs" ~exits)
-    Term.(
-      const run $ files_arg $ no_disentangle_arg $ stats_arg $ nonblocking_arg
-      $ model_waitgroup_arg $ json_arg $ pass_arg $ list_passes_arg $ jobs_arg
-      $ solver_timeout_arg $ solver_poll_arg $ cache_dir_arg $ no_cache_arg
-      $ trace_out_arg
-      $ metrics_out_arg $ profile_arg $ log_level_arg $ inject_faults_arg
-      $ deadline_arg $ max_heap_arg $ strict_arg $ retry_rungs_arg)
+    [ report_cmd ]
 
 let () =
   let code = Cmd.eval cmd in

@@ -22,10 +22,16 @@ let read_file path =
   close_in ic;
   s
 
-let run_checked files validate jobs solver_poll_conflicts =
+let run_checked files validate jobs solver_poll_conflicts journal log_json =
   (* gfix narrates its per-bug outcomes by design: default to info-level
      logging unless the user set GCATCH_LOG themselves *)
   if Sys.getenv_opt "GCATCH_LOG" = None then Log.set_level Log.Info;
+  if log_json then Log.set_format Log.Json;
+  (match journal with
+  | None -> ()
+  | Some path ->
+      Goobs.Journal.open_ ~path;
+      at_exit Goobs.Journal.close);
   if files = [] then (
     Log.error "no input files";
     exit 2);
@@ -79,8 +85,8 @@ let run_checked files validate jobs solver_poll_conflicts =
 
 (* No raw exception may escape to the runtime's default handler: route
    everything through the structured log with the documented exit 3. *)
-let run files validate jobs solver_poll_conflicts =
-  try run_checked files validate jobs solver_poll_conflicts
+let run files validate jobs solver_poll_conflicts journal log_json =
+  try run_checked files validate jobs solver_poll_conflicts journal log_json
   with e ->
     Log.error ~kv:[ ("exception", Printexc.to_string e) ] "internal error";
     exit 3
@@ -114,6 +120,23 @@ let solver_poll_arg =
           "Poll the solver-budget deadline (and yield to the task scheduler) \
            every $(docv) SAT conflicts.")
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Append the run's JSONL event journal to $(docv) (same schema as \
+           gcatch's $(b,--journal); summarise with $(b,gcatch report))")
+
+let log_json_arg =
+  Arg.(
+    value & flag
+    & info [ "log-json" ]
+        ~doc:
+          "Emit each log line as one JSON object (ts_ms, level, msg, plus \
+           key=value fields) instead of the human text format")
+
 let exits =
   [
     Cmd.Exit.info 0 ~doc:"patched program printed.";
@@ -125,7 +148,9 @@ let exits =
 let cmd =
   Cmd.v
     (Cmd.info "gfix" ~doc:"Automatically patch BMOC bugs" ~exits)
-    Term.(const run $ files_arg $ validate_arg $ jobs_arg $ solver_poll_arg)
+    Term.(
+      const run $ files_arg $ validate_arg $ jobs_arg $ solver_poll_arg
+      $ journal_arg $ log_json_arg)
 
 let () =
   let code = Cmd.eval cmd in

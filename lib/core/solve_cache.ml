@@ -205,9 +205,27 @@ let c_store = lazy (M.counter M.default "bmoc.solve_cache_store")
    a result that must not be cached (a budget-truncated solve) — it is
    returned to this caller but the slot is released.  Returns the entry
    plus [true] when it came from a cache tier. *)
+(* One journal event per lookup outcome — a miss's store outcome rides
+   on the miss event as a "stored" flag rather than a second event, so
+   the hot solve path journals once.  The memory tier's exactly-once
+   claim makes the event multiset a function of the problem set alone
+   (storedness is a property of the solve, not the schedule), so
+   journals diff clean across --jobs. *)
+let journal_solve ~event ?from ?stored fp =
+  if Goobs.Journal.enabled () then
+    Goobs.Journal.emit ~event
+      (("fp", Goobs.Journal.S (String.sub fp 0 (min 12 (String.length fp))))
+      :: (match from with
+         | Some f -> [ ("from", Goobs.Journal.S f) ]
+         | None -> [])
+      @ (match stored with
+        | Some b -> [ ("stored", Goobs.Journal.B b) ]
+        | None -> []))
+
 let find_or_compute ?dir (fp : string) (compute : unit -> entry * bool) :
     entry * bool =
   let from_disk = ref false in
+  let stored = ref false in
   match
     Goengine.Memo.find_or_compute mem fp (fun () ->
         match
@@ -224,6 +242,7 @@ let find_or_compute ?dir (fp : string) (compute : unit -> entry * bool) :
             let e, store = compute () in
             if store then begin
               M.incr (Lazy.force c_store);
+              stored := true;
               match dir with
               | None -> ()
               | Some d ->
@@ -234,11 +253,14 @@ let find_or_compute ?dir (fp : string) (compute : unit -> entry * bool) :
   with
   | `Hit e ->
       M.incr (Lazy.force c_hit);
+      journal_solve ~event:"solve.hit" ~from:"mem" fp;
       (e, true)
   | `Computed e when !from_disk ->
       M.incr (Lazy.force c_hit);
       M.incr (Lazy.force c_disk_hit);
+      journal_solve ~event:"solve.hit" ~from:"disk" fp;
       (e, true)
   | `Computed e ->
       M.incr (Lazy.force c_miss);
+      journal_solve ~event:"solve.miss" ~stored:!stored fp;
       (e, false)

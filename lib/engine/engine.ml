@@ -16,6 +16,7 @@ module D = Diagnostics
 
 module M = Goobs.Metrics
 module Trace = Goobs.Trace
+module J = Goobs.Journal
 
 (* ------------------------------------------------------- artifacts --- *)
 
@@ -407,6 +408,19 @@ let file_unit (t : t) ~stage ~memo ~key ~file ?(disk = false) ?reintern
   | `Computed v ->
       let dt = Clock.elapsed_since t0 in
       if !from_disk then M.incr (M.counter t.registry "engine.file_disk_hit");
+      (* the journal's per-file frontend ledger: exactly one event per
+         (stage, key) unit actually computed or loaded — the memo makes
+         the set schedule-independent, so streams diff clean across
+         --jobs once sorted *)
+      if J.enabled () then
+        J.emit
+          ~event:(if !from_disk then "file.disk_hit" else "file.compiled")
+          ~dur_ms:(1000.0 *. dt)
+          [
+            ("stage", J.S stage);
+            ("file", J.S file);
+            ("key", J.S (String.sub key 0 (min 12 (String.length key))));
+          ];
       M.observe
         (M.histogram t.registry ("stage." ^ stage ^ ".file_ms"))
         (1000.0 *. dt);
@@ -425,9 +439,11 @@ let stage_span (t : t) name f =
   Trace.with_span ~name:("stage." ^ name) (fun () ->
       let t0 = Clock.now_s () in
       let r = f () in
-      M.observe
-        (M.histogram t.registry ("stage." ^ name ^ ".ms"))
-        (1000.0 *. Clock.elapsed_since t0);
+      let dt = Clock.elapsed_since t0 in
+      M.observe (M.histogram t.registry ("stage." ^ name ^ ".ms")) (1000.0 *. dt);
+      if J.enabled () then
+        J.emit ~event:"stage.done" ~dur_ms:(1000.0 *. dt)
+          [ ("stage", J.S name) ];
       r)
 
 let stage_counted (t : t) name f =
@@ -860,6 +876,40 @@ let analyse ?only ?extra (t : t) ~name sources : run =
   let hreg = M.create () in
   let selected = select_passes t ?only ?extra () in
   let nfiles = List.length sources in
+  if J.enabled () then
+    J.emit ~event:"run.start"
+      [
+        ("name", J.S name);
+        ("files", J.I nfiles);
+        ("passes", J.I (List.length selected));
+      ];
+  (* run.end closes the ledger with schedule-independent facts only: the
+     diagnostics digest, counts, and the health snapshot.  Elapsed time
+     rides in the volatile dur_ms slot. *)
+  let journal_run_end (r : run) : run =
+    if J.enabled () then
+      J.emit ~event:"run.end" ~dur_ms:(1000.0 *. r.r_elapsed_s)
+        ([
+           ("name", J.S r.r_name);
+           ("key", J.S r.r_key);
+           ("from_cache", J.B r.r_from_cache);
+           ("diags", J.I (List.length r.r_diags));
+           ("errors", J.I (List.length (List.filter D.is_error r.r_diags)));
+           ( "digest",
+             J.S (Digest.to_hex (Digest.string (D.list_to_json r.r_diags)))
+           );
+         ]
+        @ List.map
+            (fun (k, v) ->
+              let k =
+                if String.length k > 7 && String.sub k 0 7 = "health." then
+                  "health_" ^ String.sub k 7 (String.length k - 7)
+                else k
+              in
+              (k, J.I v))
+            r.r_health);
+    r
+  in
   match compile_salvaging t ~name sources with
   | None, fdiags, ndropped ->
       let bump k v = M.add (M.counter hreg k) v in
@@ -868,16 +918,17 @@ let analyse ?only ?extra (t : t) ~name sources : run =
       bump Supervise.h_skipped (max 0 (nfiles - max 1 ndropped));
       let health = Supervise.health_of (M.counters_list hreg) in
       M.merge_into ~dst:t.registry hreg;
-      {
-        r_name = name;
-        r_key = key_of ~name sources;
-        r_from_cache = from_cache;
-        r_artifacts = None;
-        r_diags = fdiags;
-        r_passes = [];
-        r_elapsed_s = Clock.elapsed_since t0;
-        r_health = health;
-      }
+      journal_run_end
+        {
+          r_name = name;
+          r_key = key_of ~name sources;
+          r_from_cache = from_cache;
+          r_artifacts = None;
+          r_diags = fdiags;
+          r_passes = [];
+          r_elapsed_s = Clock.elapsed_since t0;
+          r_health = health;
+        }
   | Some a, fdiags, ndropped ->
       let bump k v = M.add (M.counter hreg k) v in
       bump Supervise.h_attempted nfiles;
@@ -886,6 +937,8 @@ let analyse ?only ?extra (t : t) ~name sources : run =
       let pass_runs =
         List.map
           (fun p ->
+            if J.enabled () then
+              J.emit ~event:"pass.start" [ ("pass", J.S p.p_name) ];
             let p0 = Clock.now_s () in
             (* A fresh registry per pass run keeps the run's metric
                snapshot exact even when several analyses share the
@@ -923,6 +976,17 @@ let analyse ?only ?extra (t : t) ~name sources : run =
                 (M.histogram t.registry ("pass." ^ p.p_name ^ ".ms"))
                 (1000.0 *. elapsed)
             end;
+            if J.enabled () then
+              J.emit ~event:"pass.done" ~dur_ms:(1000.0 *. elapsed)
+                [
+                  ("pass", J.S p.p_name);
+                  ("ran", J.B ran);
+                  ("diags", J.I (List.length diags));
+                  ( "digest",
+                    J.S
+                      (Digest.to_hex (Digest.string (D.list_to_json diags)))
+                  );
+                ];
             let metrics = M.counters_list preg in
             M.merge_into ~dst:t.registry preg;
             {
@@ -939,16 +1003,17 @@ let analyse ?only ?extra (t : t) ~name sources : run =
           :: List.map (fun pr -> pr.pr_metrics) pass_runs)
       in
       M.merge_into ~dst:t.registry hreg;
-      {
-        r_name = name;
-        r_key = a.a_key;
-        r_from_cache = from_cache;
-        r_artifacts = Some a;
-        r_diags = fdiags @ List.concat_map (fun pr -> pr.pr_diags) pass_runs;
-        r_passes = pass_runs;
-        r_elapsed_s = Clock.elapsed_since t0;
-        r_health = health;
-      }
+      journal_run_end
+        {
+          r_name = name;
+          r_key = a.a_key;
+          r_from_cache = from_cache;
+          r_artifacts = Some a;
+          r_diags = fdiags @ List.concat_map (fun pr -> pr.pr_diags) pass_runs;
+          r_passes = pass_runs;
+          r_elapsed_s = Clock.elapsed_since t0;
+          r_health = health;
+        }
 
 let errors (r : run) = List.filter D.is_error r.r_diags
 let frontend_failed (r : run) = r.r_artifacts = None

@@ -204,16 +204,28 @@ let fire ~site ?(key = "") () : action option =
   match Atomic.get plan with
   | [] -> None
   | armed ->
-      List.find_map
-        (fun a ->
-          if a.spec.s_site <> site || not (key_matches a.spec.s_key key) then
-            None
-          else
-            let n = 1 + Atomic.fetch_and_add a.count 1 in
-            match a.spec.s_which with
-            | Every -> Some a.spec.s_action
-            | Nth k -> if n = k then Some a.spec.s_action else None)
-        armed
+      let hit =
+        List.find_map
+          (fun a ->
+            if a.spec.s_site <> site || not (key_matches a.spec.s_key key)
+            then None
+            else
+              let n = 1 + Atomic.fetch_and_add a.count 1 in
+              match a.spec.s_which with
+              | Every -> Some a.spec.s_action
+              | Nth k -> if n = k then Some a.spec.s_action else None)
+          armed
+      in
+      (match hit with
+      | Some action when Goobs.Journal.enabled () ->
+          Goobs.Journal.emit ~event:"fault.fired"
+            [
+              ("site", Goobs.Journal.S site);
+              ("key", Goobs.Journal.S key);
+              ("action", Goobs.Journal.S (action_str action));
+            ]
+      | _ -> ());
+      hit
 
 (* Convenience for sites with no action-specific behaviour: [Raise],
    [Timeout] and [Corrupt] all raise {!Injected} (the site has nothing

@@ -549,6 +549,12 @@ let with_scheduler ~pool (f : unit -> 'a) : 'a =
         in
         M.incr (Lazy.force m_batches);
         M.incr (Lazy.force m_spawned);
+        (* schedule-dependent by nature (a --jobs 1 run opens no
+           session at all): determinism diffs over journals exclude the
+           pool.* events, like the metrics diff excludes sched.* *)
+        if Goobs.Journal.enabled () then
+          Goobs.Journal.emit ~event:"pool.session"
+            [ ("jobs", Goobs.Journal.I pool.jobs) ];
         let outcome = ref None in
         let root = { t_spans = Trace.current_stack () } in
         let body () =

@@ -53,6 +53,17 @@ let fault_of (d : D.t) =
    comment); [pass] names the pass whose unit degraded, "supervise" for
    boundaries that belong to no pass. *)
 let diag ?loc ?(pass = "supervise") ~unit_name (k : kind) detail : D.t =
+  (* every supervision diagnostic is also a journal event: the ledger of
+     degradations survives a later crash even when the diagnostic list
+     dies with the process *)
+  if Goobs.Journal.enabled () then
+    Goobs.Journal.emit ~event:"supervise"
+      [
+        ("kind", Goobs.Journal.S (kind_str k));
+        ("unit", Goobs.Journal.S unit_name);
+        ("pass", Goobs.Journal.S pass);
+        ("detail", Goobs.Journal.S detail);
+      ];
   D.v ~severity:D.Warning ~pass ?loc
     ~payload:(Fault { fi_unit = unit_name; fi_kind = k; fi_detail = detail })
     (Printf.sprintf "%s %s: %s" unit_name (kind_str k) detail)
@@ -163,6 +174,34 @@ let pressure () : string option =
     if (not (Float.is_nan d)) && Clock.now_s () > d then
       Some "deadline exceeded"
     else None
+
+(* ------------------------------------------------- health snapshot --- *)
+
+(* Live health state for the /healthz telemetry endpoint: the ledger
+   counters from [reg] plus the watchdogs' current verdict.  [ok] is
+   false exactly when a pressure watchdog has tripped — degraded or
+   skipped units alone leave the process healthy (partial results are
+   the design, not a failure), so a scraping monitor alerts on "the run
+   is being cut short", not on "one file was broken". *)
+let healthz_json ?(reg = M.default) () : bool * string =
+  let p = pressure () in
+  let ok = p = None in
+  let snap = health_of (M.counters_list reg) in
+  let v k = health_get snap k in
+  let body =
+    Printf.sprintf
+      "{\"ok\":%b,\"pressure\":%s,\"deadline_armed\":%b,\"heap_armed\":%b,\
+       \"attempted\":%d,\"ok_units\":%d,\"degraded\":%d,\"skipped\":%d,\
+       \"retried\":%d}"
+      ok
+      (match p with
+      | None -> "null"
+      | Some r -> "\"" ^ Goobs.Metrics.json_escape r ^ "\"")
+      (not (Float.is_nan (Atomic.get deadline_at)))
+      (!heap_alarm <> None) (v h_attempted) (v h_ok) (v h_degraded)
+      (v h_skipped) (v h_retried)
+  in
+  (ok, body)
 
 (* ------------------------------------------------- fault boundaries --- *)
 

@@ -102,9 +102,39 @@ let format_line lvl msg kv =
     kv;
   Buffer.contents b
 
+(* Machine-parseable variant (--log-json): one flat JSON object per
+   line, key=value pairs flattened into top-level string fields.  The
+   line still flows through the swappable sink, so tests and future
+   daemon shippers intercept both formats the same way. *)
+type format = Text | Json
+
+let fmt_mode : format Atomic.t = Atomic.make Text
+let set_format f = Atomic.set fmt_mode f
+let format () = Atomic.get fmt_mode
+
+let format_json lvl msg kv =
+  let b = Buffer.create 96 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"ts_ms\":%.3f,\"level\":\"%s\",\"msg\":\"%s\""
+       (Unix.gettimeofday () *. 1000.0)
+       (level_str lvl)
+       (Metrics.json_escape msg));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"%s\":\"%s\"" (Metrics.json_escape k)
+           (Metrics.json_escape v)))
+    kv;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
 let log lvl ?(kv = []) msg =
   if enabled lvl then begin
-    let line = format_line lvl msg kv in
+    let line =
+      match Atomic.get fmt_mode with
+      | Text -> format_line lvl msg kv
+      | Json -> format_json lvl msg kv
+    in
     Mutex.lock mu;
     (try !sink line with _ -> ());
     Mutex.unlock mu

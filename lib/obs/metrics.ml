@@ -196,6 +196,23 @@ let reset t =
           Atomic.set h.h_max neg_infinity)
         t.histograms)
 
+(* The one bucket schema both exporters share: occupied buckets only,
+   cumulative counts, identified by their upper bound.  Prometheus
+   renders these as _bucket{le="..."} lines, JSON as {"le":..,"n":..}
+   objects — same pairs, two syntaxes, so the exports round-trip. *)
+let cumulative_buckets h : (float * int) list =
+  let cum = ref 0 in
+  let acc = ref [] in
+  Array.iteri
+    (fun i a ->
+      let c = Atomic.get a in
+      if c > 0 then begin
+        cum := !cum + c;
+        acc := (bucket_upper i, !cum) :: !acc
+      end)
+    h.h_counts;
+  List.rev !acc
+
 (* Prometheus text exposition ------------------------------------------- *)
 
 let sanitize name =
@@ -232,42 +249,52 @@ let to_prometheus t =
       let h = histogram t k in
       let n = sanitize k in
       Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
-      let cum = ref 0 in
-      Array.iteri
-        (fun i a ->
-          let c = Atomic.get a in
-          if c > 0 then begin
-            cum := !cum + c;
-            Buffer.add_string b
-              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
-                 (fmt_float (bucket_upper i))
-                 !cum)
-          end)
-        h.h_counts;
+      let buckets = cumulative_buckets h in
+      List.iter
+        (fun (upper, cum) ->
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (fmt_float upper)
+               cum))
+        buckets;
+      let total = h_count h in
       Buffer.add_string b
-        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n !cum);
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n total);
       Buffer.add_string b
         (Printf.sprintf "%s_sum %s\n" n (fmt_float (h_sum h)));
-      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n !cum))
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n total))
     (histogram_names t);
   Buffer.contents b
 
 (* JSON export ----------------------------------------------------------- *)
 
 let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+  (* fast path: almost every metric name, journal key, and value is
+     already clean — return it without allocating *)
+  let n = String.length s in
+  let rec clean i =
+    i >= n
+    ||
+    match s.[i] with
+    | '"' | '\\' -> false
+    | c when Char.code c < 0x20 -> false
+    | _ -> clean (i + 1)
+  in
+  if clean 0 then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
 
 let to_json t =
   let b = Buffer.create 1024 in
@@ -289,14 +316,24 @@ let to_json t =
     (fun i k ->
       let h = histogram t k in
       if i > 0 then Buffer.add_char b ',';
+      (* same occupied-bucket/cumulative-count schema as the Prometheus
+         exposition's _bucket{le=...} lines *)
+      let buckets =
+        String.concat ","
+          (List.map
+             (fun (upper, cum) ->
+               Printf.sprintf "{\"le\":%s,\"n\":%d}" (fmt_float upper) cum)
+             (cumulative_buckets h))
+      in
       Buffer.add_string b
         (Printf.sprintf
-           "\"%s\":{\"count\":%d,\"sum\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s}"
+           "\"%s\":{\"count\":%d,\"sum\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"buckets\":[%s]}"
            (json_escape k) (h_count h)
            (fmt_float (h_sum h))
            (fmt_float (h_max h))
            (fmt_float (percentile h 0.5))
-           (fmt_float (percentile h 0.95))))
+           (fmt_float (percentile h 0.95))
+           buckets))
     (histogram_names t);
   Buffer.add_string b "}}";
   Buffer.contents b

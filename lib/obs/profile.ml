@@ -24,7 +24,18 @@ let samples : channel_sample list ref = ref []
 let note_channel s =
   Mutex.lock mu;
   samples := s :: !samples;
-  Mutex.unlock mu
+  Mutex.unlock mu;
+  (* channel lifecycle in the run journal: one event per analysed root.
+     The solver statistics are schedule-independent; elapsed time rides
+     in the volatile dur_ms slot that determinism diffs strip. *)
+  if Journal.enabled () then
+    Journal.emit ~event:"channel.done" ~dur_ms:s.cs_elapsed_ms
+      [
+        ("channel", Journal.S s.cs_channel);
+        ("solver_calls", Journal.I s.cs_solver_calls);
+        ("path_events", Journal.I s.cs_path_events);
+        ("timed_out", Journal.B s.cs_timed_out);
+      ]
 
 let channels () =
   Mutex.lock mu;
@@ -130,6 +141,8 @@ let report ?(top = 10) (reg : Metrics.t) (pass_times : (string * float) list) :
      in
      if errs > 0 then line "  %d solve-cache I/O error(s) (best-effort)" errs
    end);
+  if Sampler.total_samples () > 0 then
+    Buffer.add_string b (Sampler.report ~top ());
   let hists = Metrics.histogram_names reg in
   if hists <> [] then begin
     line "histograms (p50 / p95 / max):";

@@ -1,0 +1,142 @@
+(* Sampling wall-clock profiler.
+
+   A dedicated ticker wakes [hz] times a second and snapshots every
+   domain's current open-span spine through [Trace.sample_stacks],
+   folding each spine into a stack -> count table.  The cost model is
+   the classic sampling one: a stack's count is proportional to the
+   wall time the program spent with that spine open, to within sampling
+   error — no per-span bookkeeping, no timestamps, just counts.
+
+   The ticker is a systhread, not a domain.  An extra domain — even one
+   asleep in [sleepf] — forces every minor GC into a multi-domain
+   stop-the-world rendezvous, which measurably taxes the analysis on
+   small machines (tens of percent on one core); a sleeping systhread
+   is invisible to the collector.  The trade: a thread only runs when
+   its owning domain's runtime lock rotates, so under a compute-bound
+   domain the *effective* rate caps near the thread-switch quantum
+   (~20 Hz) regardless of [hz].  For a wall-clock profile over seconds
+   of work that is still hundreds of samples — plenty — at zero cost
+   to the run being profiled.
+
+   Stacks are keyed in collapsed form ("root;child;leaf"), which is
+   exactly the flamegraph.pl input format, so [write_collapsed] is a
+   straight dump of the table.  [report] renders the top-N table the
+   --profile output embeds.
+
+   The sampler needs span spines maintained but not closed-span
+   buffering; callers arm [Trace.enable_spines] (or full [Trace.enable]
+   when also tracing) before [start].  The table is process-global like
+   Profile's channel samples: one profiled run per process. *)
+
+let mu = Mutex.create ()
+let counts : (string, int) Hashtbl.t = Hashtbl.create 64
+let ticks = ref 0 (* sampling wakeups, with or without open spans *)
+let total = ref 0 (* stack samples recorded *)
+let last_hz = ref 0
+
+(* Fold one snapshot into the table; exposed so tests can drive the
+   table without timing dependence. *)
+let note_stacks (stacks : (int * string list) list) =
+  Mutex.lock mu;
+  incr ticks;
+  List.iter
+    (fun (_tid, names) ->
+      let k = String.concat ";" names in
+      Hashtbl.replace counts k
+        (1 + Option.value (Hashtbl.find_opt counts k) ~default:0);
+      incr total)
+    stacks;
+  Mutex.unlock mu
+
+let reset () =
+  Mutex.lock mu;
+  Hashtbl.reset counts;
+  ticks := 0;
+  total := 0;
+  Mutex.unlock mu
+
+let total_samples () =
+  Mutex.lock mu;
+  let n = !total in
+  Mutex.unlock mu;
+  n
+
+let tick_count () =
+  Mutex.lock mu;
+  let n = !ticks in
+  Mutex.unlock mu;
+  n
+
+let hz () = !last_hz
+
+type t = { s_stopping : bool Atomic.t; s_thread : Thread.t }
+
+let start ~hz : t =
+  let hz = if hz < 1 then 1 else if hz > 10_000 then 10_000 else hz in
+  last_hz := hz;
+  let period = 1.0 /. float_of_int hz in
+  let stopping = Atomic.make false in
+  let thread =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          if not (Atomic.get stopping) then begin
+            (try Thread.delay period with _ -> ());
+            if not (Atomic.get stopping) then begin
+              note_stacks (Trace.sample_stacks ());
+              loop ()
+            end
+          end
+        in
+        loop ())
+      ()
+  in
+  { s_stopping = stopping; s_thread = thread }
+
+let stop t =
+  if not (Atomic.exchange t.s_stopping true) then Thread.join t.s_thread
+
+(* Exports --------------------------------------------------------------- *)
+
+let snapshot () =
+  Mutex.lock mu;
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] in
+  Mutex.unlock mu;
+  entries
+
+(* flamegraph.pl input: one "stack count" line per distinct spine,
+   sorted for stable output. *)
+let collapsed () =
+  let entries = List.sort compare (snapshot ()) in
+  String.concat ""
+    (List.map (fun (k, n) -> Printf.sprintf "%s %d\n" k n) entries)
+
+let write_collapsed ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (collapsed ()))
+
+let top n =
+  let entries =
+    List.sort
+      (fun (ka, na) (kb, nb) -> compare (nb, ka) (na, kb))
+      (snapshot ())
+  in
+  List.filteri (fun i _ -> i < n) entries
+
+let report ~top:n () : string =
+  let b = Buffer.create 256 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+  in
+  let t = total_samples () in
+  line "sampling profiler: %d stack sample(s) over %d tick(s) @ %d Hz:" t
+    (tick_count ()) !last_hz;
+  List.iter
+    (fun (k, c) ->
+      line "  %6d  (%4.1f%%)  %s" c
+        (if t = 0 then 0.0 else 100.0 *. float_of_int c /. float_of_int t)
+        k)
+    (top n);
+  Buffer.contents b

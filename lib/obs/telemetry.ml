@@ -1,0 +1,323 @@
+(* Minimal dependency-free HTTP telemetry server.
+
+   Serves a fixed handler table (path -> unit -> response) over a TCP
+   socket ("HOST:PORT", port 0 picks an ephemeral port) and/or a
+   Unix-domain socket, each on its own systhread.  Threads, not
+   domains, deliberately: an extra domain — even one blocked in
+   [accept] — turns every minor GC into a multi-domain stop-the-world
+   rendezvous, which on a single-core box taxes the *analysis* by tens
+   of percent.  A systhread blocked in [accept] holds no runtime lock
+   and costs the collector nothing.  The accept loops handle one
+   connection at a time: endpoints are tiny read-only snapshots
+   (metrics text, health JSON, a profile report), so there is nothing
+   to gain from per-connection fan-out, and a scrape can at worst be
+   delayed by the owning domain's thread-switch quantum.
+
+   Handlers must be read-only with respect to analysis state: the server
+   exists to observe a run, never to perturb it.  Determinism-sensitive
+   callers rely on that — diagnostics are byte-identical with the
+   server on or off.
+
+   Request parsing is deliberately small: method + path from the request
+   line, headers ignored, query strings stripped.  Responses always
+   close the connection.  [fetch] is the matching loopback client, used
+   by the test suite and the bench harness to curl endpoints in-process. *)
+
+type response = { status : int; content_type : string; body : string }
+type handler = unit -> response
+
+let text ?(status = 200) body =
+  { status; content_type = "text/plain; charset=utf-8"; body }
+
+let json ?(status = 200) body =
+  { status; content_type = "application/json"; body }
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+type t = {
+  listeners : (Unix.file_descr * Unix.sockaddr) list;
+  threads : Thread.t list;
+  stopping : bool Atomic.t;
+  t_port : int; (* bound TCP port, 0 when only a Unix socket *)
+  t_sock : string option;
+}
+
+let port t = t.t_port
+
+(* I/O helpers ----------------------------------------------------------- *)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then begin
+      let w = Unix.write_substring fd s off (n - off) in
+      if w > 0 then go (off + w)
+    end
+  in
+  go 0
+
+(* Read until the header terminator (or a size cap): enough to see the
+   request line, which is all we parse. *)
+let read_request fd =
+  let buf = Bytes.create 2048 in
+  let b = Buffer.create 256 in
+  let rec go () =
+    if Buffer.length b > 8192 then Buffer.contents b
+    else begin
+      let n = try Unix.read fd buf 0 (Bytes.length buf) with _ -> 0 in
+      if n <= 0 then Buffer.contents b
+      else begin
+        Buffer.add_subbytes b buf 0 n;
+        let s = Buffer.contents b in
+        let rec has_terminator i =
+          if i + 3 >= String.length s then false
+          else if
+            s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+            && s.[i + 3] = '\n'
+          then true
+          else has_terminator (i + 1)
+        in
+        if has_terminator 0 then s else go ()
+      end
+    end
+  in
+  go ()
+
+let parse_request_line raw =
+  match String.index_opt raw '\n' with
+  | None -> None
+  | Some i -> (
+      let line = String.trim (String.sub raw 0 i) in
+      match String.split_on_char ' ' line with
+      | meth :: target :: _ ->
+          let path =
+            match String.index_opt target '?' with
+            | Some q -> String.sub target 0 q
+            | None -> target
+          in
+          Some (meth, path)
+      | _ -> None)
+
+let respond fd ~head_only (r : response) =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      r.status (status_text r.status) r.content_type (String.length r.body)
+  in
+  try write_all fd (if head_only then head else head ^ r.body) with _ -> ()
+
+let handle_client handlers fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0 with _ -> ());
+  let raw = read_request fd in
+  if raw <> "" then
+    match parse_request_line raw with
+    | None -> respond fd ~head_only:false (text ~status:400 "bad request\n")
+    | Some (meth, path) when meth = "GET" || meth = "HEAD" -> (
+        let head_only = meth = "HEAD" in
+        match List.assoc_opt path handlers with
+        | None ->
+            respond fd ~head_only
+              (text ~status:404
+                 (Printf.sprintf "no such endpoint: %s\n" path))
+        | Some h ->
+            let resp =
+              try h ()
+              with e ->
+                text ~status:500
+                  (Printf.sprintf "handler error: %s\n"
+                     (Printexc.to_string e))
+            in
+            respond fd ~head_only resp)
+    | Some (meth, _) ->
+        respond fd ~head_only:false
+          (text ~status:405 (Printf.sprintf "method not allowed: %s\n" meth))
+
+let accept_loop stopping handlers listen_fd =
+  let rec loop () =
+    match Unix.accept listen_fd with
+    | exception _ -> if Atomic.get stopping then () else loop ()
+    | client, _ ->
+        (try handle_client handlers client with _ -> ());
+        (try Unix.close client with _ -> ());
+        if Atomic.get stopping then () else loop ()
+  in
+  loop ()
+
+(* Lifecycle ------------------------------------------------------------- *)
+
+let parse_addr spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error (Printf.sprintf "bad --telemetry-addr %S: want HOST:PORT" spec)
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port_s = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port_s with
+      | None -> Error (Printf.sprintf "bad port in %S" spec)
+      | Some p -> (
+          let resolve h =
+            if h = "" || h = "*" || h = "0.0.0.0" then
+              Some Unix.inet_addr_any
+            else
+              match Unix.inet_addr_of_string h with
+              | a -> Some a
+              | exception _ -> (
+                  match Unix.gethostbyname h with
+                  | { Unix.h_addr_list = [||]; _ } -> None
+                  | { Unix.h_addr_list = addrs; _ } -> Some addrs.(0)
+                  | exception _ -> None)
+          in
+          match resolve host with
+          | Some a -> Ok (Unix.ADDR_INET (a, p))
+          | None -> Error (Printf.sprintf "cannot resolve host %S" host)))
+
+let listen_on sockaddr =
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  try
+    Unix.set_close_on_exec fd;
+    if domain <> Unix.PF_UNIX then Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    (match sockaddr with
+    | Unix.ADDR_UNIX path -> ( try Unix.unlink path with _ -> ())
+    | _ -> ());
+    Unix.bind fd sockaddr;
+    Unix.listen fd 16;
+    Ok (fd, Unix.getsockname fd)
+  with e ->
+    (try Unix.close fd with _ -> ());
+    Error (Printexc.to_string e)
+
+let start ?addr ?sock ~handlers () : (t, string) result =
+  (* a client that disconnects mid-response must not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let wanted =
+    List.filter_map Fun.id
+      [
+        Option.map (fun a -> `Tcp a) addr;
+        Option.map (fun p -> `Unix p) sock;
+      ]
+  in
+  if wanted = [] then Error "telemetry: no address given"
+  else begin
+    let rec bind_all acc = function
+      | [] -> Ok (List.rev acc)
+      | `Tcp spec :: rest -> (
+          match parse_addr spec with
+          | Error e -> Error e
+          | Ok sa -> (
+              match listen_on sa with
+              | Ok l -> bind_all (l :: acc) rest
+              | Error e ->
+                  Error (Printf.sprintf "telemetry: bind %s: %s" spec e)))
+      | `Unix path :: rest -> (
+          match listen_on (Unix.ADDR_UNIX path) with
+          | Ok l -> bind_all (l :: acc) rest
+          | Error e -> Error (Printf.sprintf "telemetry: bind %s: %s" path e))
+    in
+    match bind_all [] wanted with
+    | Error e ->
+        List.iter (fun l -> ignore l) [];
+        Error e
+    | Ok listeners ->
+        let stopping = Atomic.make false in
+        let threads =
+          List.map
+            (fun (fd, _) ->
+              Thread.create (fun () -> accept_loop stopping handlers fd) ())
+            listeners
+        in
+        let t_port =
+          List.fold_left
+            (fun acc (_, sa) ->
+              match sa with
+              | Unix.ADDR_INET (_, p) when acc = 0 -> p
+              | _ -> acc)
+            0 listeners
+        in
+        Ok { listeners; threads; stopping; t_port; t_sock = sock }
+  end
+
+(* Wake a blocked [accept] by connecting to its own socket. *)
+let poke sa =
+  let sa =
+    match sa with
+    | Unix.ADDR_INET (a, p) when a = Unix.inet_addr_any ->
+        Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+    | sa -> sa
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () -> try Unix.connect fd sa with _ -> ())
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    List.iter (fun (_, sa) -> poke sa) t.listeners;
+    List.iter Thread.join t.threads;
+    List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) t.listeners;
+    match t.t_sock with
+    | Some p -> ( try Unix.unlink p with _ -> ())
+    | None -> ()
+  end
+
+(* Loopback client ------------------------------------------------------- *)
+
+let read_all fd =
+  let buf = Bytes.create 4096 in
+  let b = Buffer.create 1024 in
+  let rec go () =
+    let n = try Unix.read fd buf 0 (Bytes.length buf) with _ -> 0 in
+    if n > 0 then begin
+      Buffer.add_subbytes b buf 0 n;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents b
+
+let split_response raw =
+  let n = String.length raw in
+  let code =
+    match String.index_opt raw ' ' with
+    | Some i when i + 4 <= n ->
+        Option.value (int_of_string_opt (String.sub raw (i + 1) 3)) ~default:0
+    | _ -> 0
+  in
+  let rec find_body i =
+    if i + 3 >= n then n
+    else if
+      raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+      && raw.[i + 3] = '\n'
+    then i + 4
+    else find_body (i + 1)
+  in
+  let off = find_body 0 in
+  (code, String.sub raw off (n - off))
+
+(* One-shot GET against a server handle (TCP preferred, Unix socket
+   otherwise).  Returns (status, body). *)
+let fetch t path : int * string =
+  let sa =
+    if t.t_port <> 0 then Unix.ADDR_INET (Unix.inet_addr_loopback, t.t_port)
+    else
+      match t.t_sock with
+      | Some p -> Unix.ADDR_UNIX p
+      | None -> invalid_arg "Telemetry.fetch: server has no address"
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      Unix.connect fd sa;
+      write_all fd
+        (Printf.sprintf "GET %s HTTP/1.1\r\nHost: gcatch\r\nConnection: \
+                         close\r\n\r\n"
+           path);
+      split_response (read_all fd))

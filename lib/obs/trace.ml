@@ -27,9 +27,30 @@ type span = {
 }
 
 let enabled_flag = Atomic.make false
+
+(* When false, spans still maintain the per-domain open-span stacks (so
+   the sampling profiler can read spines) but closed spans are not
+   buffered — a sampler-only run must not accumulate an unbounded
+   closed-span list it never drains. *)
+let record_closed = Atomic.make true
 let enabled () = Atomic.get enabled_flag
-let enable () = Atomic.set enabled_flag true
-let disable () = Atomic.set enabled_flag false
+
+let enable () =
+  Atomic.set record_closed true;
+  Atomic.set enabled_flag true
+
+(* Spine-only mode for the sampler: stacks live, closed-span buffering
+   off.  A later [enable] (e.g. --trace-out together with --sample-hz)
+   upgrades to full recording. *)
+let enable_spines () =
+  if not (Atomic.get enabled_flag) then begin
+    Atomic.set record_closed false;
+    Atomic.set enabled_flag true
+  end
+
+let disable () =
+  Atomic.set enabled_flag false;
+  Atomic.set record_closed true
 
 type open_span = {
   os_name : string;
@@ -83,8 +104,53 @@ let swap_stack (s : stack) : stack =
   st.ds_stack <- s;
   prev
 
+(* Snapshot of every domain's open-span spine, outermost frame first —
+   the sampling profiler's read path.  [ds_stack] is a plain mutable
+   field owned by its domain; reading it from the sampler domain is a
+   benign race: the field always holds a valid immutable list (a stale
+   head at worst misattributes one sample, which sampling tolerates by
+   construction).  Only [os_name] is read — [os_args] mutates under the
+   owner and stays off-limits here. *)
+let sample_stacks () : (int * string list) list =
+  Mutex.lock registry_mu;
+  let sts = !states in
+  Mutex.unlock registry_mu;
+  List.filter_map
+    (fun st ->
+      match st.ds_stack with
+      | [] -> None
+      | stack -> Some (st.ds_tid, List.rev_map (fun os -> os.os_name) stack))
+    sts
+
+let open_span_count () =
+  List.fold_left
+    (fun acc (_, names) -> acc + List.length names)
+    0 (sample_stacks ())
+
 let with_span ~name ?(args = []) f =
   if not (Atomic.get enabled_flag) then f ()
+  else if not (Atomic.get record_closed) then begin
+    (* spine-only (sampler) mode: maintain the open-span stack for
+       [sample_stacks] and nothing else — no clock reads, no depth
+       walk, no closed-span assembly.  This branch runs on every span
+       of a profiled run, so it stays a push and a pop. *)
+    let st = Domain.DLS.get key in
+    st.ds_stack <-
+      { os_name = name; os_t0 = 0.0; os_args = args } :: st.ds_stack;
+    let pop () =
+      let st = Domain.DLS.get key in
+      match st.ds_stack with
+      | _ :: rest -> st.ds_stack <- rest
+      | [] -> ()
+    in
+    match f () with
+    | v ->
+        pop ();
+        v
+    | exception e ->
+        pop ();
+        raise e
+  end
   else begin
     let st = Domain.DLS.get key in
     let os = { os_name = name; os_t0 = Mclock.now_us (); os_args = args } in
@@ -104,16 +170,17 @@ let with_span ~name ?(args = []) f =
         let parent =
           match st.ds_stack with p :: _ -> Some p.os_name | [] -> None
         in
-        push_span st
-          {
-            sp_name = name;
-            sp_args = os.os_args;
-            sp_ts_us = os.os_t0;
-            sp_dur_us = dur;
-            sp_tid = st.ds_tid;
-            sp_parent = parent;
-            sp_depth = depth;
-          })
+        if Atomic.get record_closed then
+          push_span st
+            {
+              sp_name = name;
+              sp_args = os.os_args;
+              sp_ts_us = os.os_t0;
+              sp_dur_us = dur;
+              sp_tid = st.ds_tid;
+              sp_parent = parent;
+              sp_depth = depth;
+            })
       f
   end
 

@@ -9,8 +9,13 @@ module Log = Goobs.Log
 module M = Goobs.Metrics
 module Trace = Goobs.Trace
 module Profile = Goobs.Profile
+module Journal = Goobs.Journal
+module Telemetry = Goobs.Telemetry
+module Sampler = Goobs.Sampler
 module Pool = Goengine.Pool
 module E = Goengine.Engine
+module D = Goengine.Diagnostics
+module Supervise = Goengine.Supervise
 
 let contains ~needle hay =
   let nl = String.length needle and hl = String.length hay in
@@ -372,6 +377,278 @@ let test_engine_counters_from_registry () =
   Alcotest.(check bool) "stats_str served from the registry" true
     (contains ~needle:"1 hit(s)" (E.stats_str e))
 
+(* ------------------------------------------- bucket schema round-trip --- *)
+
+(* Satellite (b): both exporters render the one shared
+   [cumulative_buckets] schema — occupied buckets only, cumulative
+   counts, identified by upper bound — so the JSON and Prometheus views
+   of a histogram round-trip through the same (le, n) pairs. *)
+let test_histogram_bucket_round_trip () =
+  let t = M.create () in
+  let h = M.histogram t "solve.ms" in
+  List.iter (M.observe h) [ 0.7; 1.8; 1.9; 120.0 ];
+  let buckets = M.cumulative_buckets h in
+  Alcotest.(check bool) "occupied buckets only" true (List.length buckets <= 4);
+  Alcotest.(check bool) "at least one bucket" true (buckets <> []);
+  let rec mono = function
+    | (_, a) :: ((_, b) :: _ as tl) -> a <= b && mono tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative counts are monotone" true (mono buckets);
+  (match List.rev buckets with
+  | (_, last) :: _ -> Alcotest.(check int) "last bucket = count" 4 last
+  | [] -> ());
+  let p = M.to_prometheus t and j = M.to_json t in
+  Alcotest.(check bool) "json exposes a buckets array" true
+    (contains ~needle:{|"buckets":[|} j);
+  List.iter
+    (fun (upper, cum) ->
+      let fu = M.fmt_float upper in
+      let prom = Printf.sprintf {|_bucket{le="%s"} %d|} fu cum in
+      let js = Printf.sprintf {|{"le":%s,"n":%d}|} fu cum in
+      Alcotest.(check bool) ("prometheus renders " ^ prom) true
+        (contains ~needle:prom p);
+      Alcotest.(check bool) ("json renders " ^ js) true (contains ~needle:js j))
+    buckets;
+  (* an empty histogram has no occupied buckets and zero percentiles *)
+  let t2 = M.create () in
+  let h2 = M.histogram t2 "empty.ms" in
+  Alcotest.(check int) "empty -> no buckets" 0
+    (List.length (M.cumulative_buckets h2));
+  Alcotest.(check bool) "empty buckets array in json" true
+    (contains ~needle:{|"buckets":[]|} (M.to_json t2));
+  Alcotest.(check (float 1e-9)) "empty p50" 0.0 (M.percentile h2 0.5);
+  Alcotest.(check (float 1e-9)) "empty p95" 0.0 (M.percentile h2 0.95);
+  Alcotest.(check (float 1e-9)) "empty p100" 0.0 (M.percentile h2 1.0)
+
+(* -------------------------------------------------- structured logging --- *)
+
+let test_log_json_format () =
+  with_sink (fun lines ->
+      Log.set_level Log.Debug;
+      Log.set_format Log.Json;
+      Fun.protect
+        ~finally:(fun () -> Log.set_format Log.Text)
+        (fun () ->
+          Log.warn
+            ~kv:[ ("channel", "ch1"); ("note", {|a "quote"|}) ]
+            "budget exhausted");
+      match !lines with
+      | [ l ] ->
+          Alcotest.(check bool) "balanced json" true (balanced l);
+          List.iter
+            (fun needle ->
+              Alcotest.(check bool) ("line has " ^ needle) true
+                (contains ~needle l))
+            [
+              {|"ts_ms":|};
+              {|"level":"warn"|};
+              {|"msg":"budget exhausted"|};
+              {|"channel":"ch1"|};
+              {|"note":"a \"quote\""|};
+            ]
+      | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls))
+
+(* -------------------------------------------------- telemetry endpoints --- *)
+
+let test_telemetry_endpoints () =
+  let reg = M.create () in
+  M.add (M.counter reg "health.attempted") 2;
+  M.add (M.counter reg "health.ok") 2;
+  let handlers =
+    [
+      ("/metrics", fun () -> Telemetry.text (M.to_prometheus reg));
+      ( "/healthz",
+        fun () ->
+          let ok, body = Supervise.healthz_json ~reg () in
+          Telemetry.json ~status:(if ok then 200 else 503) body );
+      ("/vars", fun () -> Telemetry.json {|{"x":1}|});
+    ]
+  in
+  match Telemetry.start ~addr:"127.0.0.1:0" ~handlers () with
+  | Error e -> Alcotest.failf "telemetry start: %s" e
+  | Ok t ->
+      Fun.protect
+        ~finally:(fun () -> Telemetry.stop t)
+        (fun () ->
+          Alcotest.(check bool) "ephemeral port chosen" true
+            (Telemetry.port t > 0);
+          let code, body = Telemetry.fetch t "/metrics" in
+          Alcotest.(check int) "/metrics 200" 200 code;
+          Alcotest.(check bool) "prometheus body" true
+            (contains ~needle:"gcatch_health_attempted 2" body);
+          let code, body = Telemetry.fetch t "/healthz" in
+          Alcotest.(check int) "/healthz 200 when healthy" 200 code;
+          Alcotest.(check bool) "ok:true" true
+            (contains ~needle:{|"ok":true|} body);
+          (* injected deadline breach: the watchdog trips and /healthz
+             flips to 503 with the reason, then recovers on clear *)
+          Supervise.set_deadline_ms (-1);
+          Fun.protect ~finally:Supervise.clear_deadline (fun () ->
+              let code, body = Telemetry.fetch t "/healthz" in
+              Alcotest.(check int) "/healthz 503 under pressure" 503 code;
+              Alcotest.(check bool) "pressure reason" true
+                (contains ~needle:"deadline exceeded" body));
+          let code, _ = Telemetry.fetch t "/healthz" in
+          Alcotest.(check int) "recovers after clear_deadline" 200 code;
+          let code, _ = Telemetry.fetch t "/vars" in
+          Alcotest.(check int) "/vars 200" 200 code;
+          let code, _ = Telemetry.fetch t "/nope" in
+          Alcotest.(check int) "unknown path 404" 404 code)
+
+(* ------------------------------------------------------------ journal --- *)
+
+let test_journal_truncation_recovery () =
+  let path = Filename.temp_file "gcatch-journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with _ -> ())
+    (fun () ->
+      Journal.open_ ~path;
+      Journal.emit ~event:"run.start"
+        [ ("name", Journal.S "t"); ("files", Journal.I 1) ];
+      Journal.emit ~dur_ms:1.5 ~event:"stage.done"
+        [ ("stage", Journal.S "parse") ];
+      Journal.close ();
+      (* a SIGKILLed run leaves a half-written final line *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc {|{"seq":9,"ts_ms":123.0,"event":"pass.|};
+      close_out oc;
+      let sum = Journal.summarize_file path in
+      Alcotest.(check bool) "truncation flagged" true sum.Journal.s_truncated;
+      (* the valid prefix still parses: open, run.start, stage.done, close *)
+      Alcotest.(check int) "valid prefix parsed" 4 sum.Journal.s_events;
+      Alcotest.(check bool) "schema recovered" true
+        (sum.Journal.s_schema = Some Journal.schema);
+      Alcotest.(check bool) "run name recovered" true
+        (sum.Journal.s_run_name = Some "t");
+      let rep = Journal.report sum in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("report mentions " ^ needle) true
+            (contains ~needle rep))
+        [ "gcatch journal report"; "truncated"; "per-stage wall time" ])
+
+(* Normalize a journal for cross-schedule comparison the same way the CI
+   step does: drop schedule-dependent pool.* events, strip the volatile
+   fields (seq, ts_ms, dur_ms, pid), then sort. *)
+let normalized_journal path =
+  let ic = open_in_bin path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+  |> List.filter_map (fun l ->
+         match Journal.parse_line l with
+         | None -> Some ("UNPARSED:" ^ l)
+         | Some fields ->
+             let ev =
+               Option.value (Journal.str_field fields "event") ~default:""
+             in
+             if String.length ev >= 5 && String.sub ev 0 5 = "pool." then None
+             else
+               Some
+                 (String.concat ","
+                    (List.filter_map
+                       (fun (k, v) ->
+                         match k with
+                         | "seq" | "ts_ms" | "dur_ms" | "pid" -> None
+                         | _ ->
+                             Some
+                               (k ^ "="
+                               ^
+                               match v with
+                               | Journal.S s -> s
+                               | Journal.I i -> string_of_int i
+                               | Journal.F f -> Printf.sprintf "%g" f
+                               | Journal.B b -> string_of_bool b))
+                       fields)))
+  |> List.sort compare
+
+let test_journal_determinism_across_jobs () =
+  let run jobs =
+    let path = Filename.temp_file "gcatch-journal" ".jsonl" in
+    (* both runs must be cold: the solve memo is process-wide, and a
+       warm second run would journal hits where the first had misses *)
+    Gcatch.Solve_cache.reset_memory ();
+    Journal.open_ ~path;
+    let e = Gcatch.Passes.engine ~jobs () in
+    ignore (E.analyse e ~name:"det" [ multi_chan ]);
+    Journal.close ();
+    path
+  in
+  let p1 = run 1 in
+  let p4 = run 4 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with _ -> ()) [ p1; p4 ])
+    (fun () ->
+      let n1 = normalized_journal p1 and n4 = normalized_journal p4 in
+      Alcotest.(check bool) "nothing unparseable" true
+        (not (List.exists (contains ~needle:"UNPARSED:") n1));
+      Alcotest.(check (list string)) "normalized journals identical" n1 n4;
+      Alcotest.(check bool) "solve events present" true
+        (List.exists (contains ~needle:"event=solve.") n1);
+      Alcotest.(check bool) "run end present" true
+        (List.exists (contains ~needle:"event=run.end") n1))
+
+(* ------------------------------------------------------------ sampler --- *)
+
+let test_sampler_stack_table () =
+  Sampler.reset ();
+  Sampler.note_stacks [ (1, [ "run"; "stage.parse" ]); (2, [ "run" ]) ];
+  Sampler.note_stacks [ (1, [ "run"; "stage.parse" ]) ];
+  Sampler.note_stacks [ (2, [ "run" ]) ];
+  Alcotest.(check int) "stack samples" 4 (Sampler.total_samples ());
+  Alcotest.(check int) "ticks" 3 (Sampler.tick_count ());
+  let c = Sampler.collapsed () in
+  Alcotest.(check bool) "collapsed spine line" true
+    (contains ~needle:"run;stage.parse 2\n" c);
+  Alcotest.(check bool) "collapsed root line" true
+    (contains ~needle:"run 2\n" c);
+  (match Sampler.top 1 with
+  | [ (_, n) ] -> Alcotest.(check int) "top-1 count" 2 n
+  | l -> Alcotest.failf "expected 1 top entry, got %d" (List.length l));
+  let rep = Sampler.report ~top:5 () in
+  Alcotest.(check bool) "report header" true
+    (contains ~needle:"sampling profiler: 4 stack sample(s)" rep);
+  Sampler.reset ();
+  Alcotest.(check int) "reset clears the table" 0 (Sampler.total_samples ())
+
+(* The sampler must never perturb results: diagnostics are byte-identical
+   with the ticker domain running (spine-only tracing armed) and without,
+   at jobs=1 and jobs=4. *)
+let test_sampler_diag_equality () =
+  let diags ~sample jobs =
+    let s =
+      if sample then begin
+        Trace.enable_spines ();
+        Some (Sampler.start ~hz:500)
+      end
+      else None
+    in
+    let e = Gcatch.Passes.engine ~jobs () in
+    let r = E.analyse e ~name:"s" [ multi_chan ] in
+    (match s with
+    | Some s ->
+        Sampler.stop s;
+        Trace.disable ();
+        Sampler.reset ()
+    | None -> ());
+    D.list_to_json r.E.r_diags
+  in
+  List.iter
+    (fun jobs ->
+      let off = diags ~sample:false jobs in
+      let on = diags ~sample:true jobs in
+      Alcotest.(check string)
+        (Printf.sprintf "diagnostics identical sampler on/off, jobs=%d" jobs)
+        off on)
+    [ 1; 4 ]
+
 let tests =
   [
     Alcotest.test_case "log line format" `Quick test_log_format;
@@ -395,4 +672,15 @@ let tests =
       test_skip_diag_enriched;
     Alcotest.test_case "engine counters from registry" `Quick
       test_engine_counters_from_registry;
+    Alcotest.test_case "histogram bucket round-trip" `Quick
+      test_histogram_bucket_round_trip;
+    Alcotest.test_case "log json format" `Quick test_log_json_format;
+    Alcotest.test_case "telemetry endpoints" `Quick test_telemetry_endpoints;
+    Alcotest.test_case "journal truncation recovery" `Quick
+      test_journal_truncation_recovery;
+    Alcotest.test_case "journal determinism across jobs" `Quick
+      test_journal_determinism_across_jobs;
+    Alcotest.test_case "sampler stack table" `Quick test_sampler_stack_table;
+    Alcotest.test_case "sampler diagnostic equality" `Quick
+      test_sampler_diag_equality;
   ]
