@@ -1234,6 +1234,325 @@ let eobs2 () =
         ob_identical = identical;
       }
 
+(* ---------------------------------------------------- E-serve (PR 9) --- *)
+
+type serve_point = {
+  vp_clients : int;
+  vp_requests : int;
+  vp_seconds : float;
+  vp_rps : float;
+  vp_p50_ms : float;
+  vp_p95_ms : float;
+}
+
+type serve_result = {
+  sv_files : int;
+  sv_loc : int;
+  sv_cold_s : float; (* one-shot analysis, fresh engine *)
+  sv_first_req_s : float; (* daemon's first (cold) request *)
+  sv_steady_s : float; (* median warm one-file-edit request *)
+  sv_hot_s : float; (* repeated identical request (artifact hit) *)
+  sv_identical : bool; (* daemon jobs 1/4 diags == one-shot bytes *)
+  sv_points : serve_point list;
+  sv_soak_requests : int;
+  sv_soak_evictions : int;
+  sv_soak_heap_mb : float;
+  sv_soak_stable : bool;
+}
+
+let serve_result : serve_result option ref = ref None
+
+let eserve () =
+  header
+    "E-serve | gcatchd warm-process serving: cold one-shot vs steady-state\n\
+    \       | daemon latency on the e-fe app, sustained throughput at\n\
+    \       | 1/4/16 clients, and a 200-request soak under --max-cache-mb\n\
+    \       | (PR 9)";
+  let module Serve = Goserve.Serve in
+  let module Proto = Goserve.Proto in
+  let module T = Goobs.Telemetry in
+  let module M = Goobs.Metrics in
+  let body_of sources =
+    let b = Buffer.create (1 lsl 16) in
+    Buffer.add_string b
+      "{\"schema\":\"gcatch-serve/1\",\"name\":\"cli\",\"files\":[";
+    List.iteri
+      (fun i src ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "{\"path\":\"f%d.go\",\"src\":\"%s\"}" i
+             (D.json_escape src)))
+      sources;
+    Buffer.add_string b "]}";
+    Buffer.contents b
+  in
+  let rq body = { T.rq_path = "/analyse"; rq_headers = []; rq_body = body } in
+  let diag_bytes body =
+    match Proto.member_raw "run" body with
+    | None -> failwith "e-serve: response has no run member"
+    | Some run -> (
+        match Proto.member_raw "diagnostics" run with
+        | None -> failwith "e-serve: run has no diagnostics member"
+        | Some d -> d)
+  in
+  let timed_post srv body =
+    let t0 = Clock.now_s () in
+    let r = Serve.handle_analyse srv (rq body) in
+    let dt = Clock.elapsed_since t0 in
+    if r.T.status <> 200 then
+      failwith (Printf.sprintf "e-serve: status %d: %s" r.T.status r.T.body);
+    (r, dt)
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then nan
+    else
+      let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) idx))
+  in
+  (* the same ~172 kLoC synthetic app e-fe measures, so the cold/steady
+     comparison lines up with the frontend numbers *)
+  let nfiles = 50 and per_file = 2000 in
+  let sources =
+    List.init nfiles (fun i ->
+        "package app\n"
+        ^ Gocorpus.Filler.generate ~seed:i ~target_lines:per_file)
+  in
+  let loc =
+    List.fold_left
+      (fun acc s -> acc + List.length (String.split_on_char '\n' s))
+      0 sources
+  in
+  Printf.printf "app: %d file(s), %d LoC; hardware threads: %d\n\n" nfiles loc
+    (Domain.recommended_domain_count ());
+  (* cold one-shot: what `gcatch analyse` costs in a fresh process *)
+  Gcatch.Solve_cache.reset_memory ();
+  let one_shot = Gcatch.Passes.engine ~jobs:1 ~registry:(M.create ()) () in
+  let t0 = Clock.now_s () in
+  let r_one = E.analyse one_shot ~name:"cli" sources in
+  let cold_s = Clock.elapsed_since t0 in
+  let one_shot_diags =
+    match Proto.member_raw "diagnostics" (E.run_to_json r_one) with
+    | Some d -> d
+    | None -> failwith "e-serve: one-shot run has no diagnostics member"
+  in
+  Printf.printf "cold one-shot (jobs 1): %.3fs (%.1f kLoC/s)\n" cold_s
+    (float_of_int loc /. 1000.0 /. max 1e-9 cold_s);
+  (* daemon at jobs 4, with the pass-result disk cache a deployed
+     gcatchd gets from --cache-dir: the first request fills every tier,
+     then steady-state requests each carry a fresh one-line edit of the
+     last file — every request misses the whole-run artifact cache and
+     re-uses the other 49 files' memos plus the per-function solve
+     cache, which is the watch/IDE serving pattern *)
+  Gcatch.Solve_cache.reset_memory ();
+  let cache_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcatch-bench-serve-%d" (Unix.getpid ()))
+  in
+  let clear_cache_dir () =
+    if Sys.file_exists cache_dir then begin
+      Array.iter
+        (fun f ->
+          try Sys.remove (Filename.concat cache_dir f) with Sys_error _ -> ())
+        (Sys.readdir cache_dir);
+      try Unix.rmdir cache_dir with Unix.Unix_error _ -> ()
+    end
+  in
+  clear_cache_dir ();
+  let detector =
+    { Gcatch.Bmoc.default_config with cache_dir = Some cache_dir }
+  in
+  let cfg4 =
+    { Serve.default_cfg with s_jobs = 4; s_max_queue = 64;
+      s_detector = detector }
+  in
+  let srv4 = Serve.create ~cfg:cfg4 () in
+  let _, first_req_s = timed_post srv4 (body_of sources) in
+  Printf.printf "daemon first request (jobs 4, cold caches): %.3fs\n"
+    first_req_s;
+  (* steady state = the file-delta payload a watch/IDE client sends: 49
+     unchanged files go by digest (the server remembered them on the
+     first request), only the edited file carries source.  Each edit is
+     unique, so every request misses the whole-run artifact cache and
+     exercises the warm per-file memos *)
+  let digests = List.map (fun s -> Digest.to_hex (Digest.string s)) sources in
+  let last_src = List.nth sources (nfiles - 1) in
+  let delta_body n =
+    let b = Buffer.create (1 lsl 16) in
+    Buffer.add_string b
+      "{\"schema\":\"gcatch-serve/1\",\"name\":\"cli\",\"files\":[";
+    List.iteri
+      (fun i d ->
+        if i > 0 then Buffer.add_char b ',';
+        if i = nfiles - 1 then
+          Buffer.add_string b
+            (Printf.sprintf "{\"path\":\"f%d.go\",\"src\":\"%s\"}" i
+               (D.json_escape (last_src ^ Printf.sprintf "// edit %d\n" n)))
+        else
+          Buffer.add_string b
+            (Printf.sprintf "{\"path\":\"f%d.go\",\"digest\":\"%s\"}" i d))
+      digests;
+    Buffer.add_string b "]}";
+    Buffer.contents b
+  in
+  let steady_lat =
+    Array.init 9 (fun n -> snd (timed_post srv4 (delta_body n)))
+  in
+  Array.sort compare steady_lat;
+  let steady_s = steady_lat.(Array.length steady_lat / 2) in
+  let _, hot_s = timed_post srv4 (delta_body 8) in
+  let speedup = cold_s /. max 1e-9 steady_s in
+  Printf.printf
+    "steady-state (one-file-edit delta payload, warm memos): median %.3fs\n\
+     repeat of an already-analysed delta (artifact hit): %.4fs\n\
+     steady-state speedup over cold one-shot: %.1fx\n\n"
+    steady_s hot_s speedup;
+  (* byte identity: the daemon's diagnostics at jobs 1 and jobs 4 must
+     reproduce the one-shot bytes, including after the steady-state edits
+     have churned the artifact LRU *)
+  let r4, _ = timed_post srv4 (body_of sources) in
+  let srv1 = Serve.create ~cfg:{ cfg4 with Serve.s_jobs = 1 } () in
+  let r1, _ = timed_post srv1 (body_of sources) in
+  let identical =
+    diag_bytes r4.T.body = one_shot_diags
+    && diag_bytes r1.T.body = one_shot_diags
+  in
+  Printf.printf "daemon diagnostics byte-identical to one-shot (jobs 1,4): %b\n\n"
+    identical;
+  if not identical then
+    failwith "e-serve: daemon diagnostics differ from one-shot";
+  (* sustained throughput: a small always-warm app served to 1/4/16
+     concurrent clients cycling four request variants; measures the
+     serving path (parse, coalesce table, artifact hit, render), with
+     execution serialized under the daemon's run lock *)
+  let small_app v =
+    List.init 8 (fun i ->
+        "package app\n"
+        ^ Gocorpus.Filler.generate ~seed:(200 + i) ~target_lines:300
+        ^ Printf.sprintf "// variant %d\n" v)
+  in
+  let variants = Array.init 4 (fun v -> body_of (small_app v)) in
+  let srv_thr = Serve.create ~cfg:{ cfg4 with Serve.s_jobs = 1 } () in
+  Array.iter (fun b -> ignore (timed_post srv_thr b)) variants;
+  let total_requests = 96 in
+  Printf.printf "%8s %10s %10s %10s %10s\n" "clients" "req/s" "p50 (ms)"
+    "p95 (ms)" "wall (s)";
+  let points =
+    List.map
+      (fun clients ->
+        let per = max 1 (total_requests / clients) in
+        let lats = Array.make (clients * per) 0.0 in
+        let t0 = Clock.now_s () in
+        let threads =
+          List.init clients (fun c ->
+              Thread.create
+                (fun () ->
+                  for i = 0 to per - 1 do
+                    let b = variants.((c + i) mod Array.length variants) in
+                    let _, dt = timed_post srv_thr b in
+                    lats.((c * per) + i) <- dt
+                  done)
+                ())
+        in
+        List.iter Thread.join threads;
+        let wall = Clock.elapsed_since t0 in
+        Array.sort compare lats;
+        let n = clients * per in
+        let rps = float_of_int n /. max 1e-9 wall in
+        let p50 = percentile lats 50.0 *. 1000.0 in
+        let p95 = percentile lats 95.0 *. 1000.0 in
+        Printf.printf "%8d %10.1f %10.3f %10.3f %10.3f\n" clients rps p50 p95
+          wall;
+        {
+          vp_clients = clients;
+          vp_requests = n;
+          vp_seconds = wall;
+          vp_rps = rps;
+          vp_p50_ms = p50;
+          vp_p95_ms = p95;
+        })
+      [ 1; 4; 16 ]
+  in
+  (* 200-request soak under a deliberately tiny --max-cache-mb: ten
+     distinct apps cycle through a budget that cannot hold them all, so
+     the LRU must evict; verdict bytes per app must never change *)
+  Gcatch.Solve_cache.reset_memory ();
+  let soak_cfg =
+    {
+      Serve.default_cfg with
+      s_jobs = 1;
+      s_max_cache_mb = 1;
+      s_max_artifact_sets = 4;
+      s_max_queue = 64;
+    }
+  in
+  let srv_soak = Serve.create ~cfg:soak_cfg () in
+  let soak_apps =
+    Array.init 10 (fun v ->
+        body_of
+          (List.init 4 (fun i ->
+               "package app\n"
+               ^ Gocorpus.Filler.generate
+                   ~seed:(300 + (v * 11) + i)
+                   ~target_lines:250)))
+  in
+  let ev () =
+    M.value (M.counter M.default "engine.file_mem_evictions")
+    + M.value (M.counter M.default "engine.artifact_evictions")
+    + M.value (M.counter M.default "bmoc.solve_cache_evictions")
+  in
+  let ev0 = ev () in
+  let first_seen = Array.make (Array.length soak_apps) None in
+  let soak_requests = 200 in
+  let stable = ref true in
+  let max_heap_words = ref 0 in
+  for i = 0 to soak_requests - 1 do
+    let v = i mod Array.length soak_apps in
+    let r, _ = timed_post srv_soak soak_apps.(v) in
+    let d = diag_bytes r.T.body in
+    (match first_seen.(v) with
+    | None -> first_seen.(v) <- Some d
+    | Some d0 -> if d <> d0 then stable := false);
+    if i mod 20 = 19 then
+      max_heap_words := max !max_heap_words (Gc.quick_stat ()).Gc.heap_words
+  done;
+  (* drop the process-wide solve-cache budget the soak server installed,
+     so later experiments run unbounded again *)
+  Gcatch.Solve_cache.set_memory_budget_mb 0;
+  let evictions = ev () - ev0 in
+  let heap_mb =
+    float_of_int (!max_heap_words * (Sys.word_size / 8)) /. 1048576.0
+  in
+  Printf.printf
+    "\nsoak: %d requests over %d apps at --max-cache-mb %d:\n\
+    \  evictions %d  max heap %.1f MB  verdicts stable %b\n"
+    soak_requests
+    (Array.length soak_apps)
+    soak_cfg.Serve.s_max_cache_mb evictions heap_mb !stable;
+  clear_cache_dir ();
+  if evictions = 0 then failwith "e-serve: soak produced no evictions";
+  if not !stable then failwith "e-serve: soak verdicts changed under LRU";
+  if speedup < 10.0 then
+    failwith
+      (Printf.sprintf "e-serve: steady-state speedup %.1fx below 10x" speedup);
+  serve_result :=
+    Some
+      {
+        sv_files = nfiles;
+        sv_loc = loc;
+        sv_cold_s = cold_s;
+        sv_first_req_s = first_req_s;
+        sv_steady_s = steady_s;
+        sv_hot_s = hot_s;
+        sv_identical = identical;
+        sv_points = points;
+        sv_soak_requests = soak_requests;
+        sv_soak_evictions = evictions;
+        sv_soak_heap_mb = heap_mb;
+        sv_soak_stable = !stable;
+      }
+
 (* ------------------------------------------------------- json out --- *)
 
 
@@ -1357,6 +1676,29 @@ let write_json path (timings : (string * float) list) =
           p.ob_files p.ob_loc p.ob_base_s p.ob_obs_s p.ob_overhead_pct
           p.ob_journal_events p.ob_samples p.ob_identical
   in
+  let e_serve =
+    match !serve_result with
+    | None -> "null"
+    | Some s ->
+        let points =
+          String.concat ","
+            (List.map
+               (fun p ->
+                 Printf.sprintf
+                   {|{"clients":%d,"requests":%d,"seconds":%.6f,"rps":%.3f,"p50_ms":%.3f,"p95_ms":%.3f}|}
+                   p.vp_clients p.vp_requests p.vp_seconds p.vp_rps p.vp_p50_ms
+                   p.vp_p95_ms)
+               s.sv_points)
+        in
+        Printf.sprintf
+          {|{"files":%d,"loc":%d,"hw_threads":%d,"cold_oneshot_s":%.6f,"first_request_s":%.6f,"steady_s":%.6f,"hot_s":%.6f,"steady_speedup":%.3f,"diags_identical":%b,"points":[%s],"soak":{"requests":%d,"evictions":%d,"max_heap_mb":%.2f,"verdicts_stable":%b}}|}
+          s.sv_files s.sv_loc
+          (Domain.recommended_domain_count ())
+          s.sv_cold_s s.sv_first_req_s s.sv_steady_s s.sv_hot_s
+          (s.sv_cold_s /. max 1e-9 s.sv_steady_s)
+          s.sv_identical points s.sv_soak_requests s.sv_soak_evictions
+          s.sv_soak_heap_mb s.sv_soak_stable
+  in
   (* the unified registry snapshot: engine stage/cache counters, pass
      runs, bmoc/pathenum/pool/gfix counters accumulated over the run *)
   let metrics =
@@ -1366,9 +1708,9 @@ let write_json path (timings : (string * float) list) =
          (Goobs.Metrics.counters_list Goobs.Metrics.default))
   in
   Printf.fprintf oc
-    {|{"schema":"gcatch-bench/7","jobs":%d,"experiments":[%s],"e2_parallel":%s,"e_incr":%s,"e_fe":%s,"e_robust":%s,"e_sched":%s,"e_obs2":%s,"metrics":{%s}}|}
+    {|{"schema":"gcatch-bench/8","jobs":%d,"experiments":[%s],"e2_parallel":%s,"e_incr":%s,"e_fe":%s,"e_robust":%s,"e_sched":%s,"e_obs2":%s,"e_serve":%s,"metrics":{%s}}|}
     !jobs_flag experiments parallel e_incr e_fe e_robust e_sched e_obs2
-    metrics;
+    e_serve metrics;
   output_char oc '
 ';
   close_out oc;
@@ -1386,7 +1728,7 @@ let all =
     ("micro", micro); ("e1", e1); ("e2", e2); ("e2par", e2par); ("e3", e3);
     ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
     ("e-incr", eincr); ("e-fe", efe); ("e-robust", erobust);
-    ("e-sched", esched); ("e-obs2", eobs2);
+    ("e-sched", esched); ("e-obs2", eobs2); ("e-serve", eserve);
   ]
 
 let () =

@@ -57,57 +57,10 @@ type obs_opts = {
   o_log_json : bool;
 }
 
-(* The /vars endpoint: build info plus live cache/scheduler/span/sampler
-   state snapshotted from the process registry.  Read-only by design —
-   telemetry must never perturb the run. *)
-let vars_json registry =
-  let counters = M.counters_list registry in
-  let c n = Option.value (List.assoc_opt n counters) ~default:0 in
-  let gauges = M.gauges_list registry in
-  let g n = Option.value (List.assoc_opt n gauges) ~default:0.0 in
-  let rate h m =
-    if h + m = 0 then 0.0
-    else 100.0 *. float_of_int h /. float_of_int (h + m)
-  in
-  Printf.sprintf
-    "{\"schema\":\"gcatch-vars/1\",\"build\":{\"tool\":\"gcatch\",\"ocaml\":\"%s\",\"word_size\":%d},\
-     \"caches\":{\
-     \"artifact\":{\"hits\":%d,\"misses\":%d},\
-     \"file\":{\"mem_hits\":%d,\"disk_hits\":%d},\
-     \"solve\":{\"hits\":%d,\"misses\":%d,\"disk_hits\":%d,\"stores\":%d,\"hit_rate_pct\":%.1f},\
-     \"pass\":{\"hits\":%d,\"stores\":%d}},\
-     \"sched\":{\"tasks_spawned\":%d,\"tasks_stolen\":%d,\"yields\":%d,\"queue_depth\":%.0f},\
-     \"spans\":{\"active\":%d},\
-     \"sampler\":{\"samples\":%d,\"ticks\":%d},\
-     \"journal\":{\"events\":%d}}"
-    Sys.ocaml_version Sys.word_size (c "engine.cache_hits")
-    (c "engine.cache_misses") (c "engine.file_mem_hit")
-    (c "engine.file_disk_hit") (c "bmoc.solve_cache_hit")
-    (c "bmoc.solve_cache_miss")
-    (c "bmoc.solve_cache_disk_hit")
-    (c "bmoc.solve_cache_store")
-    (rate (c "bmoc.solve_cache_hit") (c "bmoc.solve_cache_miss"))
-    (c "engine.pass_cache_hit") (c "engine.pass_cache_store")
-    (c "sched.tasks_spawned") (c "sched.tasks_stolen") (c "sched.yields")
-    (g "sched.queue_depth")
-    (Trace.open_span_count ())
-    (Goobs.Sampler.total_samples ())
-    (Goobs.Sampler.tick_count ())
-    (Goobs.Journal.events_written ())
-
-(* Telemetry endpoint table.  [profile] renders the same report --profile
-   prints, on demand mid-run. *)
-let telemetry_handlers registry profile =
-  let module T = Goobs.Telemetry in
-  [
-    ("/metrics", fun () -> T.text (M.to_prometheus registry));
-    ( "/healthz",
-      fun () ->
-        let ok, body = Goengine.Supervise.healthz_json ~reg:registry () in
-        T.json ~status:(if ok then 200 else 503) body );
-    ("/vars", fun () -> T.json (vars_json registry));
-    ("/profile", fun () -> T.text (profile ()));
-  ]
+(* The telemetry endpoint tables (/metrics, /healthz, /vars, /profile)
+   live in Goserve.Serve so the one-shot CLI and the gcatchd daemon
+   serve identical tables. *)
+let telemetry_handlers = Goserve.Serve.telemetry_handlers
 
 let start_telemetry obs registry profile =
   match (obs.o_telemetry_addr, obs.o_telemetry_sock) with
@@ -135,10 +88,84 @@ let start_telemetry obs registry profile =
           Log.error e;
           exit 2)
 
+(* --server ADDR: route the invocation through a running gcatchd and
+   render its response exactly as a local run would — human text to
+   stdout (stderr when the frontend failed), the run JSON verbatim under
+   --json, and the same exit codes.  CI shares one warm process this
+   way. *)
+let run_via_server ~addr ~files ~json ~only ~nonblocking =
+  if files = [] then begin
+    Log.error "no input files";
+    exit 2
+  end;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":\"gcatch-serve/1\",\"name\":\"cli\",\"files\":[";
+  List.iteri
+    (fun i path ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"path\":\"%s\",\"src\":\"%s\"}"
+           (M.json_escape (Filename.basename path))
+           (M.json_escape (read_file path))))
+    files;
+  Buffer.add_char b ']';
+  if only <> [] then
+    Buffer.add_string b
+      (Printf.sprintf ",\"passes\":[%s]"
+         (String.concat ","
+            (List.map (fun p -> "\"" ^ M.json_escape p ^ "\"") only)));
+  if nonblocking then Buffer.add_string b ",\"nonblocking\":true";
+  Buffer.add_char b '}';
+  match Goobs.Telemetry.client_sockaddr addr with
+  | Error e ->
+      Log.error e;
+      exit 2
+  | Ok sa -> (
+      match
+        Goobs.Telemetry.request sa ~meth:"POST" ~path:"/analyse"
+          ~body:(Buffer.contents b) ()
+      with
+      | exception e ->
+          Log.error
+            ~kv:[ ("server", addr); ("exception", Printexc.to_string e) ]
+            "cannot reach analysis server";
+          exit 3
+      | 200, body ->
+          let module P = Goserve.Proto in
+          if json then (
+            match P.member_raw "run" body with
+            | Some run -> print_endline run
+            | None ->
+                Log.error "malformed server response (no run member)";
+                exit 3)
+          else (
+            match P.parse body with
+            | Error e ->
+                Log.errorf "malformed server response: %s" e;
+                exit 3
+            | Ok v ->
+                let human = Option.value (P.mem_str "human" v) ~default:"" in
+                if Option.value (P.mem_bool "frontend_failed" v) ~default:false
+                then prerr_string human
+                else print_string human);
+          let code =
+            match Goserve.Proto.member_raw "exit" body with
+            | Some s -> Option.value (int_of_string_opt s) ~default:3
+            | None -> 3
+          in
+          exit code
+      | code, body ->
+          Log.errorf "server answered HTTP %d: %s" code (String.trim body);
+          exit 3)
+
 let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
     json only list_flag jobs solver_timeout_ms solver_poll_conflicts cache_dir
     no_cache trace_out metrics_out profile log_level inject_faults deadline_ms
-    max_heap_mb strict retry_rungs obs =
+    max_heap_mb strict retry_rungs server obs =
+  (match server with
+  | Some addr when not list_flag ->
+      run_via_server ~addr ~files ~json ~only ~nonblocking
+  | _ -> ());
   (match log_level with
   | None -> ()
   | Some s -> (
@@ -327,12 +354,12 @@ let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
 let run files no_disentangle stats_flag nonblocking model_waitgroup json only
     list_flag jobs solver_timeout_ms solver_poll_conflicts cache_dir no_cache
     trace_out metrics_out profile log_level inject_faults deadline_ms
-    max_heap_mb strict retry_rungs obs =
+    max_heap_mb strict retry_rungs server obs =
   try
     run_checked files no_disentangle stats_flag nonblocking model_waitgroup
       json only list_flag jobs solver_timeout_ms solver_poll_conflicts
       cache_dir no_cache trace_out metrics_out profile log_level inject_faults
-      deadline_ms max_heap_mb strict retry_rungs obs
+      deadline_ms max_heap_mb strict retry_rungs server obs
   with e ->
     Log.error
       ~kv:[ ("exception", Printexc.to_string e) ]
@@ -511,6 +538,18 @@ let strict_arg =
           "Fail fast for CI: exit 3 when any unit of work was degraded, \
            skipped, or retried instead of completing at full fidelity")
 
+let server_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "server" ] ~docv:"ADDR"
+        ~doc:
+          "Route the analysis through a running $(b,gcatchd) at $(docv) \
+           (HOST:PORT, or a Unix-socket path) instead of analysing \
+           locally. Output and exit codes match local mode; local-only \
+           flags (caching, observability, watchdogs) are governed by the \
+           daemon's configuration.")
+
 let retry_rungs_arg =
   Arg.(
     value
@@ -622,7 +661,8 @@ let analyse_term =
     $ solver_timeout_arg $ solver_poll_arg $ cache_dir_arg $ no_cache_arg
     $ trace_out_arg
     $ metrics_out_arg $ profile_arg $ log_level_arg $ inject_faults_arg
-    $ deadline_arg $ max_heap_arg $ strict_arg $ retry_rungs_arg $ obs_term)
+    $ deadline_arg $ max_heap_arg $ strict_arg $ retry_rungs_arg $ server_arg
+    $ obs_term)
 
 (* gcatch report FILE.jsonl — offline reconstruction of the profile and
    health summary from a run journal, including one truncated by a

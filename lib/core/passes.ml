@@ -261,8 +261,8 @@ let all ?cfg () : E.pass list =
    pool the passes fan out on (1 = sequential, the default); [registry]
    unifies the engine's metrics with a caller-wide registry (the CLI
    passes [Goobs.Metrics.default]). *)
-let engine ?cfg ?(jobs = 1) ?registry () : E.t =
+let engine ?cfg ?(jobs = 1) ?registry ?max_entries () : E.t =
   (* the detector config's cache directory doubles as the engine's
      per-file frontend cache tier: one --cache-dir warms both *)
   let cache_dir = Option.bind cfg (fun c -> c.Bmoc.cache_dir) in
-  E.create ~passes:(all ?cfg ()) ~jobs ?registry ?cache_dir ()
+  E.create ~passes:(all ?cfg ()) ~jobs ?registry ?cache_dir ?max_entries ()

@@ -58,6 +58,17 @@ let fingerprint (v : 'a) : string =
 let mem : entry Goengine.Memo.t = Goengine.Memo.create ()
 let reset_memory () = Goengine.Memo.reset mem
 
+(* A long-lived server bounds the memory tier; evictions are counted in
+   the process registry (like hit/miss — a warm run's counters already
+   differ from a cold run's).  [mb <= 0] removes the bound. *)
+let c_evict = lazy (M.counter M.default "bmoc.solve_cache_evictions")
+
+let set_memory_budget_mb mb =
+  let on_evict n = M.add (Lazy.force c_evict) n in
+  Goengine.Memo.set_budget ~on_evict mem ~bytes:(mb * 1024 * 1024)
+
+let memory_bytes () = Goengine.Memo.used_bytes mem
+
 (* ---------------------------------------------------- on-disk tier --- *)
 
 (* Disk-tier health.  Every disk access is best-effort: an I/O error is

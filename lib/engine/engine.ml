@@ -98,7 +98,15 @@ type file_caches = {
 type t = {
   mutable passes : pass list;
   cache : (string, artifacts) Hashtbl.t;
-  registry : M.t; (* stage/cache counters, pass timings, pass metrics *)
+  cache_atime : (string, int) Hashtbl.t;
+      (* recency tick per source-set key, for LRU eviction *)
+  mutable cache_clock : int;
+  mutable registry : M.t;
+      (* stage/cache counters, pass timings, pass metrics.  Mutable so a
+         long-lived server can point the engine at a fresh per-request
+         registry before each run and fold it into the process registry
+         after ([merge_into]) — request-scoped counters without losing
+         /metrics monotonicity. *)
   max_entries : int;
   pool : Pool.t;
   lock : Mutex.t; (* guards [cache] and [file_times]: batch drivers
@@ -129,6 +137,8 @@ let create ?(max_entries = 512) ?(passes = []) ?(jobs = 1) ?pool ?registry
   {
     passes;
     cache = Hashtbl.create 32;
+    cache_atime = Hashtbl.create 32;
+    cache_clock = 0;
     registry;
     max_entries;
     pool;
@@ -167,6 +177,26 @@ let register (t : t) (p : pass) =
 
 let passes t = t.passes
 let registry t = t.registry
+
+(* Swap the engine's reporting registry.  Callers serialize runs (the
+   server holds its request lock across set + analyse), so counters of a
+   run never straddle two registries. *)
+let set_registry t r = t.registry <- r
+
+(* Bound the per-file memo tables to roughly [mb] megabytes total, split
+   evenly across the six stages (the typed/lowered tables dominate in
+   practice, but an even split keeps small stages from being squeezed to
+   zero).  Evictions are counted per engine under
+   "engine.file_mem_evictions".  [mb <= 0] removes the bound. *)
+let set_cache_budget_mb (t : t) mb =
+  let per = if mb <= 0 then 0 else max 1 (mb * 1024 * 1024 / 6) in
+  let on_evict n = M.add (M.counter t.registry "engine.file_mem_evictions") n in
+  Memo.set_budget ~on_evict t.fc.fc_tokens ~bytes:per;
+  Memo.set_budget ~on_evict t.fc.fc_ast ~bytes:per;
+  Memo.set_budget ~on_evict t.fc.fc_sigs ~bytes:per;
+  Memo.set_budget ~on_evict t.fc.fc_typed ~bytes:per;
+  Memo.set_budget ~on_evict t.fc.fc_lowered ~bytes:per;
+  Memo.set_budget ~on_evict t.fc.fc_facts ~bytes:per
 
 (* Read one engine counter by registry name (e.g. "stage.parse.runs",
    "engine.cache_hits"); unknown names read as 0. *)
@@ -694,28 +724,39 @@ let build_artifacts (t : t) ~name sources : artifacts =
 let artifacts (t : t) ~name sources : artifacts =
   let key = key_of ~name sources in
   locked t (fun () ->
+      t.cache_clock <- t.cache_clock + 1;
       match Hashtbl.find_opt t.cache key with
       | Some a ->
           M.incr (M.counter t.registry "engine.cache_hits");
+          Hashtbl.replace t.cache_atime key t.cache_clock;
           a
       | None ->
           M.incr (M.counter t.registry "engine.cache_misses");
-          (* crude bound: a full reset is fine for our workloads, which
-             never come close to [max_entries] live source sets; the
-             per-file memos shrink with it *)
-          if Hashtbl.length t.cache >= t.max_entries then begin
-            Hashtbl.reset t.cache;
-            Memo.reset t.fc.fc_tokens;
-            Memo.reset t.fc.fc_ast;
-            Memo.reset t.fc.fc_sigs;
-            Memo.reset t.fc.fc_typed;
-            Memo.reset t.fc.fc_lowered;
-            Memo.reset t.fc.fc_facts;
-            Hashtbl.reset t.file_times;
-            Hashtbl.reset t.file_digests
-          end;
+          (* Evict the least-recently-used source set when full.  An
+             artifact record pins the whole-program IR once forced, so a
+             long-lived server runs with a small [max_entries] and leans
+             on this bound; one-shot workloads never come close to it.
+             Per-file memos are bounded separately ([set_cache_budget_mb])
+             — evicting a source set must not drop per-file work that
+             other live sets still share. *)
+          while Hashtbl.length t.cache >= t.max_entries do
+            let victim = ref None in
+            Hashtbl.iter
+              (fun k tick ->
+                match !victim with
+                | Some (_, best) when best <= tick -> ()
+                | _ -> victim := Some (k, tick))
+              t.cache_atime;
+            match !victim with
+            | None -> Hashtbl.reset t.cache (* atime lost sync; start over *)
+            | Some (k, _) ->
+                Hashtbl.remove t.cache k;
+                Hashtbl.remove t.cache_atime k;
+                M.incr (M.counter t.registry "engine.artifact_evictions")
+          done;
           let a = build_artifacts t ~name sources in
           Hashtbl.add t.cache key a;
+          Hashtbl.replace t.cache_atime key t.cache_clock;
           a)
 
 (* Convert a frontend exception into a structured diagnostic.  The

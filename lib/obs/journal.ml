@@ -139,10 +139,23 @@ let drain_locked ~now db =
 
 let events_written () = Atomic.get seq
 
+(* Ambient context fields, stamped onto every event while set — gcatchd
+   sets [("req", S id)] around each request so a shared journal can be
+   sliced per request offline.  One global, not per-domain: the server
+   serializes request execution (one scheduler session at a time), so a
+   single ambient scope is always well-defined.  Context rides right
+   after "event", before the event's own fields. *)
+let context : (string * field) list Atomic.t = Atomic.make []
+let set_context fields = Atomic.set context fields
+let clear_context () = Atomic.set context []
+
 let emit ?dur_ms ~event fields =
   if Atomic.get on then begin
     let n = Atomic.fetch_and_add seq 1 in
     let now = Unix.gettimeofday () in
+    let fields =
+      match Atomic.get context with [] -> fields | ctx -> ctx @ fields
+    in
     let db = Domain.DLS.get dbuf_key in
     Mutex.lock db.db_mu;
     render db.db_buf ~seq:n ~ts_ms:(now *. 1000.0) ~event ?dur_ms fields;

@@ -1,4 +1,4 @@
-(* Minimal dependency-free HTTP telemetry server.
+(* Minimal dependency-free HTTP server (telemetry + request serving).
 
    Serves a fixed handler table (path -> unit -> response) over a TCP
    socket ("HOST:PORT", port 0 picks an ephemeral port) and/or a
@@ -7,36 +7,61 @@
    [accept] — turns every minor GC into a multi-domain stop-the-world
    rendezvous, which on a single-core box taxes the *analysis* by tens
    of percent.  A systhread blocked in [accept] holds no runtime lock
-   and costs the collector nothing.  The accept loops handle one
-   connection at a time: endpoints are tiny read-only snapshots
-   (metrics text, health JSON, a profile report), so there is nothing
-   to gain from per-connection fan-out, and a scrape can at worst be
-   delayed by the owning domain's thread-switch quantum.
+   and costs the collector nothing.
 
-   Handlers must be read-only with respect to analysis state: the server
-   exists to observe a run, never to perturb it.  Determinism-sensitive
-   callers rely on that — diagnostics are byte-identical with the
-   server on or off.
+   Originally the accept loops handled one connection at a time; good
+   enough for scrapes, fatal for serving — one slow client would wedge
+   every other request behind its read timeout.  Connections are now
+   handled on short-lived systhreads, bounded by [max_conns] (over the
+   bound the connection is answered 503 inline and closed, so the
+   accept loop itself never blocks on a client).  The parser is
+   correspondingly hardened: EINTR and partial reads are retried,
+   reads carry a deadline (408 on expiry), POST bodies are bounded by
+   [max_body] (413 past it) and require a Content-Length (411).
 
-   Request parsing is deliberately small: method + path from the request
-   line, headers ignored, query strings stripped.  Responses always
-   close the connection.  [fetch] is the matching loopback client, used
-   by the test suite and the bench harness to curl endpoints in-process. *)
+   GET/HEAD handlers must be read-only with respect to analysis state:
+   the observation endpoints exist to observe a run, never to perturb
+   it.  Determinism-sensitive callers rely on that — diagnostics are
+   byte-identical with the server on or off.  POST handlers ([post])
+   are the request-serving side (gcatchd's /analyse) and do real work;
+   they receive the parsed request and run on the connection's thread.
 
-type response = { status : int; content_type : string; body : string }
+   [fetch]/[fetch_post] are the matching loopback clients, used by the
+   test suite, the bench harness, and the CLI's --server mode. *)
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+  headers : (string * string) list; (* extra headers, e.g. Retry-After *)
+}
+
 type handler = unit -> response
 
-let text ?(status = 200) body =
-  { status; content_type = "text/plain; charset=utf-8"; body }
+type request = {
+  rq_path : string;
+  rq_headers : (string * string) list; (* keys lowercased *)
+  rq_body : string;
+}
 
-let json ?(status = 200) body =
-  { status; content_type = "application/json"; body }
+type post_handler = request -> response
+
+let text ?(status = 200) ?(headers = []) body =
+  { status; content_type = "text/plain; charset=utf-8"; body; headers }
+
+let json ?(status = 200) ?(headers = []) body =
+  { status; content_type = "application/json"; body; headers }
 
 let status_text = function
   | 200 -> "OK"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
+  | 411 -> "Length Required"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | _ -> "Status"
@@ -45,6 +70,7 @@ type t = {
   listeners : (Unix.file_descr * Unix.sockaddr) list;
   threads : Thread.t list;
   stopping : bool Atomic.t;
+  active : int Atomic.t; (* live connection threads *)
   t_port : int; (* bound TCP port, 0 when only a Unix socket *)
   t_sock : string option;
 }
@@ -53,42 +79,58 @@ let port t = t.t_port
 
 (* I/O helpers ----------------------------------------------------------- *)
 
-let write_all fd s =
+let rec write_all fd s off =
   let n = String.length s in
-  let rec go off =
-    if off < n then begin
-      let w = Unix.write_substring fd s off (n - off) in
-      if w > 0 then go (off + w)
-    end
-  in
-  go 0
+  if off < n then
+    match Unix.write_substring fd s off (n - off) with
+    | 0 -> ()
+    | w -> write_all fd s (off + w)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off
 
-(* Read until the header terminator (or a size cap): enough to see the
-   request line, which is all we parse. *)
-let read_request fd =
+let write_all fd s = write_all fd s 0
+
+(* One read with EINTR retry.  Returns 0 on EOF, -1 on timeout
+   (EAGAIN/EWOULDBLOCK under SO_RCVTIMEO), -2 on any other error. *)
+let rec read_once fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_once fd buf
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> -1
+  | exception _ -> -2
+
+(* Read until the blank line ending the headers, keeping whatever body
+   bytes arrived in the same segments.  The header block is capped
+   (8 KiB) — a request whose headers never end is cut off there and
+   fails to parse, which answers 400. *)
+let read_head fd =
   let buf = Bytes.create 2048 in
   let b = Buffer.create 256 in
-  let rec go () =
-    if Buffer.length b > 8192 then Buffer.contents b
-    else begin
-      let n = try Unix.read fd buf 0 (Bytes.length buf) with _ -> 0 in
-      if n <= 0 then Buffer.contents b
-      else begin
-        Buffer.add_subbytes b buf 0 n;
-        let s = Buffer.contents b in
-        let rec has_terminator i =
-          if i + 3 >= String.length s then false
-          else if
-            s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
-            && s.[i + 3] = '\n'
-          then true
-          else has_terminator (i + 1)
-        in
-        if has_terminator 0 then s else go ()
-      end
-    end
+  let find_terminator s from =
+    let n = String.length s in
+    let rec go i =
+      if i + 3 >= n then None
+      else if
+        s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+      then Some (i + 4)
+      else go (i + 1)
+    in
+    go (max 0 from)
   in
-  go ()
+  let rec go scanned =
+    if Buffer.length b > 8192 then `Head (Buffer.contents b, -1)
+    else
+      match read_once fd buf with
+      | 0 -> if Buffer.length b = 0 then `Closed else `Head (Buffer.contents b, -1)
+      | -1 -> `Timeout
+      | n when n < 0 -> `Closed
+      | n ->
+          Buffer.add_subbytes b buf 0 n;
+          let s = Buffer.contents b in
+          (match find_terminator s (scanned - 3) with
+          | Some body_off -> `Head (s, body_off)
+          | None -> go (String.length s))
+  in
+  go 0
 
 let parse_request_line raw =
   match String.index_opt raw '\n' with
@@ -105,49 +147,156 @@ let parse_request_line raw =
           Some (meth, path)
       | _ -> None)
 
+(* Headers from the raw head block: one per line after the request line,
+   "Key: value", keys lowercased, malformed lines skipped. *)
+let parse_headers raw body_off =
+  let upto = if body_off < 0 then String.length raw else body_off in
+  let head = String.sub raw 0 upto in
+  match String.index_opt head '\n' with
+  | None -> []
+  | Some i ->
+      String.sub head (i + 1) (String.length head - i - 1)
+      |> String.split_on_char '\n'
+      |> List.filter_map (fun line ->
+             let line = String.trim line in
+             match String.index_opt line ':' with
+             | None -> None
+             | Some c ->
+                 Some
+                   ( String.lowercase_ascii (String.trim (String.sub line 0 c)),
+                     String.trim
+                       (String.sub line (c + 1) (String.length line - c - 1)) ))
+
 let respond fd ~head_only (r : response) =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) r.headers)
+  in
   let head =
     Printf.sprintf
-      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
-       Connection: close\r\n\r\n"
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: \
+       close\r\n\r\n"
       r.status (status_text r.status) r.content_type (String.length r.body)
+      extra
   in
   try write_all fd (if head_only then head else head ^ r.body) with _ -> ()
 
-let handle_client handlers fd =
-  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0 with _ -> ());
-  let raw = read_request fd in
-  if raw <> "" then
-    match parse_request_line raw with
-    | None -> respond fd ~head_only:false (text ~status:400 "bad request\n")
-    | Some (meth, path) when meth = "GET" || meth = "HEAD" -> (
-        let head_only = meth = "HEAD" in
-        match List.assoc_opt path handlers with
-        | None ->
-            respond fd ~head_only
-              (text ~status:404
-                 (Printf.sprintf "no such endpoint: %s\n" path))
-        | Some h ->
-            let resp =
-              try h ()
-              with e ->
-                text ~status:500
-                  (Printf.sprintf "handler error: %s\n"
-                     (Printexc.to_string e))
-            in
-            respond fd ~head_only resp)
-    | Some (meth, _) ->
-        respond fd ~head_only:false
-          (text ~status:405 (Printf.sprintf "method not allowed: %s\n" meth))
+(* Read exactly [want] more body bytes (some may already be in [b]). *)
+let read_body fd b want =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    if Buffer.length b >= want then `Ok (Buffer.sub b 0 want)
+    else
+      match read_once fd buf with
+      | 0 -> `Closed
+      | -1 -> `Timeout
+      | n when n < 0 -> `Closed
+      | n ->
+          Buffer.add_subbytes b buf 0 n;
+          go ()
+  in
+  go ()
 
-let accept_loop stopping handlers listen_fd =
+let handle_client ~handlers ~post ~max_body ~read_timeout fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout with _ -> ());
+  match read_head fd with
+  | `Closed -> ()
+  | `Timeout -> respond fd ~head_only:false (text ~status:408 "request timeout\n")
+  | `Head (raw, body_off) -> (
+      match parse_request_line raw with
+      | None -> respond fd ~head_only:false (text ~status:400 "bad request\n")
+      | Some (meth, path) when meth = "GET" || meth = "HEAD" -> (
+          let head_only = meth = "HEAD" in
+          match List.assoc_opt path handlers with
+          | None ->
+              respond fd ~head_only
+                (text ~status:404 (Printf.sprintf "no such endpoint: %s\n" path))
+          | Some h ->
+              let resp =
+                try h ()
+                with e ->
+                  text ~status:500
+                    (Printf.sprintf "handler error: %s\n" (Printexc.to_string e))
+              in
+              respond fd ~head_only resp)
+      | Some ("POST", path) -> (
+          match List.assoc_opt path post with
+          | None ->
+              respond fd ~head_only:false
+                (text ~status:404 (Printf.sprintf "no such endpoint: %s\n" path))
+          | Some h -> (
+              let headers = parse_headers raw body_off in
+              match
+                Option.bind
+                  (List.assoc_opt "content-length" headers)
+                  int_of_string_opt
+              with
+              | None ->
+                  respond fd ~head_only:false
+                    (text ~status:411 "content-length required\n")
+              | Some len when len < 0 ->
+                  respond fd ~head_only:false (text ~status:400 "bad request\n")
+              | Some len when len > max_body ->
+                  respond fd ~head_only:false
+                    (text ~status:413
+                       (Printf.sprintf "body too large: %d > %d\n" len max_body))
+              | Some len -> (
+                  let b = Buffer.create (min len 65536) in
+                  if body_off >= 0 && body_off < String.length raw then
+                    Buffer.add_substring b raw body_off
+                      (String.length raw - body_off);
+                  match read_body fd b len with
+                  | `Closed -> ()
+                  | `Timeout ->
+                      respond fd ~head_only:false
+                        (text ~status:408 "request timeout\n")
+                  | `Ok body ->
+                      let resp =
+                        try h { rq_path = path; rq_headers = headers; rq_body = body }
+                        with e ->
+                          text ~status:500
+                            (Printf.sprintf "handler error: %s\n"
+                               (Printexc.to_string e))
+                      in
+                      respond fd ~head_only:false resp)))
+      | Some (meth, _) ->
+          respond fd ~head_only:false
+            (text ~status:405 (Printf.sprintf "method not allowed: %s\n" meth)))
+
+let accept_loop ~stopping ~active ~max_conns ~handlers ~post ~max_body
+    ~read_timeout listen_fd =
+  let serve client =
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close client with _ -> ());
+        Atomic.decr active)
+      (fun () ->
+        try handle_client ~handlers ~post ~max_body ~read_timeout client
+        with _ -> ())
+  in
   let rec loop () =
     match Unix.accept listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if Atomic.get stopping then () else loop ()
     | exception _ -> if Atomic.get stopping then () else loop ()
     | client, _ ->
-        (try handle_client handlers client with _ -> ());
-        (try Unix.close client with _ -> ());
-        if Atomic.get stopping then () else loop ()
+        if Atomic.get stopping then (try Unix.close client with _ -> ())
+        else begin
+          Atomic.incr active;
+          if Atomic.get active > max_conns then begin
+            (* answered inline: the accept loop must never block on a
+               client, and a refusal writes a few bytes at most *)
+            (try
+               respond client ~head_only:false
+                 (text ~status:503 ~headers:[ ("Retry-After", "1") ]
+                    "too many connections\n")
+             with _ -> ());
+            (try Unix.close client with _ -> ());
+            Atomic.decr active
+          end
+          else ignore (Thread.create serve client);
+          loop ()
+        end
   in
   loop ()
 
@@ -178,6 +327,20 @@ let parse_addr spec =
           | Some a -> Ok (Unix.ADDR_INET (a, p))
           | None -> Error (Printf.sprintf "cannot resolve host %S" host)))
 
+(* An address as clients name it: "HOST:PORT" for TCP, anything else is
+   a Unix-socket path (a path containing ':' can be forced with a
+   leading "unix:").  Used by the CLI's --server flag. *)
+let client_sockaddr spec : (Unix.sockaddr, string) result =
+  if String.length spec > 5 && String.sub spec 0 5 = "unix:" then
+    Ok (Unix.ADDR_UNIX (String.sub spec 5 (String.length spec - 5)))
+  else
+    match parse_addr spec with
+    | Ok (Unix.ADDR_INET (a, p)) when a = Unix.inet_addr_any ->
+        Ok (Unix.ADDR_INET (Unix.inet_addr_loopback, p))
+    | Ok sa -> Ok sa
+    | Error _ when String.contains spec '/' -> Ok (Unix.ADDR_UNIX spec)
+    | Error e -> Error e
+
 let listen_on sockaddr =
   let domain = Unix.domain_of_sockaddr sockaddr in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
@@ -188,13 +351,14 @@ let listen_on sockaddr =
     | Unix.ADDR_UNIX path -> ( try Unix.unlink path with _ -> ())
     | _ -> ());
     Unix.bind fd sockaddr;
-    Unix.listen fd 16;
+    Unix.listen fd 64;
     Ok (fd, Unix.getsockname fd)
   with e ->
     (try Unix.close fd with _ -> ());
     Error (Printexc.to_string e)
 
-let start ?addr ?sock ~handlers () : (t, string) result =
+let start ?addr ?sock ?(post = []) ?(max_body = 64 * 1024 * 1024)
+    ?(read_timeout = 5.0) ?(max_conns = 64) ~handlers () : (t, string) result =
   (* a client that disconnects mid-response must not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
   let wanted =
@@ -222,15 +386,18 @@ let start ?addr ?sock ~handlers () : (t, string) result =
           | Error e -> Error (Printf.sprintf "telemetry: bind %s: %s" path e))
     in
     match bind_all [] wanted with
-    | Error e ->
-        List.iter (fun l -> ignore l) [];
-        Error e
+    | Error e -> Error e
     | Ok listeners ->
         let stopping = Atomic.make false in
+        let active = Atomic.make 0 in
         let threads =
           List.map
             (fun (fd, _) ->
-              Thread.create (fun () -> accept_loop stopping handlers fd) ())
+              Thread.create
+                (fun () ->
+                  accept_loop ~stopping ~active ~max_conns ~handlers ~post
+                    ~max_body ~read_timeout fd)
+                ())
             listeners
         in
         let t_port =
@@ -241,7 +408,7 @@ let start ?addr ?sock ~handlers () : (t, string) result =
               | _ -> acc)
             0 listeners
         in
-        Ok { listeners; threads; stopping; t_port; t_sock = sock }
+        Ok { listeners; threads; stopping; active; t_port; t_sock = sock }
   end
 
 (* Wake a blocked [accept] by connecting to its own socket. *)
@@ -262,6 +429,14 @@ let stop t =
     List.iter (fun (_, sa) -> poke sa) t.listeners;
     List.iter Thread.join t.threads;
     List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) t.listeners;
+    (* give in-flight connection threads a bounded window to finish —
+       their responses are already computed or cheap; past the window we
+       abandon them (process teardown closes their fds) *)
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while Atomic.get t.active > 0 && Unix.gettimeofday () < deadline do
+      Thread.yield ();
+      (try Thread.delay 0.01 with _ -> ())
+    done;
     match t.t_sock with
     | Some p -> ( try Unix.unlink p with _ -> ())
     | None -> ()
@@ -273,11 +448,11 @@ let read_all fd =
   let buf = Bytes.create 4096 in
   let b = Buffer.create 1024 in
   let rec go () =
-    let n = try Unix.read fd buf 0 (Bytes.length buf) with _ -> 0 in
-    if n > 0 then begin
-      Buffer.add_subbytes b buf 0 n;
-      go ()
-    end
+    match read_once fd buf with
+    | n when n <= 0 -> ()
+    | n ->
+        Buffer.add_subbytes b buf 0 n;
+        go ()
   in
   go ();
   Buffer.contents b
@@ -301,23 +476,40 @@ let split_response raw =
   let off = find_body 0 in
   (code, String.sub raw off (n - off))
 
-(* One-shot GET against a server handle (TCP preferred, Unix socket
-   otherwise).  Returns (status, body). *)
-let fetch t path : int * string =
-  let sa =
-    if t.t_port <> 0 then Unix.ADDR_INET (Unix.inet_addr_loopback, t.t_port)
-    else
-      match t.t_sock with
-      | Some p -> Unix.ADDR_UNIX p
-      | None -> invalid_arg "Telemetry.fetch: server has no address"
-  in
+(* One-shot request against an explicit address.  Returns
+   (status, body); the server closes the connection after the response,
+   so reading to EOF delimits it. *)
+let request sa ~meth ~path ?(body = "") () : int * string =
   let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with _ -> ())
     (fun () ->
       Unix.connect fd sa;
-      write_all fd
-        (Printf.sprintf "GET %s HTTP/1.1\r\nHost: gcatch\r\nConnection: \
-                         close\r\n\r\n"
-           path);
+      let payload =
+        if meth = "GET" || meth = "HEAD" then
+          Printf.sprintf
+            "%s %s HTTP/1.1\r\nHost: gcatch\r\nConnection: close\r\n\r\n" meth
+            path
+        else
+          Printf.sprintf
+            "%s %s HTTP/1.1\r\nHost: gcatch\r\nContent-Type: \
+             application/json\r\nContent-Length: %d\r\nConnection: \
+             close\r\n\r\n%s"
+            meth path (String.length body) body
+      in
+      write_all fd payload;
       split_response (read_all fd))
+
+let self_addr t =
+  if t.t_port <> 0 then Unix.ADDR_INET (Unix.inet_addr_loopback, t.t_port)
+  else
+    match t.t_sock with
+    | Some p -> Unix.ADDR_UNIX p
+    | None -> invalid_arg "Telemetry.fetch: server has no address"
+
+(* One-shot GET against a server handle (TCP preferred, Unix socket
+   otherwise).  Returns (status, body). *)
+let fetch t path : int * string = request (self_addr t) ~meth:"GET" ~path ()
+
+let fetch_post t path body : int * string =
+  request (self_addr t) ~meth:"POST" ~path ~body ()

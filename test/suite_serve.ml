@@ -1,0 +1,382 @@
+(* gcatchd server-core tests (PR 9): concurrent requests reproduce
+   one-shot diagnostics byte for byte at any --jobs, identical in-flight
+   requests coalesce into one execution, the LRU cache bounds evict
+   without changing verdicts, a full queue answers 429 with Retry-After,
+   watch mode re-analyses only the edited file, and the hardened HTTP
+   parser rejects oversize/length-less bodies without wedging. *)
+
+module E = Goengine.Engine
+module D = Goengine.Diagnostics
+module F = Goengine.Faults
+module M = Goobs.Metrics
+module T = Goobs.Telemetry
+module Serve = Goserve.Serve
+module Proto = Goserve.Proto
+module Memo = Goengine.Memo
+
+let fig1_body =
+  "(ctx context.Context, r string) (string, error) {\n\
+   \toutDone := make(chan error)\n\
+   \tgo func(a string) {\n\t\toutDone <- nil\n\t}(r)\n\
+   \tselect {\n\
+   \tcase err := <-outDone:\n\t\tif err != nil {\n\t\t\treturn \"\", err\n\t\t}\n\
+   \tcase <-ctx.Done():\n\t\treturn \"\", ctx.Err()\n\
+   \t}\n\
+   \treturn \"ok\", nil\n\
+   }\n"
+
+(* a leaking channel: one BMOC bug per copy *)
+let leak name =
+  Printf.sprintf
+    "package p\nfunc %s() {\n\tch := make(chan int)\n\tgo func() {\n\t\tch \
+     <- 1\n\t}()\n}\n"
+    name
+
+let clean = "package p\nfunc Clean() {\n\tprintln(1)\n}\n"
+
+let pv name = M.value (M.counter M.default name)
+
+let body_of_sources ?(passes = []) sources =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":\"gcatch-serve/1\",\"name\":\"cli\",\"files\":[";
+  List.iteri
+    (fun i src ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"path\":\"f%d.go\",\"src\":\"%s\"}" i
+           (M.json_escape src)))
+    sources;
+  Buffer.add_char b ']';
+  if passes <> [] then
+    Buffer.add_string b
+      (Printf.sprintf ",\"passes\":[%s]"
+         (String.concat "," (List.map (fun p -> "\"" ^ p ^ "\"") passes)));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let diag_bytes_of_response body =
+  match Proto.member_raw "run" body with
+  | None -> Alcotest.fail "response has no run member"
+  | Some run -> (
+      match Proto.member_raw "diagnostics" run with
+      | None -> Alcotest.fail "run has no diagnostics member"
+      | Some d -> d)
+
+let local_diag_bytes ~jobs sources =
+  let engine = Gcatch.Passes.engine ~jobs ~registry:(M.create ()) () in
+  let r = E.analyse engine ~name:"cli" sources in
+  match Proto.member_raw "diagnostics" (E.run_to_json r) with
+  | Some d -> d
+  | None -> Alcotest.fail "local run has no diagnostics member"
+
+let with_server ?cfg f =
+  let srv = Serve.create ?cfg () in
+  match
+    T.start ~addr:"127.0.0.1:0"
+      ~post:(Serve.post_handlers srv)
+      ~handlers:(Serve.handlers srv) ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok server ->
+      Fun.protect
+        ~finally:(fun () ->
+          T.stop server;
+          Gcatch.Solve_cache.set_memory_budget_mb 0)
+        (fun () -> f srv server)
+
+(* ------------------------------------------- concurrent byte-identity --- *)
+
+(* Six concurrent clients, two distinct payloads, against a jobs=4
+   server: every response must carry diagnostics byte-identical to a
+   fresh one-shot jobs=1 run of the same sources. *)
+let test_concurrent_byte_identity () =
+  let set_a = [ leak "A1"; clean; leak "A2" ] in
+  let set_b = [ leak "B1"; fig1_body |> ( ^ ) "package p\nfunc Exec" ] in
+  let expect_a = local_diag_bytes ~jobs:1 set_a in
+  let expect_b = local_diag_bytes ~jobs:1 set_b in
+  with_server
+    ~cfg:{ Serve.default_cfg with Serve.s_jobs = 4 }
+    (fun _srv server ->
+      let results = Array.make 6 (0, "") in
+      let threads =
+        List.init 6 (fun i ->
+            Thread.create
+              (fun () ->
+                let sources = if i mod 2 = 0 then set_a else set_b in
+                results.(i) <-
+                  T.fetch_post server "/analyse" (body_of_sources sources))
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i (code, body) ->
+          Alcotest.(check int) (Printf.sprintf "request %d status" i) 200 code;
+          let expect = if i mod 2 = 0 then expect_a else expect_b in
+          Alcotest.(check string)
+            (Printf.sprintf "request %d diagnostics" i)
+            expect
+            (diag_bytes_of_response body))
+        results)
+
+(* ---------------------------------------------------------- coalescing --- *)
+
+(* A stalled leader (solver:*!stall slows every solver call by 50 ms)
+   and three duplicates fired once the leader is registered in flight:
+   the duplicates must join the leader's execution and share its bytes,
+   not re-run. *)
+let test_coalescing () =
+  (match F.parse "solver:*!stall" with
+  | Ok specs -> F.set_plan specs
+  | Error e -> Alcotest.fail e);
+  Fun.protect ~finally:F.clear (fun () ->
+      with_server (fun srv _server ->
+          let sources = [ leak "CoalesceMe"; clean ] in
+          let body = body_of_sources sources in
+          let coalesced0 = pv "serve.coalesced" in
+          let rq = { T.rq_path = "/analyse"; rq_headers = []; rq_body = body } in
+          let leader = ref (T.text "") in
+          let th = Thread.create (fun () -> leader := Serve.handle_analyse srv rq) () in
+          (* wait for the leader to claim the in-flight slot *)
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          while
+            (Mutex.lock srv.Serve.infl_mu;
+             let n = Hashtbl.length srv.Serve.inflight in
+             Mutex.unlock srv.Serve.infl_mu;
+             n = 0)
+            && Unix.gettimeofday () < deadline
+          do
+            Thread.delay 0.002
+          done;
+          let dupes = Array.make 3 (T.text "") in
+          let dthreads =
+            List.init 3 (fun i ->
+                Thread.create
+                  (fun () -> dupes.(i) <- Serve.handle_analyse srv rq)
+                  ())
+          in
+          List.iter Thread.join dthreads;
+          Thread.join th;
+          Alcotest.(check int) "leader status" 200 !leader.T.status;
+          Array.iter
+            (fun (r : T.response) ->
+              Alcotest.(check string) "coalesced bytes" !leader.T.body r.T.body)
+            dupes;
+          Alcotest.(check bool) "coalescing hits counted" true
+            (pv "serve.coalesced" - coalesced0 >= 1)))
+
+(* ------------------------------------------------------- LRU eviction --- *)
+
+let test_memo_lru () =
+  let m : string Memo.t = Memo.create () in
+  let evicted = ref 0 in
+  Memo.set_budget ~on_evict:(fun n -> evicted := !evicted + n) m ~bytes:8192;
+  for i = 0 to 9 do
+    ignore
+      (Memo.find_or_compute m
+         (Printf.sprintf "k%d" i)
+         (fun () -> (String.make 1024 (Char.chr (65 + i)), true)))
+  done;
+  Alcotest.(check bool) "evictions happened" true (!evicted > 0);
+  Alcotest.(check bool) "table stayed bounded" true (Memo.size m < 10);
+  (* the most recent key must still be resident; an evicted key
+     recomputes to the same value *)
+  (match Memo.find_or_compute m "k9" (fun () -> Alcotest.fail "k9 evicted") with
+  | `Hit v -> Alcotest.(check string) "resident value" (String.make 1024 'J') v
+  | `Computed _ -> Alcotest.fail "k9 should be a hit");
+  match Memo.find_or_compute m "k0" (fun () -> (String.make 1024 'A', true)) with
+  | `Hit v | `Computed v ->
+      Alcotest.(check string) "recomputed value" (String.make 1024 'A') v
+
+(* Three sizeable source sets through a 1 MB cache budget and a
+   2-entry artifact cache: evictions must fire, and re-requesting the
+   first set must reproduce its diagnostics byte for byte. *)
+let test_lru_eviction_correctness () =
+  let set seed =
+    [ "package app\n" ^ Gocorpus.Filler.generate ~seed ~target_lines:800 ]
+  in
+  let a = set 101 and b = set 102 and c = set 103 in
+  with_server
+    ~cfg:
+      {
+        Serve.default_cfg with
+        Serve.s_max_cache_mb = 1;
+        s_max_artifact_sets = 2;
+      }
+    (fun _srv server ->
+      let evict0 =
+        pv "engine.artifact_evictions" + pv "engine.file_mem_evictions"
+        + pv "bmoc.solve_cache_evictions"
+      in
+      let code1, body1 = T.fetch_post server "/analyse" (body_of_sources a) in
+      Alcotest.(check int) "first A status" 200 code1;
+      ignore (T.fetch_post server "/analyse" (body_of_sources b));
+      ignore (T.fetch_post server "/analyse" (body_of_sources c));
+      let code2, body2 = T.fetch_post server "/analyse" (body_of_sources a) in
+      Alcotest.(check int) "second A status" 200 code2;
+      Alcotest.(check bool) "evictions happened" true
+        (pv "engine.artifact_evictions" + pv "engine.file_mem_evictions"
+         + pv "bmoc.solve_cache_evictions"
+         - evict0
+         > 0);
+      Alcotest.(check string) "evicted set re-solves identically"
+        (diag_bytes_of_response body1)
+        (diag_bytes_of_response body2))
+
+(* --------------------------------------------------- 429 backpressure --- *)
+
+let test_429_under_full_queue () =
+  (match F.parse "solver:*!stall" with
+  | Ok specs -> F.set_plan specs
+  | Error e -> Alcotest.fail e);
+  Fun.protect ~finally:F.clear (fun () ->
+      with_server
+        ~cfg:{ Serve.default_cfg with Serve.s_max_queue = 1 }
+        (fun srv _server ->
+          let slow = body_of_sources [ leak "QueueHog"; clean ] in
+          let rq b = { T.rq_path = "/analyse"; rq_headers = []; rq_body = b } in
+          let leader = ref (T.text "") in
+          let th =
+            Thread.create (fun () -> leader := Serve.handle_analyse srv (rq slow)) ()
+          in
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          while
+            (Mutex.lock srv.Serve.infl_mu;
+             let n = Hashtbl.length srv.Serve.inflight in
+             Mutex.unlock srv.Serve.infl_mu;
+             n = 0)
+            && Unix.gettimeofday () < deadline
+          do
+            Thread.delay 0.002
+          done;
+          let r =
+            Serve.handle_analyse srv (rq (body_of_sources [ leak "Rejected" ]))
+          in
+          Thread.join th;
+          Alcotest.(check int) "rejected status" 429 r.T.status;
+          Alcotest.(check (option string)) "retry-after header" (Some "1")
+            (List.assoc_opt "Retry-After" r.T.headers);
+          Alcotest.(check int) "leader status" 200 !leader.T.status))
+
+(* ---------------------------------------------------------- watch mode --- *)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let test_watch_reanalyses_only_edited () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcatch-watch-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  write_file (Filename.concat dir "a.go") (leak "WatchedA");
+  write_file (Filename.concat dir "b.go") clean;
+  let srv = Serve.create () in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop_watch srv;
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with _ -> ())
+    (fun () ->
+      let wait_for ?(timeout = 10.0) pred =
+        let deadline = Unix.gettimeofday () +. timeout in
+        while (not (pred ())) && Unix.gettimeofday () < deadline do
+          Thread.delay 0.02
+        done;
+        Alcotest.(check bool) "condition reached in time" true (pred ())
+      in
+      let runs0 = pv "serve.watch_runs" in
+      Serve.start_watch srv ~dir ~interval_s:0.05;
+      wait_for (fun () -> pv "serve.watch_runs" - runs0 >= 1);
+      (* first warm run lexed both files; wait for it to finish *)
+      let lex0 = ref (pv "stage.lex.runs") in
+      wait_for (fun () ->
+          let now = pv "stage.lex.runs" in
+          let stable = now = !lex0 && now > 0 in
+          lex0 := now;
+          stable);
+      (* a body-only edit: signatures unchanged, so only this file's
+         frontend re-runs *)
+      write_file (Filename.concat dir "a.go") (leak "WatchedA2");
+      wait_for (fun () -> pv "serve.watch_runs" - runs0 >= 2);
+      let lex_before = !lex0 in
+      wait_for (fun () -> pv "stage.lex.runs" > lex_before);
+      Thread.delay 0.3;
+      Alcotest.(check int) "only the edited file re-lexed" (lex_before + 1)
+        (pv "stage.lex.runs"))
+
+(* ------------------------------------------------- parser hardening ----- *)
+
+let test_http_parser_hardening () =
+  with_server (fun _srv server ->
+      (* oversize body: declared length past max_body answers 413 *)
+      let sa = Unix.ADDR_INET (Unix.inet_addr_loopback, T.port server) in
+      let raw_request payload =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with _ -> ())
+          (fun () ->
+            Unix.connect fd sa;
+            let rec write off =
+              if off < String.length payload then
+                write (off + Unix.write_substring fd payload off
+                               (String.length payload - off))
+            in
+            write 0;
+            let b = Buffer.create 256 in
+            let buf = Bytes.create 1024 in
+            let rec read () =
+              match Unix.read fd buf 0 1024 with
+              | 0 -> ()
+              | n ->
+                  Buffer.add_subbytes b buf 0 n;
+                  read ()
+              | exception _ -> ()
+            in
+            read ();
+            Buffer.contents b)
+      in
+      let status raw =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> int_of_string_opt code
+        | _ -> None
+      in
+      let oversize =
+        raw_request
+          "POST /analyse HTTP/1.1\r\nHost: x\r\nContent-Length: \
+           999999999\r\n\r\n"
+      in
+      Alcotest.(check (option int)) "oversize body" (Some 413) (status oversize);
+      let lengthless =
+        raw_request "POST /analyse HTTP/1.1\r\nHost: x\r\n\r\n{}"
+      in
+      Alcotest.(check (option int)) "missing content-length" (Some 411)
+        (status lengthless);
+      let bad = raw_request "\r\n\r\n" in
+      Alcotest.(check (option int)) "garbage request" (Some 400) (status bad);
+      (* the GET endpoints keep working after the abuse *)
+      let code, _ = T.fetch server "/healthz" in
+      Alcotest.(check bool) "healthz still answers" true
+        (code = 200 || code = 503);
+      let code, body = T.fetch_post server "/analyse" "{\"schema\":\"nope\"}" in
+      Alcotest.(check int) "unknown schema is 400" 400 code;
+      Alcotest.(check bool) "error body is JSON" true
+        (String.length body > 0 && body.[0] = '{'))
+
+let tests =
+  [
+    Alcotest.test_case "concurrent requests byte-identical" `Quick
+      test_concurrent_byte_identity;
+    Alcotest.test_case "in-flight coalescing" `Quick test_coalescing;
+    Alcotest.test_case "memo LRU bound" `Quick test_memo_lru;
+    Alcotest.test_case "LRU eviction preserves verdicts" `Quick
+      test_lru_eviction_correctness;
+    Alcotest.test_case "429 under full queue" `Quick test_429_under_full_queue;
+    Alcotest.test_case "watch re-analyses only the edit" `Quick
+      test_watch_reanalyses_only_edited;
+    Alcotest.test_case "hardened HTTP parser" `Quick
+      test_http_parser_hardening;
+  ]

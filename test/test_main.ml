@@ -25,6 +25,7 @@ let () =
       ("pathenum", Suite_pathenum.tests);
       ("cache", Suite_cache.tests);
       ("cond", Suite_cond.tests);
+      ("serve", Suite_serve.tests);
       ("gfix", Suite_gfix.tests);
       ("corpus", Suite_corpus.tests);
     ]
