@@ -1262,6 +1262,24 @@ type serve_result = {
 
 let serve_result : serve_result option ref = ref None
 
+type chaos_result = {
+  ch_files : int;
+  ch_loc : int;
+  ch_cold_edit_s : float; (* one-file edit on a cold restarted daemon *)
+  ch_warm_edit_s : float; (* same edit after a snapshot reload *)
+  ch_restart_speedup : float;
+  ch_restart_identical : bool; (* warm edit diags == one-shot bytes *)
+  ch_clients : int;
+  ch_requests : int; (* soak requests attempted *)
+  ch_succeeded : int; (* eventual 200s *)
+  ch_availability : float;
+  ch_p95_ms : float; (* eventual-success latency incl. retries *)
+  ch_rebuilds : int; (* serve.engine_rebuilds delta over the storm *)
+  ch_soak_identical : bool; (* every success byte-identical to one-shot *)
+}
+
+let chaos_result : chaos_result option ref = ref None
+
 let eserve () =
   header
     "E-serve | gcatchd warm-process serving: cold one-shot vs steady-state\n\
@@ -1553,6 +1571,311 @@ let eserve () =
         sv_soak_stable = !stable;
       }
 
+(* -------------------------------------------------------- e-chaos --- *)
+
+(* E-chaos (PR 10): crash-only serving.  Two measurements:
+
+   1. Restart warmth — a daemon that snapshotted its warm state and was
+      restarted must answer a one-file edit from the reloaded memos at
+      least 5x faster than a cold restart answering the same edit, with
+      byte-identical diagnostics.
+
+   2. Chaos soak — with connection-level faults recurring (truncated
+      writes, dropped reads, stalled accepts), 8 retrying clients must
+      still land >= 99% of their requests with byte-identical bodies;
+      a solver-fault storm must then trip the quarantine and the
+      rebuilt engine must answer correctly. *)
+let echaos () =
+  header
+    "E-chaos | crash-only gcatchd: snapshot restart warmth, availability\n\
+    \       | under connection chaos, and quarantine rebuild under a\n\
+    \       | solver-fault storm (PR 10)";
+  let module Serve = Goserve.Serve in
+  let module Snapshot = Goserve.Snapshot in
+  let module Proto = Goserve.Proto in
+  let module T = Goobs.Telemetry in
+  let module M = Goobs.Metrics in
+  let module F = Goengine.Faults in
+  let body_of sources =
+    let b = Buffer.create (1 lsl 16) in
+    Buffer.add_string b
+      "{\"schema\":\"gcatch-serve/1\",\"name\":\"cli\",\"files\":[";
+    List.iteri
+      (fun i src ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "{\"path\":\"f%d.go\",\"src\":\"%s\"}" i
+             (D.json_escape src)))
+      sources;
+    Buffer.add_string b "]}";
+    Buffer.contents b
+  in
+  let rq body = { T.rq_path = "/analyse"; rq_headers = []; rq_body = body } in
+  let diag_bytes body =
+    match Proto.member_raw "run" body with
+    | None -> failwith "e-chaos: response has no run member"
+    | Some run -> (
+        match Proto.member_raw "diagnostics" run with
+        | None -> failwith "e-chaos: run has no diagnostics member"
+        | Some d -> d)
+  in
+  let one_shot_diags sources =
+    let engine = Gcatch.Passes.engine ~jobs:1 ~registry:(M.create ()) () in
+    let r = E.analyse engine ~name:"cli" sources in
+    match Proto.member_raw "diagnostics" (E.run_to_json r) with
+    | Some d -> d
+    | None -> failwith "e-chaos: one-shot run has no diagnostics member"
+  in
+  let timed_post srv body =
+    let t0 = Clock.now_s () in
+    let r = Serve.handle_analyse srv (rq body) in
+    let dt = Clock.elapsed_since t0 in
+    if r.T.status <> 200 then
+      failwith (Printf.sprintf "e-chaos: status %d: %s" r.T.status r.T.body);
+    (r, dt)
+  in
+  let snap_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcatch-bench-chaos-%d" (Unix.getpid ()))
+  in
+  let clear_snap_dir () =
+    if Sys.file_exists snap_dir then begin
+      Array.iter
+        (fun f ->
+          try Sys.remove (Filename.concat snap_dir f) with Sys_error _ -> ())
+        (Sys.readdir snap_dir);
+      try Unix.rmdir snap_dir with Unix.Unix_error _ -> ()
+    end
+  in
+  clear_snap_dir ();
+  (* ---- part 1: restart warmth ---- *)
+  let nfiles = 20 and per_file = 1000 in
+  let sources =
+    List.init nfiles (fun i ->
+        "package app\n"
+        ^ Gocorpus.Filler.generate ~seed:(500 + i) ~target_lines:per_file)
+  in
+  let loc =
+    List.fold_left
+      (fun acc s -> acc + List.length (String.split_on_char '\n' s))
+      0 sources
+  in
+  let edited =
+    List.mapi
+      (fun i s -> if i = nfiles - 1 then s ^ "// restart edit\n" else s)
+      sources
+  in
+  let expect_edit = one_shot_diags edited in
+  Printf.printf "app: %d file(s), %d LoC\n\n" nfiles loc;
+  (* a deployed gcatchd points --cache-dir at one directory and gets the
+     pass-result/per-file disk tiers plus the warm-state snapshot from
+     it; the cold control gets neither *)
+  let cfg =
+    {
+      Serve.default_cfg with
+      s_jobs = 1;
+      s_snapshot_dir = Some snap_dir;
+      s_detector =
+        { Gcatch.Bmoc.default_config with cache_dir = Some snap_dir };
+    }
+  in
+  (* daemon's first life: analyse, then snapshot on the way down *)
+  Gcatch.Solve_cache.reset_memory ();
+  let srv_a = Serve.create ~cfg () in
+  ignore (timed_post srv_a (body_of sources));
+  if not (Serve.save_snapshot srv_a) then failwith "e-chaos: snapshot save";
+  (* cold restart control: no durable state, the edit pays a full run *)
+  Gcatch.Solve_cache.reset_memory ();
+  let srv_cold = Serve.create () in
+  let _, cold_edit_s = timed_post srv_cold (body_of edited) in
+  (* warm restart: a fresh server loads the snapshot before serving *)
+  Gcatch.Solve_cache.reset_memory ();
+  let srv_warm = Serve.create ~cfg () in
+  if not (Serve.load_snapshot srv_warm) then failwith "e-chaos: snapshot load";
+  let r_warm, warm_edit_s = timed_post srv_warm (body_of edited) in
+  let restart_identical = diag_bytes r_warm.T.body = expect_edit in
+  let restart_speedup = cold_edit_s /. max 1e-9 warm_edit_s in
+  Printf.printf
+    "one-file edit after restart:\n\
+    \  cold restart (no snapshot): %.3fs\n\
+    \  warm restart (snapshot reloaded): %.3fs\n\
+    \  restart warmth: %.1fx   diagnostics byte-identical: %b\n\n"
+    cold_edit_s warm_edit_s restart_speedup restart_identical;
+  if not restart_identical then
+    failwith "e-chaos: warm-restart diagnostics differ from one-shot";
+  if restart_speedup < 5.0 then
+    failwith
+      (Printf.sprintf "e-chaos: restart warmth %.1fx below 5x" restart_speedup);
+  (* ---- part 2: availability under connection chaos ---- *)
+  Gcatch.Solve_cache.reset_memory ();
+  let soak_cfg =
+    {
+      Serve.default_cfg with
+      s_jobs = 1;
+      s_max_queue = 16;
+      s_snapshot_dir = Some snap_dir;
+      s_quar_degraded = 3;
+    }
+  in
+  let srv = Serve.create ~cfg:soak_cfg () in
+  let server =
+    match
+      T.start ~addr:"127.0.0.1:0" ~post:(Serve.post_handlers srv)
+        ~handlers:(Serve.handlers srv) ()
+    with
+    | Ok s -> s
+    | Error e -> failwith ("e-chaos: telemetry start: " ^ e)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      F.clear ();
+      T.stop server;
+      Gcatch.Solve_cache.set_memory_budget_mb 0;
+      clear_snap_dir ())
+  @@ fun () ->
+  let variants =
+    Array.init 4 (fun v ->
+        List.init 6 (fun i ->
+            "package app\n"
+            ^ Gocorpus.Filler.generate ~seed:(600 + (v * 13) + i)
+                ~target_lines:250))
+  in
+  let expect = Array.map one_shot_diags variants in
+  let bodies = Array.map body_of variants in
+  (* warm all variants and snapshot, so quarantine rebuilds restart warm *)
+  Array.iter (fun b -> ignore (timed_post srv b)) bodies;
+  if not (Serve.save_snapshot srv) then failwith "e-chaos: soak snapshot";
+  (* the storm generator: re-arming the plan resets its nth counters, so
+     the same early-occurrence faults keep recurring for the whole soak *)
+  let chaos_on = Atomic.make true in
+  let chaos_thread =
+    Thread.create
+      (fun () ->
+        let plan =
+          match
+            F.parse
+              "conn.write:1@/analyse!corrupt, conn.read:3!raise, \
+               conn.accept:5!stall"
+          with
+          | Ok p -> p
+          | Error e -> failwith ("e-chaos: plan: " ^ e)
+        in
+        (* 50% duty cycle: armed windows keep the faults recurring,
+           clear windows guarantee a backed-off retry can always land *)
+        while Atomic.get chaos_on do
+          F.set_plan plan;
+          Thread.delay 0.05;
+          F.clear ();
+          Thread.delay 0.05
+        done)
+      ()
+  in
+  let clients = 8 and per_client = 12 in
+  let total = clients * per_client in
+  let lats = Array.make total nan in
+  let ok = Array.make total false in
+  let ident = Array.make total true in
+  let sa = T.self_addr server in
+  let threads =
+    List.init clients (fun c ->
+        Thread.create
+          (fun () ->
+            for i = 0 to per_client - 1 do
+              let v = (c + i) mod Array.length bodies in
+              let idx = (c * per_client) + i in
+              let t0 = Clock.now_s () in
+              (match
+                 T.request_retry ~max_attempts:8 ~seed:((c * 31) + i) sa
+                   ~meth:"POST" ~path:"/analyse" ~body:bodies.(v) ()
+               with
+              | Ok (200, body) ->
+                  ok.(idx) <- true;
+                  ident.(idx) <- diag_bytes body = expect.(v)
+              | Ok _ | Error _ -> ok.(idx) <- false);
+              lats.(idx) <- Clock.elapsed_since t0
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  Atomic.set chaos_on false;
+  Thread.join chaos_thread;
+  F.clear ();
+  let succeeded = Array.fold_left (fun a b -> if b then a + 1 else a) 0 ok in
+  let soak_identical = Array.for_all (fun b -> b) ident in
+  let availability = float_of_int succeeded /. float_of_int total in
+  let sorted = Array.copy lats in
+  Array.sort compare sorted;
+  let p95 =
+    sorted.(max 0 (min (total - 1) (int_of_float (ceil (0.95 *. float total)) - 1)))
+    *. 1000.0
+  in
+  Printf.printf
+    "chaos soak: %d clients x %d requests under recurring conn faults:\n\
+    \  eventual successes %d/%d (%.1f%%)  p95 %.1f ms  bytes identical %b\n\n"
+    clients per_client succeeded total (availability *. 100.0) p95
+    soak_identical;
+  (* ---- part 3: solver-fault storm trips the quarantine ---- *)
+  let rebuilds0 = M.value (M.counter M.default "serve.engine_rebuilds") in
+  (match F.parse "solver:*!raise" with
+  | Ok p -> F.set_plan p
+  | Error e -> failwith ("e-chaos: plan: " ^ e));
+  let leak n =
+    Printf.sprintf
+      "package p\nfunc L%d() {\n\tch := make(chan int)\n\tgo func() {\n\t\tch \
+       <- 1\n\t}()\n}\n"
+      n
+  in
+  for n = 1 to 3 do
+    let r = Serve.handle_analyse srv (rq (body_of [ leak n ])) in
+    if r.T.status <> 200 then
+      failwith (Printf.sprintf "e-chaos: storm request status %d" r.T.status)
+  done;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while
+    M.value (M.counter M.default "serve.engine_rebuilds") <= rebuilds0
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.01
+  done;
+  F.clear ();
+  let rebuilds =
+    M.value (M.counter M.default "serve.engine_rebuilds") - rebuilds0
+  in
+  while Serve.quarantined srv do
+    Thread.delay 0.01
+  done;
+  let r_after, _ = timed_post srv bodies.(0) in
+  let after_ok = diag_bytes r_after.T.body = expect.(0) in
+  Printf.printf
+    "solver storm: engine rebuilds %d  post-rebuild bytes identical: %b\n"
+    rebuilds after_ok;
+  if rebuilds = 0 then failwith "e-chaos: solver storm tripped no rebuild";
+  if not after_ok then
+    failwith "e-chaos: post-rebuild diagnostics differ from one-shot";
+  if availability < 0.99 then
+    failwith
+      (Printf.sprintf "e-chaos: availability %.3f below 0.99" availability);
+  if not soak_identical then
+    failwith "e-chaos: a surviving response differed from one-shot bytes";
+  chaos_result :=
+    Some
+      {
+        ch_files = nfiles;
+        ch_loc = loc;
+        ch_cold_edit_s = cold_edit_s;
+        ch_warm_edit_s = warm_edit_s;
+        ch_restart_speedup = restart_speedup;
+        ch_restart_identical = restart_identical;
+        ch_clients = clients;
+        ch_requests = total;
+        ch_succeeded = succeeded;
+        ch_availability = availability;
+        ch_p95_ms = p95;
+        ch_rebuilds = rebuilds;
+        ch_soak_identical = soak_identical;
+      }
+
 (* ------------------------------------------------------- json out --- *)
 
 
@@ -1699,6 +2022,17 @@ let write_json path (timings : (string * float) list) =
           s.sv_identical points s.sv_soak_requests s.sv_soak_evictions
           s.sv_soak_heap_mb s.sv_soak_stable
   in
+  let e_chaos =
+    match !chaos_result with
+    | None -> "null"
+    | Some c ->
+        Printf.sprintf
+          {|{"files":%d,"loc":%d,"cold_edit_s":%.6f,"warm_edit_s":%.6f,"restart_speedup":%.3f,"restart_identical":%b,"soak":{"clients":%d,"requests":%d,"succeeded":%d,"availability":%.4f,"p95_ms":%.3f,"rebuilds":%d,"bytes_identical":%b}}|}
+          c.ch_files c.ch_loc c.ch_cold_edit_s c.ch_warm_edit_s
+          c.ch_restart_speedup c.ch_restart_identical c.ch_clients
+          c.ch_requests c.ch_succeeded c.ch_availability c.ch_p95_ms
+          c.ch_rebuilds c.ch_soak_identical
+  in
   (* the unified registry snapshot: engine stage/cache counters, pass
      runs, bmoc/pathenum/pool/gfix counters accumulated over the run *)
   let metrics =
@@ -1708,9 +2042,9 @@ let write_json path (timings : (string * float) list) =
          (Goobs.Metrics.counters_list Goobs.Metrics.default))
   in
   Printf.fprintf oc
-    {|{"schema":"gcatch-bench/8","jobs":%d,"experiments":[%s],"e2_parallel":%s,"e_incr":%s,"e_fe":%s,"e_robust":%s,"e_sched":%s,"e_obs2":%s,"e_serve":%s,"metrics":{%s}}|}
+    {|{"schema":"gcatch-bench/9","jobs":%d,"experiments":[%s],"e2_parallel":%s,"e_incr":%s,"e_fe":%s,"e_robust":%s,"e_sched":%s,"e_obs2":%s,"e_serve":%s,"e_chaos":%s,"metrics":{%s}}|}
     !jobs_flag experiments parallel e_incr e_fe e_robust e_sched e_obs2
-    e_serve metrics;
+    e_serve e_chaos metrics;
   output_char oc '
 ';
   close_out oc;
@@ -1729,6 +2063,7 @@ let all =
     ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
     ("e-incr", eincr); ("e-fe", efe); ("e-robust", erobust);
     ("e-sched", esched); ("e-obs2", eobs2); ("e-serve", eserve);
+    ("e-chaos", echaos);
   ]
 
 let () =

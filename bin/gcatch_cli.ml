@@ -93,7 +93,7 @@ let start_telemetry obs registry profile =
    stdout (stderr when the frontend failed), the run JSON verbatim under
    --json, and the same exit codes.  CI shares one warm process this
    way. *)
-let run_via_server ~addr ~files ~json ~only ~nonblocking =
+let run_via_server ~addr ~files ~json ~only ~nonblocking ~retry ~retry_seed =
   if files = [] then begin
     Log.error "no input files";
     exit 2
@@ -121,16 +121,22 @@ let run_via_server ~addr ~files ~json ~only ~nonblocking =
       Log.error e;
       exit 2
   | Ok sa -> (
+      (* retrying client: transport failures (refused/reset connections,
+         truncated responses) and back-pressure (429/503, honoring
+         Retry-After) are retried with capped exponential backoff and
+         deterministic seeded jitter; any response that reached a
+         handler intact is final *)
       match
-        Goobs.Telemetry.request sa ~meth:"POST" ~path:"/analyse"
+        Goobs.Telemetry.request_retry ~max_attempts:(max 1 retry)
+          ~seed:retry_seed sa ~meth:"POST" ~path:"/analyse"
           ~body:(Buffer.contents b) ()
       with
-      | exception e ->
+      | Error e ->
           Log.error
-            ~kv:[ ("server", addr); ("exception", Printexc.to_string e) ]
+            ~kv:[ ("server", addr); ("error", e) ]
             "cannot reach analysis server";
           exit 3
-      | 200, body ->
+      | Ok (200, body) ->
           let module P = Goserve.Proto in
           if json then (
             match P.member_raw "run" body with
@@ -154,17 +160,17 @@ let run_via_server ~addr ~files ~json ~only ~nonblocking =
             | None -> 3
           in
           exit code
-      | code, body ->
+      | Ok (code, body) ->
           Log.errorf "server answered HTTP %d: %s" code (String.trim body);
           exit 3)
 
 let run_checked files no_disentangle stats_flag nonblocking model_waitgroup
     json only list_flag jobs solver_timeout_ms solver_poll_conflicts cache_dir
     no_cache trace_out metrics_out profile log_level inject_faults deadline_ms
-    max_heap_mb strict retry_rungs server obs =
+    max_heap_mb strict retry_rungs server retry retry_seed obs =
   (match server with
   | Some addr when not list_flag ->
-      run_via_server ~addr ~files ~json ~only ~nonblocking
+      run_via_server ~addr ~files ~json ~only ~nonblocking ~retry ~retry_seed
   | _ -> ());
   (match log_level with
   | None -> ()
@@ -507,8 +513,9 @@ let inject_faults_arg =
            $(docv) is a comma-separated list of \
            $(i,site)[:$(i,nth)|*][@$(i,keysub)][!$(i,action)] items plus an \
            optional seed=$(i,N); sites: frontend, solver, pool, cache.read, \
-           cache.write; actions: raise (default), timeout, stall, corrupt. \
-           Also read from the GCATCH_FAULTS environment variable.")
+           cache.write, conn.accept, conn.read, conn.write, snapshot.read, \
+           snapshot.write; actions: raise (default), timeout, stall, \
+           corrupt. Also read from the GCATCH_FAULTS environment variable.")
 
 let deadline_arg =
   Arg.(
@@ -549,6 +556,24 @@ let server_arg =
            locally. Output and exit codes match local mode; local-only \
            flags (caching, observability, watchdogs) are governed by the \
            daemon's configuration.")
+
+let retry_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "retry" ] ~docv:"N"
+        ~doc:
+          "With $(b,--server): attempt the request up to $(docv) times, \
+           retrying connection failures, truncated responses and 429/503 \
+           back-pressure (honoring Retry-After) with capped exponential \
+           backoff; 1 disables retries")
+
+let retry_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retry-seed" ] ~docv:"N"
+        ~doc:
+          "Seed for the retry backoff's deterministic jitter: two runs \
+           with the same seed sleep the same schedule")
 
 let retry_rungs_arg =
   Arg.(
@@ -662,7 +687,7 @@ let analyse_term =
     $ trace_out_arg
     $ metrics_out_arg $ profile_arg $ log_level_arg $ inject_faults_arg
     $ deadline_arg $ max_heap_arg $ strict_arg $ retry_rungs_arg $ server_arg
-    $ obs_term)
+    $ retry_arg $ retry_seed_arg $ obs_term)
 
 (* gcatch report FILE.jsonl — offline reconstruction of the profile and
    health summary from a run journal, including one truncated by a

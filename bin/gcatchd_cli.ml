@@ -40,7 +40,8 @@ let stop_flag = Atomic.make false
 
 let run addr sock jobs cache_dir max_cache_mb max_queue request_deadline_ms
     solver_timeout_ms max_heap_mb watch max_body_mb log_level log_json
-    inject_faults journal =
+    inject_faults journal journal_fsync snapshot_interval_ms quarantine_errors
+    quarantine_degraded quarantine_breaches =
   (match log_level with
   | None -> ()
   | Some s -> (
@@ -62,11 +63,37 @@ let run addr sock jobs cache_dir max_cache_mb max_queue request_deadline_ms
     Log.error "no listen address: pass --addr HOST:PORT and/or --sock PATH";
     exit 2
   end;
+  (match Goobs.Journal.fsync_policy_of_string journal_fsync with
+  | Some p -> Goobs.Journal.set_fsync p
+  | None ->
+      Log.errorf "invalid --journal-fsync %S (never|close|always)" journal_fsync;
+      exit 2);
   (match journal with
   | None -> ()
   | Some path ->
       Goobs.Journal.open_ ~path;
       at_exit Goobs.Journal.close);
+  (* validate --cache-dir up front: an unwritable directory or an
+     incompatible snapshot is a usage error at startup, not a silent
+     degradation on the first snapshot tick *)
+  (match cache_dir with
+  | None -> ()
+  | Some dir -> (
+      (match Goserve.Snapshot.validate_dir dir with
+      | Ok () -> ()
+      | Error msg ->
+          Log.error msg;
+          exit 2);
+      match Goserve.Snapshot.check ~dir with
+      | Goserve.Snapshot.Version_mismatch v ->
+          Log.errorf
+            "snapshot %s was written by an incompatible version (%s, want %s); \
+             delete it to start cold"
+            (Goserve.Snapshot.path ~dir) v Goserve.Snapshot.format_version;
+          exit 2
+      | Goserve.Snapshot.Corrupt ->
+          Log.warn "snapshot is corrupt; starting cold (it will be deleted)"
+      | Goserve.Snapshot.Valid | Goserve.Snapshot.Missing -> ()));
   (match max_heap_mb with
   | None -> ()
   | Some mb -> Goengine.Supervise.set_max_heap_mb mb);
@@ -87,9 +114,17 @@ let run addr sock jobs cache_dir max_cache_mb max_queue request_deadline_ms
       s_max_cache_mb = max_cache_mb;
       s_max_queue = max_queue;
       s_deadline_ms = request_deadline_ms;
+      s_snapshot_dir = cache_dir;
+      s_quar_errors = quarantine_errors;
+      s_quar_degraded = quarantine_degraded;
+      s_quar_breaches = quarantine_breaches;
     }
   in
   let srv = Serve.create ~cfg () in
+  (* operator-facing like the port handshake below: restart scripts
+     grep this to confirm the boot answered warm *)
+  if Serve.load_snapshot srv then
+    Printf.printf "gcatchd warm snapshot loaded\n%!";
   match
     T.start ?addr ?sock
       ~post:(Serve.post_handlers srv)
@@ -113,12 +148,26 @@ let run addr sock jobs cache_dir max_cache_mb max_queue request_deadline_ms
       else
         Printf.printf "gcatchd listening on %s\n%!"
           (Option.value sock ~default:"?");
+      let last_snap = ref (Unix.gettimeofday ()) in
       while not (Atomic.get stop_flag) do
-        Thread.delay 0.2
+        Thread.delay 0.2;
+        if snapshot_interval_ms > 0 then begin
+          let now = Unix.gettimeofday () in
+          if
+            now -. !last_snap
+            >= float_of_int snapshot_interval_ms /. 1000.0
+          then begin
+            ignore (Serve.save_snapshot srv);
+            last_snap := Unix.gettimeofday ()
+          end
+        end
       done;
       Log.info "gcatchd shutting down";
       (match watch with Some _ -> Serve.stop_watch srv | None -> ());
       T.stop server;
+      (* flush the warm state so the next boot answers warm from the
+         first request; a failed save is logged, never fatal *)
+      ignore (Serve.save_snapshot srv);
       (* at_exit closes the journal (final flush) *)
       exit 0
 
@@ -244,6 +293,50 @@ let journal_arg =
            the request id it belongs to, and shutdown flushes the close \
            event")
 
+let journal_fsync_arg =
+  Arg.(
+    value & opt string "never"
+    & info [ "journal-fsync" ] ~docv:"POLICY"
+        ~doc:
+          "Journal durability: $(b,never) (default; flush only), \
+           $(b,close) (fsync once at clean shutdown), or $(b,always) \
+           (fsync every drain, so a SIGKILL loses at most the undrained \
+           per-domain buffer tails)")
+
+let snapshot_interval_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "snapshot-interval-ms" ] ~docv:"MS"
+        ~doc:
+          "Snapshot the warm state (per-file memos, solve cache, content \
+           store) to --cache-dir every $(docv) ms, in addition to the \
+           SIGTERM flush; 0 (the default) snapshots on shutdown only")
+
+let quarantine_errors_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "quarantine-errors" ] ~docv:"N"
+        ~doc:
+          "Quarantine and rebuild the engine after $(docv) consecutive \
+           internal-error requests (HTTP 500 or pass-level fault \
+           diagnostics); 0 (the default) disables this threshold")
+
+let quarantine_degraded_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "quarantine-degraded" ] ~docv:"N"
+        ~doc:
+          "Quarantine after $(docv) consecutive requests with degraded \
+           analysis units (boundary-contained crashes); 0 disables")
+
+let quarantine_breaches_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "quarantine-breaches" ] ~docv:"N"
+        ~doc:
+          "Quarantine after $(docv) consecutive requests that breached \
+           the --request-deadline-ms SLO; 0 disables")
+
 let cmd =
   Cmd.v
     (Cmd.info "gcatchd" ~doc:"Warm-process analysis server for gcatch"
@@ -256,6 +349,8 @@ let cmd =
       const run $ addr_arg $ sock_arg $ jobs_arg $ cache_dir_arg
       $ max_cache_mb_arg $ max_queue_arg $ request_deadline_arg
       $ solver_timeout_arg $ max_heap_arg $ watch_arg $ max_body_arg
-      $ log_level_arg $ log_json_arg $ inject_faults_arg $ journal_arg)
+      $ log_level_arg $ log_json_arg $ inject_faults_arg $ journal_arg
+      $ journal_fsync_arg $ snapshot_interval_arg $ quarantine_errors_arg
+      $ quarantine_degraded_arg $ quarantine_breaches_arg)
 
 let () = exit (Cmd.eval cmd)

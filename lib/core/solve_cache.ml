@@ -69,6 +69,13 @@ let set_memory_budget_mb mb =
 
 let memory_bytes () = Goengine.Memo.used_bytes mem
 
+(* Snapshot hooks for the serving layer: the memory tier as a sorted
+   (fingerprint, entry) list.  Entries are plain data (the disk tier
+   already marshals them), so a snapshot can carry them verbatim. *)
+let export_memory () : (string * entry) list = Goengine.Memo.export mem
+let import_memory (entries : (string * entry) list) =
+  Goengine.Memo.import mem entries
+
 (* ---------------------------------------------------- on-disk tier --- *)
 
 (* Disk-tier health.  Every disk access is best-effort: an I/O error is

@@ -198,6 +198,61 @@ let set_cache_budget_mb (t : t) mb =
   Memo.set_budget ~on_evict t.fc.fc_lowered ~bytes:per;
   Memo.set_budget ~on_evict t.fc.fc_facts ~bytes:per
 
+(* ---------------------------------------------------- warm state --- *)
+
+(* A marshallable image of everything that makes a long-lived engine
+   warm: the six per-file memo tiers plus the value-digest table that
+   feeds [a_content] (and through it the pass-result cache key).  The
+   serving layer snapshots this to disk so a restarted daemon answers
+   its first request warm.  Entry lists are sorted by key (Memo.export
+   guarantees it), so exporting the same engine state twice yields the
+   same bytes. *)
+type warm_state = {
+  ws_tokens : (string * Minigo.Lexer.token_info list) list;
+  ws_ast : (string * Minigo.Ast.file) list;
+  ws_sigs : (string * Minigo.Typecheck.sig_item list) list;
+  ws_typed : (string * Minigo.Ast.file) list;
+  ws_lowered : (string * Goir.Lower.lowered_file) list;
+  ws_facts :
+    (string
+    * (Goanalysis.Alias.func_summary list * Goanalysis.Callgraph.func_sites list))
+    list;
+  ws_digests : (string * string) list;
+}
+
+let export_warm_state (t : t) : warm_state =
+  let digests =
+    locked t (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.file_digests [])
+  in
+  {
+    ws_tokens = Memo.export t.fc.fc_tokens;
+    ws_ast = Memo.export t.fc.fc_ast;
+    ws_sigs = Memo.export t.fc.fc_sigs;
+    ws_typed = Memo.export t.fc.fc_typed;
+    ws_lowered = Memo.export t.fc.fc_lowered;
+    ws_facts = Memo.export t.fc.fc_facts;
+    ws_digests = List.sort compare digests;
+  }
+
+(* Marshalling loses string interning; re-intern the AST-bearing stages
+   on the way in, exactly as the disk tier does on read. *)
+let import_warm_state (t : t) (ws : warm_state) =
+  Memo.import t.fc.fc_tokens ws.ws_tokens;
+  Memo.import t.fc.fc_ast
+    (List.map (fun (k, v) -> (k, Minigo.Intern.file v)) ws.ws_ast);
+  Memo.import t.fc.fc_sigs ws.ws_sigs;
+  Memo.import t.fc.fc_typed
+    (List.map (fun (k, v) -> (k, Minigo.Intern.file v)) ws.ws_typed);
+  Memo.import t.fc.fc_lowered ws.ws_lowered;
+  Memo.import t.fc.fc_facts ws.ws_facts;
+  locked t (fun () ->
+      List.iter
+        (fun (k, d) ->
+          if not (Hashtbl.mem t.file_digests k) then
+            Hashtbl.replace t.file_digests k d)
+        ws.ws_digests)
+
 (* Read one engine counter by registry name (e.g. "stage.parse.runs",
    "engine.cache_hits"); unknown names read as 0. *)
 let counter_value (t : t) name = M.value (M.counter t.registry name)

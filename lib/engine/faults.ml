@@ -41,7 +41,19 @@ type spec = {
 (* The site registry.  [fire] on an unregistered site is a programming
    error; [parse] rejects plans naming unknown sites so a CLI typo is a
    usage error, not a silently inert plan. *)
-let sites = [ "frontend"; "solver"; "pool"; "cache.read"; "cache.write" ]
+let sites =
+  [
+    "frontend";
+    "solver";
+    "pool";
+    "cache.read";
+    "cache.write";
+    "conn.accept";
+    "conn.read";
+    "conn.write";
+    "snapshot.read";
+    "snapshot.write";
+  ]
 
 exception Injected of string * string (* site, key *)
 
@@ -77,8 +89,14 @@ let split_on_first c s =
 
 (* With a seed and no explicit NTH, place the fault on a seeded
    pseudo-random early trigger: reproducible for a fixed (seed, site),
-   varied across seeds — the "fuzz the placement" mode. *)
-let seeded_nth seed site = 1 + (Hashtbl.hash (seed, site) mod 4)
+   varied across seeds — the "fuzz the placement" mode.  The hash must
+   be a stable function of the (seed, site) *strings*: Hashtbl.hash on
+   a tuple is free to change between OCaml releases, which would move
+   every seeded plan's placement under a compiler upgrade.  MD5 of a
+   canonical encoding is fixed forever; suite_faults pins values. *)
+let seeded_nth seed site =
+  let d = Digest.string (string_of_int seed ^ "\x00" ^ site) in
+  1 + ((Char.code d.[0] lor (Char.code d.[1] lsl 8)) mod 4)
 
 let parse (s : string) : (spec list, string) result =
   let items =

@@ -42,6 +42,28 @@ let mu = Mutex.create ()
 let chan : out_channel option ref = ref None
 let seq = Atomic.make 0
 
+(* Durability policy for the journal file.  [Fsync_never] (the default,
+   and the pre-existing behaviour) flushes the OS buffer on drain but
+   never fsyncs: a SIGKILL can lose whatever the kernel had not written
+   back.  [Fsync_close] fsyncs once at [close] — a clean shutdown is
+   durable, a kill loses at most the undrained per-domain tails (up to
+   [flush_every] lines per domain) plus the kernel's write-back window.
+   [Fsync_always] fsyncs on every drain: a killed process loses only
+   the undrained per-domain tails, which is the documented bound. *)
+type fsync_policy = Fsync_never | Fsync_close | Fsync_always
+
+let fsync_policy_of_string = function
+  | "never" -> Some Fsync_never
+  | "close" -> Some Fsync_close
+  | "always" -> Some Fsync_always
+  | _ -> None
+
+let fsync_mode = Atomic.make Fsync_never
+let set_fsync p = Atomic.set fsync_mode p
+
+let fsync_oc oc =
+  try Unix.fsync (Unix.descr_of_out_channel oc) with _ -> ()
+
 let add_field_json b = function
   | S s ->
       Buffer.add_char b '"';
@@ -130,7 +152,12 @@ let dbuf_key : dbuf Domain.DLS.key =
 let drain_locked ~now db =
   Mutex.lock mu;
   (match !chan with
-  | Some oc -> ( try Buffer.output_buffer oc db.db_buf; flush oc with _ -> ())
+  | Some oc -> (
+      try
+        Buffer.output_buffer oc db.db_buf;
+        flush oc;
+        if Atomic.get fsync_mode = Fsync_always then fsync_oc oc
+      with _ -> ())
   | None -> ());
   Mutex.unlock mu;
   Buffer.clear db.db_buf;
@@ -209,7 +236,13 @@ let close () =
     Atomic.set on false;
     drain_all ();
     Mutex.lock mu;
-    (match !chan with Some oc -> close_out_noerr oc | None -> ());
+    (match !chan with
+    | Some oc ->
+        (match Atomic.get fsync_mode with
+        | Fsync_close | Fsync_always -> fsync_oc oc
+        | Fsync_never -> ());
+        close_out_noerr oc
+    | None -> ());
     chan := None;
     Mutex.unlock mu
   end

@@ -46,6 +46,27 @@ type request = {
 
 type post_handler = request -> response
 
+(* Connection-level fault injection.  The fault *plan* lives in
+   Goengine.Faults, which this library cannot depend on (goengine
+   depends on goobs for the journal); the serving layer installs a hook
+   translating the conn.* sites into actions.  With no hook installed —
+   every one-shot CLI path — the query is one ref dereference returning
+   [FNone], so the clean path pays nothing.
+
+   Action semantics at a connection: [FRaise] drops the connection,
+   [FStall] slow-lorises it (a pause mid-transfer), [FCorrupt]
+   truncates the bytes written. *)
+type fault_action = FNone | FRaise | FStall | FCorrupt
+
+let fault_hook : (string -> string -> fault_action) ref =
+  ref (fun _ _ -> FNone)
+
+let set_fault_hook f = fault_hook := f
+let conn_fault site key = !fault_hook site key
+
+(* How long a stalled connection pauses: matches Faults.stall_s. *)
+let conn_stall_s = 0.05
+
 let text ?(status = 200) ?(headers = []) body =
   { status; content_type = "text/plain; charset=utf-8"; body; headers }
 
@@ -167,7 +188,10 @@ let parse_headers raw body_off =
                      String.trim
                        (String.sub line (c + 1) (String.length line - c - 1)) ))
 
-let respond fd ~head_only (r : response) =
+(* [fkey] is the request path when known: a plan can select
+   "conn.write@/analyse" to hit analysis responses while leaving
+   telemetry scrapes alone. *)
+let respond ?(fkey = "") fd ~head_only (r : response) =
   let extra =
     String.concat ""
       (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) r.headers)
@@ -179,7 +203,23 @@ let respond fd ~head_only (r : response) =
       r.status (status_text r.status) r.content_type (String.length r.body)
       extra
   in
-  try write_all fd (if head_only then head else head ^ r.body) with _ -> ()
+  let payload = if head_only then head else head ^ r.body in
+  match conn_fault "conn.write" fkey with
+  | FRaise -> () (* dropped: the connection closes with nothing written *)
+  | FCorrupt ->
+      (* truncated bytes: the client sees a body shorter than the
+         advertised Content-Length and must treat it as a transport
+         error, never as a (wrong) answer *)
+      let cut = String.length payload / 2 in
+      (try write_all fd (String.sub payload 0 cut) with _ -> ())
+  | FStall -> (
+      (* slow-loris: head, pause, then the rest *)
+      try
+        write_all fd head;
+        Thread.delay conn_stall_s;
+        if not head_only then write_all fd r.body
+      with _ -> ())
+  | FNone -> ( try write_all fd payload with _ -> ())
 
 (* Read exactly [want] more body bytes (some may already be in [b]). *)
 let read_body fd b want =
@@ -199,69 +239,86 @@ let read_body fd b want =
 
 let handle_client ~handlers ~post ~max_body ~read_timeout fd =
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout with _ -> ());
-  match read_head fd with
-  | `Closed -> ()
-  | `Timeout -> respond fd ~head_only:false (text ~status:408 "request timeout\n")
-  | `Head (raw, body_off) -> (
-      match parse_request_line raw with
-      | None -> respond fd ~head_only:false (text ~status:400 "bad request\n")
-      | Some (meth, path) when meth = "GET" || meth = "HEAD" -> (
-          let head_only = meth = "HEAD" in
-          match List.assoc_opt path handlers with
-          | None ->
-              respond fd ~head_only
-                (text ~status:404 (Printf.sprintf "no such endpoint: %s\n" path))
-          | Some h ->
-              let resp =
-                try h ()
-                with e ->
-                  text ~status:500
-                    (Printf.sprintf "handler error: %s\n" (Printexc.to_string e))
-              in
-              respond fd ~head_only resp)
-      | Some ("POST", path) -> (
-          match List.assoc_opt path post with
-          | None ->
-              respond fd ~head_only:false
-                (text ~status:404 (Printf.sprintf "no such endpoint: %s\n" path))
-          | Some h -> (
-              let headers = parse_headers raw body_off in
-              match
-                Option.bind
-                  (List.assoc_opt "content-length" headers)
-                  int_of_string_opt
-              with
+  match conn_fault "conn.read" "" with
+  | FRaise | FCorrupt -> () (* dropped before reading the request *)
+  | (FNone | FStall) as a -> (
+      if a = FStall then Thread.delay conn_stall_s;
+      match read_head fd with
+      | `Closed -> ()
+      | `Timeout ->
+          respond fd ~head_only:false (text ~status:408 "request timeout\n")
+      | `Head (raw, body_off) -> (
+          match parse_request_line raw with
+          | None -> respond fd ~head_only:false (text ~status:400 "bad request\n")
+          | Some (meth, path) when meth = "GET" || meth = "HEAD" -> (
+              let head_only = meth = "HEAD" in
+              match List.assoc_opt path handlers with
               | None ->
-                  respond fd ~head_only:false
-                    (text ~status:411 "content-length required\n")
-              | Some len when len < 0 ->
-                  respond fd ~head_only:false (text ~status:400 "bad request\n")
-              | Some len when len > max_body ->
-                  respond fd ~head_only:false
-                    (text ~status:413
-                       (Printf.sprintf "body too large: %d > %d\n" len max_body))
-              | Some len -> (
-                  let b = Buffer.create (min len 65536) in
-                  if body_off >= 0 && body_off < String.length raw then
-                    Buffer.add_substring b raw body_off
-                      (String.length raw - body_off);
-                  match read_body fd b len with
-                  | `Closed -> ()
-                  | `Timeout ->
-                      respond fd ~head_only:false
-                        (text ~status:408 "request timeout\n")
-                  | `Ok body ->
-                      let resp =
-                        try h { rq_path = path; rq_headers = headers; rq_body = body }
-                        with e ->
-                          text ~status:500
-                            (Printf.sprintf "handler error: %s\n"
-                               (Printexc.to_string e))
-                      in
-                      respond fd ~head_only:false resp)))
-      | Some (meth, _) ->
-          respond fd ~head_only:false
-            (text ~status:405 (Printf.sprintf "method not allowed: %s\n" meth)))
+                  respond ~fkey:path fd ~head_only
+                    (text ~status:404
+                       (Printf.sprintf "no such endpoint: %s\n" path))
+              | Some h ->
+                  let resp =
+                    try h ()
+                    with e ->
+                      text ~status:500
+                        (Printf.sprintf "handler error: %s\n"
+                           (Printexc.to_string e))
+                  in
+                  respond ~fkey:path fd ~head_only resp)
+          | Some ("POST", path) -> (
+              match List.assoc_opt path post with
+              | None ->
+                  respond ~fkey:path fd ~head_only:false
+                    (text ~status:404
+                       (Printf.sprintf "no such endpoint: %s\n" path))
+              | Some h -> (
+                  let headers = parse_headers raw body_off in
+                  match
+                    Option.bind
+                      (List.assoc_opt "content-length" headers)
+                      int_of_string_opt
+                  with
+                  | None ->
+                      respond ~fkey:path fd ~head_only:false
+                        (text ~status:411 "content-length required\n")
+                  | Some len when len < 0 ->
+                      respond ~fkey:path fd ~head_only:false
+                        (text ~status:400 "bad request\n")
+                  | Some len when len > max_body ->
+                      respond ~fkey:path fd ~head_only:false
+                        (text ~status:413
+                           (Printf.sprintf "body too large: %d > %d\n" len
+                              max_body))
+                  | Some len -> (
+                      let b = Buffer.create (min len 65536) in
+                      if body_off >= 0 && body_off < String.length raw then
+                        Buffer.add_substring b raw body_off
+                          (String.length raw - body_off);
+                      match read_body fd b len with
+                      | `Closed -> ()
+                      | `Timeout ->
+                          respond ~fkey:path fd ~head_only:false
+                            (text ~status:408 "request timeout\n")
+                      | `Ok body ->
+                          let resp =
+                            try
+                              h
+                                {
+                                  rq_path = path;
+                                  rq_headers = headers;
+                                  rq_body = body;
+                                }
+                            with e ->
+                              text ~status:500
+                                (Printf.sprintf "handler error: %s\n"
+                                   (Printexc.to_string e))
+                          in
+                          respond ~fkey:path fd ~head_only:false resp)))
+          | Some (meth, _) ->
+              respond fd ~head_only:false
+                (text ~status:405
+                   (Printf.sprintf "method not allowed: %s\n" meth))))
 
 let accept_loop ~stopping ~active ~max_conns ~handlers ~post ~max_body
     ~read_timeout listen_fd =
@@ -271,7 +328,14 @@ let accept_loop ~stopping ~active ~max_conns ~handlers ~post ~max_body
         (try Unix.close client with _ -> ());
         Atomic.decr active)
       (fun () ->
-        try handle_client ~handlers ~post ~max_body ~read_timeout client
+        try
+          (* conn.accept faults run on the connection thread, never the
+             accept loop: a stall must not wedge other clients *)
+          match conn_fault "conn.accept" "" with
+          | FRaise | FCorrupt -> () (* dropped: closed without a byte *)
+          | (FNone | FStall) as a ->
+              if a = FStall then Thread.delay conn_stall_s;
+              handle_client ~handlers ~post ~max_body ~read_timeout client
         with _ -> ())
   in
   let rec loop () =
@@ -457,7 +521,10 @@ let read_all fd =
   go ();
   Buffer.contents b
 
-let split_response raw =
+(* Split a raw response into (status, headers, body).  A garbled status
+   line parses as status 0; a missing header terminator yields an empty
+   body — both are transport errors to a careful client. *)
+let split_response_full raw =
   let n = String.length raw in
   let code =
     match String.index_opt raw ' ' with
@@ -474,12 +541,18 @@ let split_response raw =
     else find_body (i + 1)
   in
   let off = find_body 0 in
-  (code, String.sub raw off (n - off))
+  let headers = parse_headers raw off in
+  (code, headers, String.sub raw off (n - off))
+
+let split_response raw =
+  let code, _, body = split_response_full raw in
+  (code, body)
 
 (* One-shot request against an explicit address.  Returns
-   (status, body); the server closes the connection after the response,
-   so reading to EOF delimits it. *)
-let request sa ~meth ~path ?(body = "") () : int * string =
+   (status, headers, body); the server closes the connection after the
+   response, so reading to EOF delimits it. *)
+let request_full sa ~meth ~path ?(body = "") () :
+    int * (string * string) list * string =
   let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with _ -> ())
@@ -498,7 +571,74 @@ let request sa ~meth ~path ?(body = "") () : int * string =
             meth path (String.length body) body
       in
       write_all fd payload;
-      split_response (read_all fd))
+      split_response_full (read_all fd))
+
+let request sa ~meth ~path ?(body = "") () : int * string =
+  let code, _, b = request_full sa ~meth ~path ~body () in
+  (code, b)
+
+(* Resilient client: capped exponential backoff with deterministic
+   (seeded) jitter.  Retries transport-level failures — connect
+   refused/reset, an unparseable status line, a body shorter than the
+   advertised Content-Length (a truncated or garbled write) — and
+   back-pressure answers (429/503), honoring Retry-After when the
+   server sends one.  Every other status is returned: the request
+   reached a handler and its answer, success or not, is authoritative.
+   Safe for /analyse because analysis is idempotent — re-sending a
+   request whose connection died is indistinguishable from sending it
+   once late.
+
+   Determinism: the jitter is a pure function of (seed, attempt, path),
+   so two runs with the same seed sleep the same schedule. *)
+let request_retry ?(max_attempts = 6) ?(seed = 0) ?(base_delay = 0.05)
+    ?(max_delay = 2.0) sa ~meth ~path ?(body = "") () :
+    (int * string, string) result =
+  let jitter k =
+    let d = Digest.string (Printf.sprintf "%d:%d:%s" seed k path) in
+    float_of_int (Char.code d.[0]) /. 255.0
+  in
+  let backoff k =
+    Float.min max_delay (base_delay *. (2.0 ** float_of_int k))
+    *. (0.5 +. (0.5 *. jitter k))
+  in
+  let rec go k =
+    let retry err retry_after =
+      if k + 1 >= max_attempts then Error err
+      else begin
+        let d =
+          match retry_after with
+          | Some s -> Float.min max_delay (float_of_int s)
+          | None -> backoff k
+        in
+        (try Thread.delay d with _ -> ());
+        go (k + 1)
+      end
+    in
+    match request_full sa ~meth ~path ~body () with
+    | exception e -> retry (Printexc.to_string e) None
+    | 0, _, _ -> retry "unparseable response" None
+    | code, headers, rbody -> (
+        let truncated =
+          match
+            Option.bind (List.assoc_opt "content-length" headers)
+              int_of_string_opt
+          with
+          | Some l -> String.length rbody < l
+          | None -> false
+        in
+        if truncated then
+          retry (Printf.sprintf "truncated response (status %d)" code) None
+        else
+          match code with
+          | 429 | 503 ->
+              retry
+                (Printf.sprintf "status %d" code)
+                (Option.bind
+                   (List.assoc_opt "retry-after" headers)
+                   int_of_string_opt)
+          | _ -> Ok (code, rbody))
+  in
+  go 0
 
 let self_addr t =
   if t.t_port <> 0 then Unix.ADDR_INET (Unix.inet_addr_loopback, t.t_port)

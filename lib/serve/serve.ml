@@ -40,6 +40,19 @@ module Trace = Goobs.Trace
 
 let schema = "gcatch-serve/1"
 
+(* Connection-level fault injection: goobs owns the conn.* sites but
+   cannot see the fault plan (goengine depends on goobs), so this
+   module — linked by gcatch, gcatchd and the tests alike — installs
+   the hook translating a site query into the armed plan's verdict.
+   With no plan armed the query is one ref deref + one atomic load. *)
+let () =
+  T.set_fault_hook (fun site key ->
+      match Goengine.Faults.fire ~site ~key () with
+      | None -> T.FNone
+      | Some (Goengine.Faults.Raise | Goengine.Faults.Timeout) -> T.FRaise
+      | Some Goengine.Faults.Stall -> T.FStall
+      | Some Goengine.Faults.Corrupt -> T.FCorrupt)
+
 (* ----------------------------------------- observation endpoints ------ *)
 
 (* The /vars endpoint: build info plus live cache/scheduler/span/sampler
@@ -62,7 +75,7 @@ let vars_json registry =
      \"file\":{\"mem_hits\":%d,\"disk_hits\":%d,\"evictions\":%d},\
      \"solve\":{\"hits\":%d,\"misses\":%d,\"disk_hits\":%d,\"stores\":%d,\"evictions\":%d,\"hit_rate_pct\":%.1f},\
      \"pass\":{\"hits\":%d,\"stores\":%d}},\
-     \"serve\":{\"requests\":%d,\"coalesced\":%d,\"rejected\":%d,\"watch_runs\":%d},\
+     \"serve\":{\"requests\":%d,\"coalesced\":%d,\"rejected\":%d,\"watch_runs\":%d,\"quarantines\":%d,\"engine_rebuilds\":%d},\
      \"sched\":{\"tasks_spawned\":%d,\"tasks_stolen\":%d,\"yields\":%d,\"queue_depth\":%.0f},\
      \"spans\":{\"active\":%d},\
      \"sampler\":{\"samples\":%d,\"ticks\":%d},\
@@ -80,7 +93,8 @@ let vars_json registry =
     (rate (c "bmoc.solve_cache_hit") (c "bmoc.solve_cache_miss"))
     (c "engine.pass_cache_hit") (c "engine.pass_cache_store")
     (c "serve.requests") (c "serve.coalesced") (c "serve.rejected")
-    (c "serve.watch_runs") (c "sched.tasks_spawned") (c "sched.tasks_stolen")
+    (c "serve.watch_runs") (c "serve.quarantines") (c "serve.engine_rebuilds")
+    (c "sched.tasks_spawned") (c "sched.tasks_stolen")
     (c "sched.yields")
     (g "sched.queue_depth")
     (Trace.open_span_count ())
@@ -164,6 +178,11 @@ type cfg = {
   s_max_queue : int; (* admitted (queued + running) request bound *)
   s_deadline_ms : int option; (* per-request SLO *)
   s_max_artifact_sets : int; (* engine artifact-cache LRU size *)
+  s_snapshot_dir : string option; (* warm-state snapshot home *)
+  s_quar_errors : int; (* consecutive internal-error requests tripping
+                          quarantine; 0 disables this threshold *)
+  s_quar_degraded : int; (* consecutive requests with degraded units *)
+  s_quar_breaches : int; (* consecutive deadline-breached requests *)
 }
 
 let default_cfg =
@@ -174,10 +193,19 @@ let default_cfg =
     s_max_queue = 16;
     s_deadline_ms = None;
     s_max_artifact_sets = 8;
+    s_snapshot_dir = None;
+    (* every threshold off by default: an unconfigured server behaves
+       exactly as before this feature existed *)
+    s_quar_errors = 0;
+    s_quar_degraded = 0;
+    s_quar_breaches = 0;
   }
 
+let quarantine_enabled cfg =
+  cfg.s_quar_errors > 0 || cfg.s_quar_degraded > 0 || cfg.s_quar_breaches > 0
+
 type t = {
-  engine : E.t;
+  mutable engine : E.t; (* replaced by a quarantine rebuild, under run_mu *)
   registry : M.t; (* the process registry (/metrics) *)
   cfg : cfg;
   run_mu : Mutex.t; (* serializes engine sessions *)
@@ -190,6 +218,12 @@ type t = {
   inflight : (string, T.response option ref) Hashtbl.t;
   watch_stop : bool Atomic.t;
   mutable watch_thread : Thread.t option;
+  (* self-healing supervisor state *)
+  quarantined : bool Atomic.t; (* requests answer 503 while set *)
+  sup_mu : Mutex.t; (* guards the streak counters *)
+  mutable sk_errors : int;
+  mutable sk_degraded : int;
+  mutable sk_breaches : int;
 }
 
 let counter t name = M.counter t.registry name
@@ -220,9 +254,15 @@ let create ?(cfg = default_cfg) () : t =
     inflight = Hashtbl.create 16;
     watch_stop = Atomic.make false;
     watch_thread = None;
+    quarantined = Atomic.make false;
+    sup_mu = Mutex.create ();
+    sk_errors = 0;
+    sk_degraded = 0;
+    sk_breaches = 0;
   }
 
 let engine t = t.engine
+let quarantined t = Atomic.get t.quarantined
 
 (* Content store: every full source a request (or the watcher) carries is
    remembered by digest, so later requests can send digests only.  The
@@ -258,6 +298,155 @@ let resolve t (files : (string * [ `Src of string | `Digest of string ]) list)
       files
   in
   if !missing = [] then Ok sources else Error (List.rev !missing)
+
+(* ------------------------------------------- durable warm state ------- *)
+
+(* Import a snapshot payload into the live server.  Caller holds
+   [run_mu] (no engine session in flight). *)
+let import_payload_locked (t : t) (p : Snapshot.payload) =
+  E.import_warm_state t.engine p.Snapshot.p_engine;
+  Gcatch.Solve_cache.import_memory p.Snapshot.p_solve;
+  Mutex.lock t.store_mu;
+  List.iter
+    (fun (d, s) -> if not (Hashtbl.mem t.store d) then Hashtbl.add t.store d s)
+    p.Snapshot.p_store;
+  Mutex.unlock t.store_mu;
+  M.incr (counter t "serve.snapshot_loads");
+  if J.enabled () then
+    J.emit ~event:"snapshot.load"
+      [
+        ("solve_entries", J.I (List.length p.Snapshot.p_solve));
+        ("sources", J.I (List.length p.Snapshot.p_store));
+      ]
+
+(* Reload the last good snapshot into a (fresh or restarted) server.
+   Returns false when there is nothing valid to load — which is a clean
+   cold start, never an error. *)
+let load_snapshot (t : t) : bool =
+  match t.cfg.s_snapshot_dir with
+  | None -> false
+  | Some dir -> (
+      match Snapshot.load ~dir with
+      | None -> false
+      | Some p ->
+          Mutex.lock t.run_mu;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock t.run_mu)
+            (fun () -> import_payload_locked t p);
+          true)
+
+(* Write the warm state to disk: quiesce (take [run_mu]), export, then
+   marshal outside the lock — the atomic temp+rename write means a
+   crash mid-save leaves the previous snapshot intact. *)
+let save_snapshot (t : t) : bool =
+  match t.cfg.s_snapshot_dir with
+  | None -> false
+  | Some dir -> (
+      let p =
+        Mutex.lock t.run_mu;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.run_mu)
+          (fun () ->
+            Mutex.lock t.store_mu;
+            let store =
+              Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.store []
+            in
+            Mutex.unlock t.store_mu;
+            {
+              Snapshot.p_engine = E.export_warm_state t.engine;
+              p_solve = Gcatch.Solve_cache.export_memory ();
+              p_store = List.sort compare store;
+            })
+      in
+      match Snapshot.save ~dir p with
+      | Ok () ->
+          M.incr (counter t "serve.snapshot_saves");
+          if J.enabled () then
+            J.emit ~event:"snapshot.save"
+              [
+                ("solve_entries", J.I (List.length p.Snapshot.p_solve));
+                ("sources", J.I (List.length p.Snapshot.p_store));
+              ];
+          true
+      | Error e ->
+          M.incr (counter t "serve.snapshot_errors");
+          Log.warn ~kv:[ ("error", e) ] "snapshot save failed";
+          false)
+
+(* ------------------------------------------- self-healing rebuild ----- *)
+
+(* Tear the poisoned engine down and stand a fresh one up from the last
+   good snapshot, without dropping the listener.  Runs on its own
+   thread (the tripping request still holds [run_mu] when it spawns
+   us); [t.quarantined] is already set, so every request arriving
+   meanwhile answers 503 + Retry-After instead of queueing behind the
+   rebuild. *)
+let rebuild_engine (t : t) ~reason : unit =
+  M.incr (counter t "serve.quarantines");
+  Log.warn ~kv:[ ("reason", reason) ] "engine quarantined; rebuilding";
+  if J.enabled () then
+    J.emit ~event:"serve.quarantine" [ ("reason", J.S reason) ];
+  Mutex.lock t.run_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.run_mu)
+    (fun () ->
+      let e =
+        Gcatch.Passes.engine ~cfg:t.cfg.s_detector ~jobs:t.cfg.s_jobs
+          ~registry:t.registry ~max_entries:t.cfg.s_max_artifact_sets ()
+      in
+      if t.cfg.s_max_cache_mb > 0 then
+        E.set_cache_budget_mb e (max 1 (t.cfg.s_max_cache_mb * 3 / 4));
+      Gcatch.Solve_cache.reset_memory ();
+      t.engine <- e;
+      (* the heap latch guarded state that just went away with the old
+         engine; clear it and let the fresh engine earn its own verdict *)
+      Atomic.set Goengine.Supervise.heap_tripped false;
+      Gc.compact ();
+      (match t.cfg.s_snapshot_dir with
+      | Some dir -> (
+          match Snapshot.load ~dir with
+          | Some p -> import_payload_locked t p
+          | None -> ())
+      | None -> ()));
+  Mutex.lock t.sup_mu;
+  t.sk_errors <- 0;
+  t.sk_degraded <- 0;
+  t.sk_breaches <- 0;
+  Mutex.unlock t.sup_mu;
+  M.incr (counter t "serve.engine_rebuilds");
+  if J.enabled () then J.emit ~event:"serve.rebuild" [ ("reason", J.S reason) ];
+  Atomic.set t.quarantined false
+
+(* Feed one request's outcome to the supervisor; called at the end of
+   [execute], still under [run_mu].  Streaks reset on any healthy
+   request, so thresholds mean *consecutive* unhealthy ones.  The heap
+   latch quarantines immediately: it is a process-wide watchdog, not a
+   per-request wobble. *)
+let note_outcome (t : t) ~internal ~degraded ~breached : unit =
+  if quarantine_enabled t.cfg && not (Atomic.get t.quarantined) then begin
+    Mutex.lock t.sup_mu;
+    t.sk_errors <- (if internal then t.sk_errors + 1 else 0);
+    t.sk_degraded <- (if degraded then t.sk_degraded + 1 else 0);
+    t.sk_breaches <- (if breached then t.sk_breaches + 1 else 0);
+    let trip limit streak = limit > 0 && streak >= limit in
+    let reason =
+      if Atomic.get Goengine.Supervise.heap_tripped then
+        Some "heap watchdog latched"
+      else if trip t.cfg.s_quar_errors t.sk_errors then
+        Some (Printf.sprintf "%d consecutive internal errors" t.sk_errors)
+      else if trip t.cfg.s_quar_degraded t.sk_degraded then
+        Some (Printf.sprintf "%d consecutive degraded requests" t.sk_degraded)
+      else if trip t.cfg.s_quar_breaches t.sk_breaches then
+        Some (Printf.sprintf "%d consecutive deadline breaches" t.sk_breaches)
+      else None
+    in
+    Mutex.unlock t.sup_mu;
+    match reason with
+    | Some reason ->
+        if not (Atomic.exchange t.quarantined true) then
+          ignore (Thread.create (fun () -> rebuild_engine t ~reason) ())
+    | None -> ()
+  end
 
 (* ---------------------------------------------------- one execution --- *)
 
@@ -315,59 +504,99 @@ let error_body msg =
   Printf.sprintf "{\"schema\":\"%s\",\"error\":\"%s\"}" schema
     (M.json_escape msg)
 
+let quarantined_response = lazy (
+  T.json ~status:503
+    ~headers:[ ("Retry-After", "1") ]
+    (error_body "engine quarantined; rebuild in progress"))
+
 (* Run one analysis as a scheduler session with request-scoped registry,
    journal context, and deadline.  Serialized by [run_mu]; called from a
    connection thread (or the watcher), never from inside the pool. *)
 let execute (t : t) ~rid (req : req) (sources : string list) : T.response =
   Mutex.lock t.run_mu;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.run_mu)
-    (fun () ->
-      let req_reg = M.create () in
-      J.set_context [ ("req", J.S rid) ];
-      (match t.cfg.s_deadline_ms with
-      | Some ms -> Goengine.Supervise.set_deadline_ms ms
-      | None -> ());
-      E.set_registry t.engine req_reg;
-      let t0 = Unix.gettimeofday () in
-      if J.enabled () then
-        J.emit ~event:"request.begin"
-          [ ("files", J.I (List.length sources)) ];
-      let result =
-        let only = if req.q_passes = [] then None else Some req.q_passes in
-        let extra = if req.q_nonblocking then [ "nonblocking" ] else [] in
-        try Ok (E.analyse ?only ~extra t.engine ~name:req.q_name sources)
-        with e -> Error e
-      in
-      E.set_registry t.engine t.registry;
-      M.merge_into ~dst:t.registry req_reg;
-      (match t.cfg.s_deadline_ms with
-      | Some _ -> Goengine.Supervise.clear_deadline ()
-      | None -> ());
-      if J.enabled () then
-        J.emit ~event:"request.end"
-          ~dur_ms:(1000.0 *. (Unix.gettimeofday () -. t0))
-          [ ("ok", J.B (Result.is_ok result)) ];
-      J.clear_context ();
-      match result with
-      | Error e ->
-          M.incr (counter t "serve.internal_error");
-          T.json ~status:500
-            (error_body ("analysis failed: " ^ Printexc.to_string e))
-      | Ok r ->
-          M.incr (counter t "serve.ok");
-          let exit_code = if E.errors r <> [] then 1 else 0 in
-          let body =
-            Printf.sprintf
-              "{\"schema\":\"%s\",\"id\":\"%s\",\"exit\":%d,\
-               \"frontend_failed\":%b,\"unclean\":%d,\
-               \"human\":\"%s\",\"request_metrics\":%s,\"run\":%s}"
-              schema rid exit_code (E.frontend_failed r)
-              (Goengine.Supervise.health_unclean r.E.r_health)
-              (M.json_escape (human_of_run r))
-              (metrics_json req_reg) (E.run_to_json r)
-          in
-          T.json body)
+  if Atomic.get t.quarantined then begin
+    (* admitted before the trip, reached the engine after: in-flight
+       requests answer 503 rather than queueing behind the rebuild *)
+    Mutex.unlock t.run_mu;
+    M.incr (counter t "serve.unavailable");
+    Lazy.force quarantined_response
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.run_mu)
+      (fun () ->
+        let req_reg = M.create () in
+        J.set_context [ ("req", J.S rid) ];
+        (match t.cfg.s_deadline_ms with
+        | Some ms -> Goengine.Supervise.set_deadline_ms ms
+        | None -> ());
+        E.set_registry t.engine req_reg;
+        let t0 = Unix.gettimeofday () in
+        if J.enabled () then
+          J.emit ~event:"request.begin"
+            [ ("files", J.I (List.length sources)) ];
+        let result =
+          let only = if req.q_passes = [] then None else Some req.q_passes in
+          let extra = if req.q_nonblocking then [ "nonblocking" ] else [] in
+          try Ok (E.analyse ?only ~extra t.engine ~name:req.q_name sources)
+          with e -> Error e
+        in
+        let breached =
+          match t.cfg.s_deadline_ms with
+          | Some _ ->
+              Goengine.Supervise.pressure () = Some "deadline exceeded"
+          | None -> false
+        in
+        E.set_registry t.engine t.registry;
+        M.merge_into ~dst:t.registry req_reg;
+        (match t.cfg.s_deadline_ms with
+        | Some _ -> Goengine.Supervise.clear_deadline ()
+        | None -> ());
+        if J.enabled () then
+          J.emit ~event:"request.end"
+            ~dur_ms:(1000.0 *. (Unix.gettimeofday () -. t0))
+            [ ("ok", J.B (Result.is_ok result)) ];
+        J.clear_context ();
+        match result with
+        | Error e ->
+            M.incr (counter t "serve.internal_error");
+            note_outcome t ~internal:true ~degraded:false ~breached;
+            T.json ~status:500
+              (error_body ("analysis failed: " ^ Printexc.to_string e))
+        | Ok r ->
+            M.incr (counter t "serve.ok");
+            (* classify for the supervisor: a pass-level boundary catch
+               surfaces as an Internal_error-kind fault diagnostic; a
+               unit-level catch (e.g. an injected solver raise) counts
+               in the run's degraded ledger *)
+            let internal =
+              List.exists
+                (fun d ->
+                  match Goengine.Supervise.fault_of d with
+                  | Some fi ->
+                      fi.Goengine.Supervise.fi_kind
+                      = Goengine.Supervise.Internal_error
+                  | None -> false)
+                r.E.r_diags
+            in
+            let degraded =
+              Goengine.Supervise.health_get r.E.r_health
+                Goengine.Supervise.h_degraded
+              > 0
+            in
+            note_outcome t ~internal ~degraded ~breached;
+            let exit_code = if E.errors r <> [] then 1 else 0 in
+            let body =
+              Printf.sprintf
+                "{\"schema\":\"%s\",\"id\":\"%s\",\"exit\":%d,\
+                 \"frontend_failed\":%b,\"unclean\":%d,\
+                 \"human\":\"%s\",\"request_metrics\":%s,\"run\":%s}"
+                schema rid exit_code (E.frontend_failed r)
+                (Goengine.Supervise.health_unclean r.E.r_health)
+                (M.json_escape (human_of_run r))
+                (metrics_json req_reg) (E.run_to_json r)
+            in
+            T.json body)
 
 (* ------------------------------------- coalescing + admission ---------- *)
 
@@ -384,6 +613,11 @@ let request_key (req : req) (sources : string list) : string =
 
 let handle_analyse (t : t) (rq : T.request) : T.response =
   M.incr (counter t "serve.requests");
+  if Atomic.get t.quarantined then begin
+    M.incr (counter t "serve.unavailable");
+    Lazy.force quarantined_response
+  end
+  else
   match parse_req rq.T.rq_body with
   | Error e ->
       M.incr (counter t "serve.bad_request");

@@ -91,6 +91,30 @@ let test_plan_parse () =
   bad "solver!explode";
   bad "seed=x,solver"
 
+(* The seeded placement is a pure, stable function of (seed, site):
+   string-keyed MD5, not a polymorphic hash that may drift across
+   compiler versions.  These values are pinned — a change here breaks
+   every recorded fault-plan reproduction, so it must be deliberate
+   and come with a format-version note. *)
+let test_seeded_nth_pinned () =
+  let pin seed site expect =
+    Alcotest.(check int)
+      (Printf.sprintf "seeded_nth %d %s" seed site)
+      expect (F.seeded_nth seed site)
+  in
+  pin 5 "solver" 2;
+  pin 5 "frontend" 1;
+  pin 7 "solver" 3;
+  pin 42 "pool" 3;
+  pin 1 "cache.read" 2;
+  pin 123 "conn.write" 2;
+  pin 0 "snapshot.read" 3;
+  match F.parse "seed=5,solver" with
+  | Ok [ sp ] ->
+      Alcotest.(check bool) "parse uses the pinned placement" true
+        (sp.F.s_which = F.Nth 2)
+  | _ -> Alcotest.fail "seeded plan should parse"
+
 let test_fire_counts () =
   with_clean_faults (fun () ->
       (match F.parse "solver:2" with
@@ -434,6 +458,8 @@ let test_clean_path_unchanged () =
 let tests =
   [
     Alcotest.test_case "fault-plan grammar" `Quick test_plan_parse;
+    Alcotest.test_case "seeded placement pinned values" `Quick
+      test_seeded_nth_pinned;
     Alcotest.test_case "nth-trigger firing" `Quick test_fire_counts;
     Alcotest.test_case "parse failure spares siblings" `Quick
       test_parse_failure_spares_siblings;

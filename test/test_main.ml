@@ -26,6 +26,7 @@ let () =
       ("cache", Suite_cache.tests);
       ("cond", Suite_cond.tests);
       ("serve", Suite_serve.tests);
+      ("crash", Suite_crash.tests);
       ("gfix", Suite_gfix.tests);
       ("corpus", Suite_corpus.tests);
     ]
